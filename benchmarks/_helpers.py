@@ -1,0 +1,27 @@
+"""Shared utilities for the benchmark harness.
+
+Every ``bench_*`` module regenerates one of the paper's tables or
+figures, prints it in the paper's row/series format (run pytest with
+``-s`` to see it), and asserts the qualitative shape the paper reports.
+Simulation experiments run once per benchmark (``pedantic`` mode) —
+they are measurements, not microbenchmarks to be repeated.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+# Standard measurement windows for full-fidelity runs.
+WARMUP_S = 0.4e-3
+MEASURE_S = 1.0e-3
+
+
+def run_once(benchmark, function: Callable, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def emit(text: str) -> None:
+    """Print a report block (visible with pytest -s)."""
+    print()
+    print(text)

@@ -1,0 +1,72 @@
+"""Ablation — checksum offload service (Section 8 extension).
+
+The paper motivates programmable NICs with services beyond Ethernet
+(TCP offload, iSCSI, ...).  This bench adds the simplest such service —
+IP/UDP checksumming — in the two plausible places:
+
+* **assist** — folded into the MAC/DMA data stream (how real NICs do
+  it): firmware just reads a status word, throughput unchanged;
+* **firmware** — cores walk every payload word, which forces them into
+  the *frame* memory the partitioned design deliberately keeps them out
+  of: throughput collapses, and even 4x the cores cannot restore line
+  rate.
+
+The punchline supports the paper's design: programmability is for
+*control-path* services; payload-touching services need assists."""
+
+import pytest
+
+from dataclasses import replace
+
+from benchmarks._helpers import MEASURE_S, WARMUP_S, emit, run_once
+from repro.analysis import format_table
+from repro.firmware.ordering import OrderingMode
+from repro.nic import NicConfig, ThroughputSimulator
+from repro.units import mhz
+
+BASE = NicConfig(cores=6, core_frequency_hz=mhz(166), ordering_mode=OrderingMode.RMW)
+
+
+def _experiment():
+    results = {}
+    for mode in ("none", "assist", "firmware"):
+        config = replace(BASE, checksum_offload=mode)
+        results[("6", mode)] = ThroughputSimulator(config, 1472).run(
+            WARMUP_S, MEASURE_S
+        )
+    for cores in (12, 24):
+        config = replace(BASE, cores=cores, checksum_offload="firmware")
+        results[(str(cores), "firmware")] = ThroughputSimulator(config, 1472).run(
+            WARMUP_S, MEASURE_S
+        )
+    return results
+
+
+def bench_ablation_checksum_offload(benchmark):
+    results = run_once(benchmark, _experiment)
+
+    rows = [
+        [f"{cores} cores / {mode}", result.line_rate_fraction(),
+         result.udp_throughput_gbps, result.core_utilization]
+        for (cores, mode), result in results.items()
+    ]
+    emit(format_table(
+        ["Configuration", "Line-rate fraction", "Gb/s", "Core util"],
+        rows,
+        title="Ablation: checksum service placement (166 MHz, RMW firmware)",
+    ))
+
+    none = results[("6", "none")].line_rate_fraction()
+    assist = results[("6", "assist")].line_rate_fraction()
+    firmware6 = results[("6", "firmware")].line_rate_fraction()
+    firmware24 = results[("24", "firmware")].line_rate_fraction()
+
+    # Assist-side checksumming is effectively free.
+    assert assist == pytest.approx(none, abs=0.02)
+    assert assist > 0.97
+    # Firmware checksumming collapses throughput...
+    assert firmware6 < 0.35
+    # ...and even 4x the cores cannot restore line rate.
+    assert firmware24 < 0.9
+    # Scaling is at least monotonic (it is a compute problem).
+    assert firmware24 > results[("12", "firmware")].line_rate_fraction() > firmware6

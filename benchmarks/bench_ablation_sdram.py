@@ -1,0 +1,63 @@
+"""Ablation — frame-memory bandwidth provisioning.
+
+Table 4's corollary: full-duplex line rate *requires* 39.5 Gb/s of
+frame-memory bandwidth, and the paper provisions 64 Gb/s (64-bit GDDR
+at 500 MHz) to absorb misalignment padding, row activations, and
+burst-arbitration slack.  This sweep derates the SDRAM clock: at
+250 MHz the 32 Gb/s peak is *below* the physical requirement and no
+amount of processing can reach line rate; at 375 MHz (48 Gb/s) it
+squeaks through; the paper's 500 MHz leaves healthy margin."""
+
+import pytest
+
+from dataclasses import replace
+
+from benchmarks._helpers import MEASURE_S, WARMUP_S, emit, run_once
+from repro.analysis import format_table
+from repro.nic import RMW_166MHZ, ThroughputSimulator
+from repro.units import mhz
+
+
+def _experiment():
+    results = {}
+    for sdram_mhz in (250, 375, 500, 625):
+        config = replace(RMW_166MHZ, sdram_frequency_hz=mhz(sdram_mhz))
+        results[sdram_mhz] = ThroughputSimulator(config, 1472).run(
+            WARMUP_S, MEASURE_S
+        )
+    return results
+
+
+def bench_ablation_sdram_bandwidth(benchmark):
+    results = run_once(benchmark, _experiment)
+
+    rows = []
+    for sdram_mhz, result in sorted(results.items()):
+        report = result.bandwidth_report()
+        rows.append([
+            sdram_mhz,
+            report["frame_memory_peak_gbps"],
+            report["frame_memory_consumed_gbps"],
+            result.line_rate_fraction(),
+        ])
+    emit(format_table(
+        ["SDRAM MHz", "Peak Gb/s", "Consumed Gb/s", "Line-rate fraction"],
+        rows,
+        title="Ablation: frame-memory clock (6x166 MHz RMW, 1472 B UDP)",
+    ))
+
+    # Below the 39.5 Gb/s requirement: physically impossible.
+    starved = results[250]
+    assert starved.bandwidth_report()["frame_memory_peak_gbps"] < 39.5
+    assert starved.line_rate_fraction() < 0.85
+    # The paper's 500 MHz reaches line rate with margin.
+    assert results[500].line_rate_fraction() > 0.97
+    # Extra bandwidth beyond that buys nothing (the cores are the
+    # next constraint).
+    assert results[625].line_rate_fraction() == pytest.approx(
+        results[500].line_rate_fraction(), abs=0.02
+    )
+    # Consumed bandwidth never exceeds the configured peak.
+    for result in results.values():
+        report = result.bandwidth_report()
+        assert report["frame_memory_consumed_gbps"] <= report["frame_memory_peak_gbps"] * 1.01

@@ -1,0 +1,45 @@
+"""Figure 3 — collective hit ratio of per-agent MESI caches on the
+frame-metadata trace, swept over cache size (16 B - 32 KB).
+
+Paper result: the curve "never goes above 55%" and "fewer than 1% of
+write accesses cause an invalidation in another cache" — caching fails
+for lack of locality, motivating the scratchpad."""
+
+from benchmarks._helpers import emit, run_once
+from repro.analysis import figure3_cache_study, format_table
+
+
+def bench_figure3_cache_study(benchmark):
+    # The trace covers one in-flight metadata window (< the 1024-frame
+    # ring), matching the scale of the paper's SMPCache traces; past a
+    # ring wrap, slot reuse would add wrap-invalidations the original
+    # short traces never see.
+    sweep = run_once(benchmark, figure3_cache_study, 1000)
+
+    rows = [
+        [
+            size,
+            100.0 * stats.hit_ratio,
+            100.0 * stats.write_invalidation_ratio,
+            stats.accesses,
+        ]
+        for size, stats in sorted(sweep.items())
+    ]
+    emit(format_table(
+        ["Cache size (B)", "Hit ratio %", "Invalidating writes %", "Accesses"],
+        rows,
+        title="Figure 3: MESI cache hit ratio vs per-cache size "
+              "(fully associative, LRU, 16 B lines, 8 caches)",
+    ))
+
+    ratios = [stats.hit_ratio for _size, stats in sorted(sweep.items())]
+    # Plateau: the biggest cache is barely better than a mid-size one,
+    # and never exceeds ~55% (we allow 60% for trace variance).
+    assert ratios[-1] < 0.60
+    assert ratios[-1] - ratios[4] < 0.10
+    # Monotone non-decreasing in capacity.
+    for before, after in zip(ratios[:-1], ratios[1:]):
+        assert after >= before - 0.01
+    # Invalidations are not the problem.
+    for stats in sweep.values():
+        assert stats.write_invalidation_ratio < 0.01

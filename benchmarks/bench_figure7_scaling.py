@@ -1,0 +1,61 @@
+"""Figure 7 — full-duplex UDP throughput vs core frequency for 1, 2, 4,
+6, and 8 cores (1472 B datagrams, 4 scratchpad banks).
+
+Paper anchors: 6 cores reach ~96% of line rate at 175 MHz and within 1%
+at 200 MHz; 8 cores are at line rate from 175 MHz; a single core needs
+roughly 800 MHz (our model measures the equivalent crossover)."""
+
+import pytest
+
+from benchmarks._helpers import emit, run_once
+from repro.analysis import figure7_scaling, render_series
+from repro.analysis.figures import (
+    figure7_ethernet_limit,
+    single_core_line_rate_frequency,
+)
+
+
+def _experiment():
+    curves = figure7_scaling(
+        core_counts=(1, 2, 4, 6, 8),
+        frequencies_mhz=(100, 125, 150, 166, 175, 200),
+    )
+    single = single_core_line_rate_frequency(
+        frequencies_mhz=(600, 800, 1000, 1200), target_fraction=0.98
+    )
+    return curves, single
+
+
+def bench_figure7_scaling(benchmark):
+    curves, single_core_mhz = run_once(benchmark, _experiment)
+    limit = figure7_ethernet_limit()
+
+    emit(f"Ethernet Limit (Duplex): {limit:.2f} Gb/s")
+    for cores, series in sorted(curves.items()):
+        emit(render_series(f"{cores} processors", series, "MHz", "Gb/s"))
+    emit(f"single core line-rate frequency: ~{single_core_mhz} MHz (paper: ~800 MHz)")
+
+    # More cores never hurt at a fixed frequency.
+    for frequency_index in range(6):
+        by_cores = [curves[c][frequency_index][1] for c in (1, 2, 4, 6, 8)]
+        for slower, faster in zip(by_cores[:-1], by_cores[1:]):
+            assert faster >= slower * 0.97
+
+    # Throughput rises with frequency until the Ethernet limit.
+    for cores, series in curves.items():
+        values = [v for _f, v in series]
+        for before, after in zip(values[:-1], values[1:]):
+            assert after >= before * 0.97
+
+    # Paper anchors for the 6- and 8-core configurations.
+    six = dict(curves[6])
+    eight = dict(curves[8])
+    assert six[175] >= 0.92 * limit
+    assert six[200] >= 0.97 * limit
+    assert eight[200] >= 0.97 * limit
+    # A couple of slow cores cannot reach line rate.
+    two = dict(curves[2])
+    assert two[200] < 0.8 * limit
+    # Single core needs several times the 6-core per-core clock.
+    assert single_core_mhz is not None
+    assert 600 <= single_core_mhz <= 1200

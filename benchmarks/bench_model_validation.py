@@ -1,0 +1,72 @@
+"""Model validation — macro-tier cost model vs cycle-level execution.
+
+The throughput simulator times handlers with a statistical cost model
+(`repro.cpu.costmodel`) instead of executing instructions.  This bench
+quantifies that substitution: the same firmware kernels run on the
+cycle-level pipeline, and the cost model predicts their cycle counts
+from their operation mixes.  Prediction error within ~25% on every
+kernel/configuration is the accuracy budget DESIGN.md §5 claims."""
+
+import pytest
+
+from benchmarks._helpers import emit, run_once
+from repro.analysis import format_table
+from repro.cpu.costmodel import CoreCostModel, OpProfile
+from repro.firmware.kernels import assemble_firmware
+from repro.firmware.micro import assemble_micro_receive
+from repro.nic import MicroNic, NicConfig
+from repro.nic.microdev import DeviceMemory
+from repro.units import mhz
+
+
+def _measure(program, banks=4, shared_memory=None):
+    config = NicConfig(cores=1, core_frequency_hz=mhz(166), scratchpad_banks=banks)
+    nic = MicroNic(config, program, shared_memory=shared_memory)
+    stats = nic.run()[0]
+    machine = nic.cores[0].machine
+    profile = OpProfile(
+        instructions=stats.instructions,
+        loads=machine.loads,
+        stores=machine.stores,
+        taken_branch_fraction=machine.taken_branches / max(1, stats.instructions),
+        load_use_fraction=0.5,
+    )
+    predicted = CoreCostModel().cycles(profile, conflict_wait_per_access=0.0)
+    return stats, predicted
+
+
+def _experiment():
+    cases = {}
+    for kernel in ("order_sw", "order_rmw"):
+        program = assemble_firmware(kernel, iterations=2)
+        cases[f"kernels/{kernel}"] = _measure(program)
+    rx_program = assemble_micro_receive(32)
+    device = DeviceMemory(total_rx_frames=32, rx_interarrival_cycles=1,
+                          dma_latency_cycles=1)
+    cases["micro-receive"] = _measure(rx_program, shared_memory=device)
+    return cases
+
+
+def bench_model_validation(benchmark):
+    cases = run_once(benchmark, _experiment)
+
+    rows = []
+    errors = {}
+    for name, (stats, predicted) in cases.items():
+        error = (predicted - stats.cycles) / stats.cycles
+        errors[name] = error
+        rows.append([name, stats.instructions, stats.cycles, predicted,
+                     100 * error])
+    emit(format_table(
+        ["Workload", "Instructions", "Measured cycles", "Predicted cycles",
+         "Error %"],
+        rows,
+        title="Macro-tier cost model vs cycle-level pipeline (1 core)",
+    ))
+
+    # The firmware kernels are the cost model's home turf: within 25%.
+    assert abs(errors["kernels/order_sw"]) < 0.25
+    assert abs(errors["kernels/order_rmw"]) < 0.25
+    # The polling-heavy micro firmware is the hardest case (its spin
+    # loops have an unusual mix); still within 35%.
+    assert abs(errors["micro-receive"]) < 0.35

@@ -1,0 +1,41 @@
+"""Table 1 — per-frame instruction and data-access counts of the four
+NIC processing functions, plus the Section 2.1 line-rate arithmetic
+(812,744 fps, 435 MIPS, 4.8 Gb/s control, 39.5 Gb/s frame data)."""
+
+import pytest
+
+from benchmarks._helpers import emit, run_once
+from repro.analysis import format_table, table1_ideal_profile
+
+
+def bench_table1_ideal_profile(benchmark):
+    rows = run_once(benchmark, table1_ideal_profile)
+
+    table_rows = []
+    for label in ("Fetch Send BD", "Send Frame", "Fetch Receive BD", "Receive Frame"):
+        entry = rows[label]
+        table_rows.append([label, entry["instructions"], entry["data_accesses"]])
+    emit(format_table(
+        ["Function", "Instructions", "Data Accesses"],
+        table_rows,
+        title="Table 1: average per-frame costs (ideal firmware)",
+    ))
+    derived = [
+        ["line-rate MIPS (send)", rows["(derived) line-rate MIPS"]["send"], 229],
+        ["line-rate MIPS (receive)", rows["(derived) line-rate MIPS"]["receive"], 206],
+        ["line-rate MIPS (total)", rows["(derived) line-rate MIPS"]["total"], 435],
+        ["control bandwidth Gb/s", rows["(derived) control bandwidth Gb/s"]["total"], 4.8],
+        ["frames/s per direction", rows["(derived) frames per second per direction"]["fps"], 812744],
+        ["frame data bandwidth Gb/s", rows["(derived) frame data bandwidth Gb/s"]["total"], 39.5],
+    ]
+    emit(format_table(["Derived quantity", "measured", "paper"], derived))
+
+    # Shape assertions (Section 2.1's arithmetic).
+    assert rows["(derived) line-rate MIPS"]["total"] == pytest.approx(435, abs=3)
+    assert rows["(derived) control bandwidth Gb/s"]["total"] == pytest.approx(4.8, abs=0.05)
+    assert rows["(derived) frames per second per direction"]["fps"] == pytest.approx(
+        812_744, abs=2
+    )
+    assert rows["(derived) frame data bandwidth Gb/s"]["total"] == pytest.approx(
+        39.5, abs=0.1
+    )

@@ -1,0 +1,52 @@
+"""Table 3 — per-core computation-bandwidth breakdown at the paper's
+6 x 200 MHz line-rate operating point.
+
+Paper values: execution 0.72, instruction-miss stalls 0.01, load stalls
+0.12, scratchpad conflict stalls 0.05, pipeline stalls 0.10 (total 1.00).
+"""
+
+import pytest
+
+from benchmarks._helpers import MEASURE_S, WARMUP_S, emit, run_once
+from repro.analysis import format_table, table3_ipc_breakdown
+from repro.nic import SOFTWARE_200MHZ, ThroughputSimulator
+
+PAPER = {
+    "execution": 0.72,
+    "imiss": 0.01,
+    "load": 0.12,
+    "conflict": 0.05,
+    "pipeline": 0.10,
+}
+
+
+def _experiment():
+    result = ThroughputSimulator(SOFTWARE_200MHZ, 1472).run(WARMUP_S, MEASURE_S)
+    return table3_ipc_breakdown(result=result), result
+
+
+def bench_table3_ipc_breakdown(benchmark):
+    breakdown, result = run_once(benchmark, _experiment)
+
+    rows = [
+        [name, breakdown[name], PAPER[name]]
+        for name in ("execution", "imiss", "load", "conflict", "pipeline")
+    ]
+    rows.append(["total", breakdown["total"], 1.00])
+    emit(format_table(
+        ["Component", "measured IPC share", "paper"],
+        rows,
+        title="Table 3: computation bandwidth breakdown, 6 cores @ 200 MHz",
+    ))
+
+    assert result.line_rate_fraction() > 0.97  # measured *at* line rate
+    assert breakdown["total"] == pytest.approx(1.0, abs=0.02)
+    # Shape: execution dominates, then load stalls, then pipeline, with
+    # conflicts and instruction misses small.
+    assert breakdown["execution"] == pytest.approx(PAPER["execution"], abs=0.08)
+    assert breakdown["load"] == pytest.approx(PAPER["load"], abs=0.05)
+    assert breakdown["conflict"] == pytest.approx(PAPER["conflict"], abs=0.04)
+    assert breakdown["pipeline"] == pytest.approx(PAPER["pipeline"], abs=0.05)
+    assert breakdown["imiss"] <= 0.02
+    order = sorted(PAPER, key=PAPER.get, reverse=True)
+    assert breakdown[order[0]] > breakdown[order[1]] > breakdown[order[-1]]

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Run real MIPS firmware kernels on the cycle-level NIC model.
+
+This example exercises the repository's full ISA stack: it assembles the
+frame-ordering kernels (lock-based and RMW-enhanced) from MIPS source,
+runs them on the multi-core cycle-level controller (cores + I-caches +
+banked scratchpad + crossbar), and reports the instruction-count and
+cycle-count advantage of the paper's `setb`/`update` instructions.
+
+Run:
+    python examples/firmware_playground.py
+    python examples/firmware_playground.py --cores 6 --banks 2
+"""
+
+import argparse
+
+from repro.firmware.kernels import assemble_firmware, ordering_instruction_counts
+from repro.ilp import BranchModel, IlpConfig, IssueOrder, PipelineModel, analyze_trace
+from repro.firmware.kernels import capture_trace
+from repro.nic import MicroNic, NicConfig
+from repro.units import mhz
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cores", type=int, default=4)
+    parser.add_argument("--banks", type=int, default=4)
+    parser.add_argument("--iterations", type=int, default=2,
+                        help="firmware main-loop iterations per core")
+    return parser.parse_args()
+
+
+def run_variant(args, kernel: str):
+    config = NicConfig(
+        cores=args.cores,
+        core_frequency_hz=mhz(166),
+        scratchpad_banks=args.banks,
+    )
+    nic = MicroNic(config, assemble_firmware(kernel, iterations=args.iterations))
+    nic.run()
+    return nic
+
+
+def main() -> None:
+    args = parse_args()
+
+    print("=== ISA-level ordering ablation (single core, 16-frame bundle) ===")
+    counts = ordering_instruction_counts(frames=16)
+    reduction = 100 * (1 - counts["order_rmw"] / counts["order_sw"])
+    print(f"  lock-based ordering kernel:  {counts['order_sw']:5d} instructions")
+    print(f"  RMW-enhanced ordering kernel: {counts['order_rmw']:4d} instructions")
+    print(f"  reduction: {reduction:.1f}%")
+
+    print()
+    print(f"=== cycle-level run: {args.cores} cores, {args.banks} banks ===")
+    for kernel in ("order_sw", "order_rmw"):
+        nic = run_variant(args, kernel)
+        combined = nic.combined_stats()
+        print(f"  {kernel:10s}: {combined.instructions:7d} instructions, "
+              f"{combined.cycles:7d} cycles, IPC {combined.ipc:.3f}")
+        breakdown = combined.breakdown()
+        pieces = ", ".join(f"{k} {v:.3f}" for k, v in breakdown.items())
+        print(f"              {pieces}")
+
+    print()
+    print("=== ILP limits of the firmware trace (Table 2 excerpt) ===")
+    trace = capture_trace("order_sw", iterations=2)
+    for order, width in ((IssueOrder.IN_ORDER, 1), (IssueOrder.OUT_OF_ORDER, 2),
+                         (IssueOrder.OUT_OF_ORDER, 4)):
+        config = IlpConfig(order, width, PipelineModel.STALLS, BranchModel.NOBP)
+        pbp = IlpConfig(order, width, PipelineModel.STALLS, BranchModel.PBP)
+        print(f"  {config.label:22s} IPC {analyze_trace(trace, config):.2f}   "
+              f"(with perfect BP: {analyze_trace(trace, pbp):.2f})")
+
+    print()
+    print("Conclusion: a 2-wide out-of-order core roughly doubles the simple")
+    print("core's IPC at several times the area/power — the paper instead")
+    print("scales out with many single-issue cores (Section 2.2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Frame-size study: where does the NIC stop being link-bound?
+
+Replays Figure 8's experiment — full-duplex UDP streams of varying
+datagram size through both line-rate configurations — and reports, per
+size: achieved throughput vs the Ethernet duplex limit, the total frame
+rate, receive drops, and which resource saturated (link vs cores).
+
+Run:
+    python examples/frame_size_study.py
+    python examples/frame_size_study.py --sizes 18 256 1472
+"""
+
+import argparse
+
+from repro.net.ethernet import EthernetTiming, frame_bytes_for_udp_payload
+from repro.nic import RMW_166MHZ, SOFTWARE_200MHZ, ThroughputSimulator
+from repro.units import to_gbps
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--sizes", type=int, nargs="+",
+        default=[18, 100, 200, 400, 800, 1200, 1472],
+        help="UDP datagram sizes to sweep",
+    )
+    parser.add_argument("--millis", type=float, default=0.8)
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    timing = EthernetTiming()
+    configs = [("software @200MHz", SOFTWARE_200MHZ), ("rmw @166MHz", RMW_166MHZ)]
+
+    header = (f"{'UDP bytes':>9}  {'limit Gb/s':>10}  "
+              + "  ".join(f"{name:>22}" for name, _ in configs))
+    print(header)
+    print("-" * len(header))
+
+    saturation = {name: 0.0 for name, _ in configs}
+    for payload in args.sizes:
+        frame = frame_bytes_for_udp_payload(payload)
+        limit = to_gbps(timing.duplex_payload_limit_bps(payload))
+        cells = []
+        for name, config in configs:
+            result = ThroughputSimulator(config, payload).run(
+                warmup_s=0.4e-3, measure_s=args.millis * 1e-3
+            )
+            bound = "link" if result.line_rate_fraction() > 0.97 else "cores"
+            cells.append(
+                f"{result.udp_throughput_gbps:6.2f} Gb/s "
+                f"{result.total_fps / 1e6:5.2f}M {bound:>5}"
+            )
+            saturation[name] = max(saturation[name], result.total_fps)
+        print(f"{payload:>9}  {limit:>10.2f}  " + "  ".join(f"{c:>22}" for c in cells))
+
+    print()
+    for name, peak in saturation.items():
+        print(f"peak frame rate, {name}: {peak / 1e6:.2f} M frames/s "
+              "(paper: both saturate near 2.2 M)")
+
+    # Extension: the classic 7:4:1 Internet mix (not in the paper).
+    from repro.net.workload import ImixSize
+
+    print()
+    print("IMIX extension (7:4:1 mix of 64/594/1518 B frames, mean 362 B):")
+    for name, config in configs:
+        result = ThroughputSimulator(config, size_model=ImixSize()).run(
+            warmup_s=0.4e-3, measure_s=args.millis * 1e-3
+        )
+        print(f"  {name:18s} {result.udp_throughput_gbps:5.2f} Gb/s, "
+              f"{result.total_fps / 1e6:.2f} M frames/s "
+              f"({result.line_rate_fraction():.0%} of the mix's line rate)")
+
+    print()
+    print("Reading the table: at 1472 B both designs ride the Ethernet limit;")
+    print("as datagrams shrink, constant per-frame processing dominates and")
+    print("throughput saturates at a fixed frame rate — the 'cores' rows.")
+    print("Realistic IMIX traffic is therefore processing-bound too.")
+
+
+if __name__ == "__main__":
+    main()

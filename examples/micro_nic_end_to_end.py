@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Drive real assembly firmware through a complete receive path.
+
+The deepest-fidelity demo in the repository: MIPS firmware (with the
+paper's `setb`/`update` atomic instructions) runs on the cycle-level
+multi-core model and services memory-mapped hardware assists — claiming
+arriving frames with ll/sc, programming the DMA engine, and publishing
+an in-order commit pointer to the hardware.  Prints the multi-core
+speedup, demonstrating frame-level parallelism at ISA level.
+
+Run:
+    python examples/micro_nic_end_to_end.py
+    python examples/micro_nic_end_to_end.py --frames 128 --dma-latency 100
+"""
+
+import argparse
+
+from repro.firmware.micro import micro_receive_firmware, run_micro_receive
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--frames", type=int, default=64)
+    parser.add_argument("--interarrival", type=int, default=25,
+                        help="cycles between frame arrivals")
+    parser.add_argument("--dma-latency", type=int, default=40,
+                        help="DMA completion latency (cycles)")
+    parser.add_argument("--show-firmware", action="store_true")
+    args = parser.parse_args()
+
+    if args.show_firmware:
+        print(micro_receive_firmware(args.frames))
+        return
+
+    print(f"receiving {args.frames} frames "
+          f"(arrival every {args.interarrival} cycles, "
+          f"DMA latency {args.dma_latency} cycles)\n")
+    print(f"{'cores':>5}  {'cycles':>8}  {'cyc/frame':>9}  "
+          f"{'instructions':>12}  {'in order?':>9}  {'speedup':>7}")
+    baseline = None
+    for cores in (1, 2, 4, 6, 8):
+        result = run_micro_receive(
+            cores=cores,
+            total_frames=args.frames,
+            rx_interarrival_cycles=args.interarrival,
+            dma_latency_cycles=args.dma_latency,
+        )
+        if baseline is None:
+            baseline = result.total_cycles
+        print(f"{cores:>5}  {result.total_cycles:>8}  "
+              f"{result.cycles_per_frame:>9.1f}  "
+              f"{result.total_instructions:>12}  "
+              f"{'yes' if result.completed_in_order else 'NO':>9}  "
+              f"{baseline / result.total_cycles:>6.2f}x")
+
+    floor = args.frames * args.interarrival
+    print(f"\nhard floor (last frame's arrival): {floor} cycles — "
+          "speedup saturates once cores outpace the wire,")
+    print("exactly the regime where Figure 7's curves flatten at the "
+          "Ethernet limit.")
+
+
+if __name__ == "__main__":
+    main()

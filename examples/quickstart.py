@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Quickstart: simulate the paper's headline NIC configuration.
+
+Builds the RMW-enhanced 6-core / 166 MHz controller, streams full-duplex
+maximum-sized UDP datagrams through it, and prints the throughput,
+per-core cycle breakdown, and memory-bandwidth figures the paper reports
+in Section 6.
+
+Run:
+    python examples/quickstart.py
+    python examples/quickstart.py --cores 4 --mhz 200 --ordering software
+"""
+
+import argparse
+
+from repro.firmware.ordering import OrderingMode
+from repro.net.ethernet import EthernetTiming
+from repro.nic import NicConfig, ThroughputSimulator
+from repro.units import mhz
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cores", type=int, default=6, help="processor cores")
+    parser.add_argument("--mhz", type=float, default=166, help="core frequency (MHz)")
+    parser.add_argument("--banks", type=int, default=4, help="scratchpad banks")
+    parser.add_argument(
+        "--ordering",
+        choices=["rmw", "software"],
+        default="rmw",
+        help="frame-ordering firmware variant",
+    )
+    parser.add_argument("--payload", type=int, default=1472, help="UDP payload bytes")
+    parser.add_argument("--millis", type=float, default=1.0, help="measured window (ms)")
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    ordering = OrderingMode.RMW if args.ordering == "rmw" else OrderingMode.SOFTWARE
+    config = NicConfig(
+        cores=args.cores,
+        core_frequency_hz=mhz(args.mhz),
+        scratchpad_banks=args.banks,
+        ordering_mode=ordering,
+    )
+    print(f"configuration: {config.label}, UDP payload {args.payload} B")
+
+    simulator = ThroughputSimulator(config, args.payload)
+    result = simulator.run(warmup_s=0.4e-3, measure_s=args.millis * 1e-3)
+
+    timing = EthernetTiming()
+    limit_fps = timing.frames_per_second(result.frame_bytes)
+    print()
+    print(f"transmit: {result.tx_fps:12,.0f} frames/s  ({result.tx_fps / limit_fps:6.1%} of line rate)")
+    print(f"receive:  {result.rx_fps:12,.0f} frames/s  ({result.rx_fps / limit_fps:6.1%} of line rate)")
+    print(f"UDP throughput: {result.udp_throughput_gbps:.2f} Gb/s "
+          f"(duplex Ethernet limit {2 * timing.payload_throughput_bps(args.payload) / 1e9:.2f} Gb/s)")
+    print(f"core utilization: {result.core_utilization:.1%}; "
+          f"rx frames dropped at the MAC: {result.rx_dropped}")
+
+    print()
+    print("per-core cycle breakdown (Table 3 format):")
+    for component, share in result.ipc_breakdown().items():
+        print(f"  {component:10s} {share:6.3f}")
+
+    print()
+    print("memory bandwidth (Table 4 format):")
+    report = result.bandwidth_report()
+    print(f"  scratchpads:  {report['scratchpad_consumed_gbps']:6.2f} Gb/s consumed "
+          f"of {report['scratchpad_peak_gbps']:6.2f} peak")
+    print(f"  frame memory: {report['frame_memory_consumed_gbps']:6.2f} Gb/s consumed "
+          f"of {report['frame_memory_peak_gbps']:6.2f} peak")
+    print(f"  instr memory: {report['imem_consumed_gbps']:6.2f} Gb/s consumed "
+          f"of {report['imem_peak_gbps']:6.2f} peak")
+
+    print()
+    print("per-function costs (Table 5/6 format, per frame):")
+    for name, stats in result.function_stats.items():
+        frames = result.tx_frames if name.startswith(("fetch_send", "send")) else result.rx_frames
+        if frames == 0:
+            continue
+        print(f"  {name:26s} {stats.instructions / frames:7.1f} instr  "
+              f"{stats.accesses / frames:6.1f} accesses  "
+              f"{stats.cycles / frames:7.1f} cycles")
+
+
+if __name__ == "__main__":
+    main()

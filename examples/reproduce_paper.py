@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Regenerate the paper's entire evaluation section in one run.
+
+Produces a text report with every table and figure (paper-vs-measured
+where the paper states numbers).  Use ``--fast`` for a ~20 s pass with
+slightly noisier values, and ``--output`` to also write the report to a
+file.
+
+Run:
+    python examples/reproduce_paper.py --fast
+    python examples/reproduce_paper.py --output evaluation.txt
+"""
+
+import argparse
+
+from repro.analysis.full_report import generate_full_report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true",
+                        help="shorter windows and smaller sweeps")
+    parser.add_argument("--output", type=str, default="",
+                        help="also write the report to this file")
+    args = parser.parse_args()
+
+    report = generate_full_report(fast=args.fast)
+    print(report)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report + "\n")
+        print(f"\nreport written to {args.output}")
+
+
+if __name__ == "__main__":
+    main()

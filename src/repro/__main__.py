@@ -1,0 +1,37 @@
+"""``python -m repro`` — demo tour, or the full CLI with arguments.
+
+With no arguments, runs the headline experiment (the paper's 6x166 MHz
+RMW-enhanced NIC against full-duplex 10 GbE) and prints the result.
+With arguments, dispatches to the :mod:`repro.cli` subcommands
+(``run``, ``sweep``, ``report``, ``asm``, ``ilp``).
+"""
+
+import sys
+
+from repro import RMW_166MHZ, SOFTWARE_200MHZ, ThroughputSimulator, __version__
+
+
+def main() -> None:
+    print(f"repro {__version__} — HPCA 2005 programmable 10 GbE NIC reproduction")
+    print()
+    for name, config in (
+        ("RMW-enhanced firmware, 6 cores @ 166 MHz", RMW_166MHZ),
+        ("software-only firmware, 6 cores @ 200 MHz", SOFTWARE_200MHZ),
+    ):
+        result = ThroughputSimulator(config, 1472).run(warmup_s=0.4e-3, measure_s=1e-3)
+        print(f"{name}:")
+        print(f"  {result.udp_throughput_gbps:5.2f} Gb/s full-duplex UDP "
+              f"({result.line_rate_fraction():.1%} of line rate), "
+              f"core utilization {result.core_utilization:.0%}, "
+              f"~{result.mean_outstanding_frames:.0f} frames in flight")
+    print()
+    print("tables & figures: pytest benchmarks/ --benchmark-only -s")
+    print("examples:         python examples/quickstart.py")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) > 1:
+        from repro.cli import main as cli_main
+
+        sys.exit(cli_main())
+    main()

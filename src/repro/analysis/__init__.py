@@ -1,0 +1,34 @@
+"""Experiment drivers: one entry point per paper table/figure.
+
+Each function reruns the underlying experiment and returns structured
+data; ``format_*`` helpers render the same rows the paper prints.  The
+benchmarks under ``benchmarks/`` are thin wrappers over these.
+"""
+
+from repro.analysis.cache_study import MetadataTraceGenerator, figure3_cache_study
+from repro.analysis.figures import figure7_scaling, figure8_frame_sizes
+from repro.analysis.report import ascii_chart, format_table, render_series
+from repro.analysis.tables import (
+    table1_ideal_profile,
+    table2_ilp_limits,
+    table3_ipc_breakdown,
+    table4_bandwidth,
+    table5_rmw_profiles,
+    table6_cycles,
+)
+
+__all__ = [
+    "MetadataTraceGenerator",
+    "figure3_cache_study",
+    "figure7_scaling",
+    "figure8_frame_sizes",
+    "ascii_chart",
+    "format_table",
+    "render_series",
+    "table1_ideal_profile",
+    "table2_ilp_limits",
+    "table3_ipc_breakdown",
+    "table4_bandwidth",
+    "table5_rmw_profiles",
+    "table6_cycles",
+]

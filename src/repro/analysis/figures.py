@@ -1,0 +1,116 @@
+"""Generators for the paper's measured figures (7 and 8)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.firmware.ordering import OrderingMode
+from repro.net.ethernet import EthernetTiming, frame_bytes_for_udp_payload
+from repro.nic.config import NicConfig, RMW_166MHZ, SOFTWARE_200MHZ
+from repro.nic.throughput import ThroughputSimulator
+from repro.units import mhz, to_gbps
+
+_DEFAULT_WARMUP_S = 0.4e-3
+_DEFAULT_MEASURE_S = 0.8e-3
+
+# Figure 7's axes: the paper sweeps core frequency for 1-8 cores with
+# the (software-ordered) frame-parallel firmware and 4 scratchpad banks.
+FIGURE7_CORE_COUNTS = (1, 2, 4, 6, 8)
+FIGURE7_FREQUENCIES_MHZ = (100, 125, 150, 166, 175, 200)
+
+# Figure 8's x axis: UDP datagram sizes from tiny to maximum.
+FIGURE8_UDP_SIZES = (18, 100, 200, 400, 800, 1200, 1472)
+
+
+def figure7_scaling(
+    core_counts: Sequence[int] = FIGURE7_CORE_COUNTS,
+    frequencies_mhz: Sequence[float] = FIGURE7_FREQUENCIES_MHZ,
+    ordering: OrderingMode = OrderingMode.SOFTWARE,
+    warmup_s: float = _DEFAULT_WARMUP_S,
+    measure_s: float = _DEFAULT_MEASURE_S,
+) -> Dict[int, List[Tuple[float, float]]]:
+    """UDP throughput (Gb/s) vs core frequency, one curve per core count.
+
+    Maximum-sized UDP datagrams (1472 B), duplex saturation streams —
+    exactly Figure 7's setup.  Returns {cores: [(MHz, Gb/s), ...]}.
+    """
+    curves: Dict[int, List[Tuple[float, float]]] = {}
+    for cores in core_counts:
+        series: List[Tuple[float, float]] = []
+        for frequency in frequencies_mhz:
+            config = NicConfig(
+                cores=cores,
+                core_frequency_hz=mhz(frequency),
+                ordering_mode=ordering,
+            )
+            result = ThroughputSimulator(config, 1472).run(warmup_s, measure_s)
+            series.append((frequency, result.udp_throughput_gbps))
+        curves[cores] = series
+    return curves
+
+
+def figure7_ethernet_limit() -> float:
+    """The 'Ethernet Limit (Duplex)' reference line of Figure 7, Gb/s."""
+    return to_gbps(EthernetTiming().duplex_payload_limit_bps(1472))
+
+
+def single_core_line_rate_frequency(
+    ordering: OrderingMode = OrderingMode.SOFTWARE,
+    frequencies_mhz: Sequence[float] = (600, 700, 800, 900, 1000, 1100, 1200),
+    target_fraction: float = 0.99,
+) -> Optional[float]:
+    """Find the frequency one core needs for line rate (Section 6.1's
+    "a single core would have to operate at 800 MHz")."""
+    for frequency in frequencies_mhz:
+        config = NicConfig(
+            cores=1, core_frequency_hz=mhz(frequency), ordering_mode=ordering
+        )
+        result = ThroughputSimulator(config, 1472).run(
+            _DEFAULT_WARMUP_S, _DEFAULT_MEASURE_S
+        )
+        if result.line_rate_fraction() >= target_fraction:
+            return frequency
+    return None
+
+
+def figure8_frame_sizes(
+    udp_sizes: Sequence[int] = FIGURE8_UDP_SIZES,
+    warmup_s: float = _DEFAULT_WARMUP_S,
+    measure_s: float = _DEFAULT_MEASURE_S,
+) -> Dict[str, List[Tuple[int, float]]]:
+    """Full-duplex throughput vs UDP datagram size for both line-rate
+    configurations, plus the Ethernet duplex limit curve."""
+    timing = EthernetTiming()
+    curves: Dict[str, List[Tuple[int, float]]] = {
+        "ethernet_limit": [],
+        "software_200mhz": [],
+        "rmw_166mhz": [],
+    }
+    for payload in udp_sizes:
+        curves["ethernet_limit"].append(
+            (payload, to_gbps(timing.duplex_payload_limit_bps(payload)))
+        )
+        for key, config in (
+            ("software_200mhz", SOFTWARE_200MHZ),
+            ("rmw_166mhz", RMW_166MHZ),
+        ):
+            result = ThroughputSimulator(config, payload).run(warmup_s, measure_s)
+            curves[key].append((payload, result.udp_throughput_gbps))
+    return curves
+
+
+def saturation_frame_rates(
+    udp_payload_bytes: int = 100,
+    warmup_s: float = _DEFAULT_WARMUP_S,
+    measure_s: float = _DEFAULT_MEASURE_S,
+) -> Dict[str, float]:
+    """Peak total frame rates in the processing-bound regime (the
+    ~2.2 M frames/s saturation Figure 8's discussion reports)."""
+    rates: Dict[str, float] = {}
+    for key, config in (
+        ("software_200mhz", SOFTWARE_200MHZ),
+        ("rmw_166mhz", RMW_166MHZ),
+    ):
+        result = ThroughputSimulator(config, udp_payload_bytes).run(warmup_s, measure_s)
+        rates[key] = result.total_fps
+    return rates

@@ -1,0 +1,104 @@
+"""Plain-text rendering for tables and figure series."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a fixed-width text table (benchmarks print these)."""
+    materialized: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in materialized:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str,
+    points: Sequence[Tuple[float, float]],
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one figure curve as aligned (x, y) pairs."""
+    lines = [f"{name}  ({x_label} -> {y_label})"]
+    for x, y in points:
+        lines.append(f"  {_fmt(x):>10}  {_fmt(y):>10}")
+    return "\n".join(lines)
+
+
+def ascii_chart(
+    name: str,
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one or more (x, y) curves as a terminal scatter chart.
+
+    Each series gets a marker character; points map onto a
+    ``width`` x ``height`` grid spanning the data's bounding box.  Used
+    by the examples to show Figure 7/8-style curves without plotting
+    dependencies.
+    """
+    markers = "ox+*#@%&"
+    points = [(x, y) for curve in series.values() for x, y in curve]
+    if not points:
+        return f"{name}\n(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, curve) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, y in curve:
+            column = round((x - x_min) / x_span * (width - 1))
+            row = height - 1 - round((y - y_min) / y_span * (height - 1))
+            grid[row][column] = marker
+
+    lines = [name]
+    lines.append(f"{_fmt(y_max):>10} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{_fmt(y_min):>10} ┤" + "".join(grid[-1]))
+    lines.append(" " * 12 + "└" + "─" * width)
+    lines.append(
+        " " * 12 + f"{_fmt(x_min)}"
+        + " " * max(1, width - len(_fmt(x_min)) - len(_fmt(x_max)))
+        + f"{_fmt(x_max)}   ({x_label} -> {y_label})"
+    )
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {label}" for i, label in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,153 @@
+"""Calibration-sensitivity analysis.
+
+The macro tier's per-handler cost profiles are calibrated constants
+(DESIGN.md §4), so a fair question is whether the paper's headline
+conclusions depend on the exact calibration.  This module perturbs the
+model's free parameters and re-checks the three conclusions that
+matter:
+
+1. the RMW firmware sustains line rate at 166 MHz;
+2. the software firmware needs a higher clock than the RMW firmware;
+3. the send-side RMW savings exceed the receive-side savings.
+
+A conclusion that only holds at the calibrated point would be an
+artifact; all three should survive ±20-30% parameter noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+from repro.cpu.costmodel import CoreCostModel, OpProfile
+from repro.firmware.ordering import OrderingMode
+from repro.firmware.profiles import FirmwareProfiles
+from repro.nic.config import NicConfig
+from repro.nic.throughput import ThroughputSimulator
+from repro.units import mhz
+
+
+def _scaled_profile(profile: OpProfile, factor: float) -> OpProfile:
+    return profile.scaled(factor)
+
+
+def _scaled_firmware(factor: float) -> FirmwareProfiles:
+    """Scale every parallelization-overhead constant by ``factor``."""
+    base = FirmwareProfiles()
+    return FirmwareProfiles(
+        dispatch_per_event=_scaled_profile(base.dispatch_per_event, factor),
+        dispatch_per_frame=_scaled_profile(base.dispatch_per_frame, factor),
+        reentrancy_per_frame=_scaled_profile(base.reentrancy_per_frame, factor),
+        send_completion_per_frame=_scaled_profile(
+            base.send_completion_per_frame, factor
+        ),
+        recv_completion_per_frame=_scaled_profile(
+            base.recv_completion_per_frame, factor
+        ),
+        lock_acquire_release=_scaled_profile(base.lock_acquire_release, factor),
+        spin_loop=base.spin_loop,
+        spin_loop_cycles=base.spin_loop_cycles,
+    )
+
+
+@dataclass
+class SensitivityPoint:
+    """Outcome of re-checking the conclusions at one perturbation."""
+
+    label: str
+    rmw_166_fraction: float
+    software_166_fraction: float
+    min_rmw_line_rate_mhz: float
+    send_saving_pct: float
+    recv_saving_pct: float
+
+    @property
+    def software_needs_higher_clock(self) -> bool:
+        """The calibration-sensitive conclusion: at this point, does the
+        lock-based firmware fall short at 166 MHz where RMW does not?"""
+        return (
+            self.rmw_166_fraction > 0.97
+            and self.software_166_fraction < self.rmw_166_fraction - 0.005
+        )
+
+    @property
+    def conclusions_hold(self) -> bool:
+        """The robust conclusions: RMW sustains line rate at 166 MHz, is
+        never worse than the software firmware, and saves more on the
+        send side than the receive side."""
+        return (
+            self.rmw_166_fraction > 0.97
+            and self.rmw_166_fraction >= self.software_166_fraction - 0.01
+            and self.send_saving_pct > self.recv_saving_pct
+        )
+
+
+def _evaluate(label: str, firmware: FirmwareProfiles,
+              dma_latency_s: float = 1.2e-6,
+              warmup_s: float = 0.3e-3, measure_s: float = 0.6e-3) -> SensitivityPoint:
+    def run(mode: OrderingMode, frequency_mhz: float):
+        config = NicConfig(
+            cores=6,
+            core_frequency_hz=mhz(frequency_mhz),
+            ordering_mode=mode,
+            firmware=firmware,
+            dma_latency_s=dma_latency_s,
+        )
+        return ThroughputSimulator(config, 1472).run(warmup_s, measure_s)
+
+    rmw_166 = run(OrderingMode.RMW, 166)
+    software_166 = run(OrderingMode.SOFTWARE, 166)
+    software_200 = run(OrderingMode.SOFTWARE, 200)
+
+    def per_frame(result, fn, frames):
+        return result.function_stats[fn].instructions / max(1, frames)
+
+    send_saving = 1 - (
+        per_frame(rmw_166, "send_dispatch_ordering", rmw_166.tx_frames)
+        / max(1e-9, per_frame(software_200, "send_dispatch_ordering", software_200.tx_frames))
+    )
+    recv_saving = 1 - (
+        per_frame(rmw_166, "recv_dispatch_ordering", rmw_166.rx_frames)
+        / max(1e-9, per_frame(software_200, "recv_dispatch_ordering", software_200.rx_frames))
+    )
+
+    # Find the lowest frequency (coarse grid) where the RMW firmware
+    # still reaches line rate.
+    min_mhz = 166.0
+    for frequency in (150, 133):
+        if run(OrderingMode.RMW, frequency).line_rate_fraction() > 0.97:
+            min_mhz = float(frequency)
+        else:
+            break
+
+    return SensitivityPoint(
+        label=label,
+        rmw_166_fraction=rmw_166.line_rate_fraction(),
+        software_166_fraction=software_166.line_rate_fraction(),
+        min_rmw_line_rate_mhz=min_mhz,
+        send_saving_pct=100 * send_saving,
+        recv_saving_pct=100 * recv_saving,
+    )
+
+
+def sensitivity_analysis(
+    overhead_factors: Tuple[float, ...] = (0.7, 1.0, 1.3),
+    dma_latencies_s: Tuple[float, ...] = (0.6e-6, 1.2e-6, 2.4e-6),
+) -> List[SensitivityPoint]:
+    """Perturb the calibrated constants and re-check the conclusions."""
+    points: List[SensitivityPoint] = []
+    for factor in overhead_factors:
+        points.append(
+            _evaluate(f"overhead x{factor:.1f}", _scaled_firmware(factor))
+        )
+    for latency in dma_latencies_s:
+        if latency == 1.2e-6:
+            continue  # same as the overhead x1.0 point
+        points.append(
+            _evaluate(
+                f"dma {latency * 1e6:.1f}us",
+                FirmwareProfiles(),
+                dma_latency_s=latency,
+            )
+        )
+    return points

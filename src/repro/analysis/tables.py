@@ -1,0 +1,263 @@
+"""Generators for the paper's tables (1-6)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.firmware.kernels import capture_trace
+from repro.firmware.ordering import OrderingMode
+from repro.firmware.profiles import IDEAL_PROFILES, ideal_frame_totals
+from repro.ilp import (
+    BranchModel,
+    IlpConfig,
+    IssueOrder,
+    PipelineModel,
+    analyze_trace,
+)
+from repro.net.ethernet import (
+    EthernetTiming,
+    MAX_FRAME_BYTES,
+    control_bandwidth_required_bps,
+    control_mips_required,
+)
+from repro.nic.config import NicConfig, RMW_166MHZ, SOFTWARE_200MHZ
+from repro.nic.throughput import ThroughputResult, ThroughputSimulator
+from repro.units import to_gbps
+
+SEND_FUNCTIONS = ("fetch_send_bd", "send_frame", "send_dispatch_ordering", "send_locking")
+RECV_FUNCTIONS = ("fetch_recv_bd", "recv_frame", "recv_dispatch_ordering", "recv_locking")
+
+FUNCTION_LABELS = {
+    "fetch_send_bd": "Fetch Send BD",
+    "send_frame": "Send Frame",
+    "send_dispatch_ordering": "Send Dispatch and Ordering",
+    "send_locking": "Send Locking",
+    "fetch_recv_bd": "Fetch Receive BD",
+    "recv_frame": "Receive Frame",
+    "recv_dispatch_ordering": "Receive Dispatch and Ordering",
+    "recv_locking": "Receive Locking",
+}
+
+_DEFAULT_WARMUP_S = 0.4e-3
+_DEFAULT_MEASURE_S = 1.0e-3
+
+
+def _run(config: NicConfig, payload: int = 1472,
+         warmup_s: float = _DEFAULT_WARMUP_S,
+         measure_s: float = _DEFAULT_MEASURE_S) -> ThroughputResult:
+    return ThroughputSimulator(config, payload).run(warmup_s, measure_s)
+
+
+# ----------------------------------------------------------------------
+# Table 1 — ideal per-frame instruction and data-access counts
+# ----------------------------------------------------------------------
+def table1_ideal_profile() -> Dict[str, Dict[str, float]]:
+    """Per-frame ideal costs plus the Section 2.1 line-rate arithmetic."""
+    timing = EthernetTiming()
+    rows: Dict[str, Dict[str, float]] = {}
+    for key, profile in IDEAL_PROFILES.items():
+        rows[FUNCTION_LABELS[key]] = {
+            "instructions": profile.instructions,
+            "data_accesses": profile.accesses,
+        }
+    totals = ideal_frame_totals()
+    rows["(derived) line-rate MIPS"] = {
+        "send": control_mips_required(totals["send_instructions"], 0.0),
+        "receive": control_mips_required(0.0, totals["recv_instructions"]),
+        "total": control_mips_required(
+            totals["send_instructions"], totals["recv_instructions"]
+        ),
+    }
+    rows["(derived) control bandwidth Gb/s"] = {
+        "total": to_gbps(
+            control_bandwidth_required_bps(
+                totals["send_accesses"], totals["recv_accesses"]
+            )
+        ),
+    }
+    rows["(derived) frames per second per direction"] = {
+        "fps": timing.frames_per_second(MAX_FRAME_BYTES),
+    }
+    rows["(derived) frame data bandwidth Gb/s"] = {
+        "total": to_gbps(timing.frame_data_bandwidth_bps(MAX_FRAME_BYTES)),
+    }
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table 2 — theoretical peak IPC of the firmware trace
+# ----------------------------------------------------------------------
+def table2_ilp_limits(iterations: int = 4) -> List[Dict[str, object]]:
+    """IPC limit rows: one per (issue order, width) pair."""
+    trace = capture_trace("order_sw", iterations=iterations)
+    rows: List[Dict[str, object]] = []
+    for order in (IssueOrder.IN_ORDER, IssueOrder.OUT_OF_ORDER):
+        for width in (1, 2, 4):
+            row: Dict[str, object] = {
+                "order": "IO" if order is IssueOrder.IN_ORDER else "OOO",
+                "width": width,
+            }
+            for pipeline, pipe_name in (
+                (PipelineModel.PERFECT, "perfect"),
+                (PipelineModel.STALLS, "stalls"),
+            ):
+                for branch, bp_name in (
+                    (BranchModel.PBP, "pbp"),
+                    (BranchModel.PBP1, "pbp1"),
+                    (BranchModel.NOBP, "nobp"),
+                ):
+                    config = IlpConfig(order, width, pipeline, branch)
+                    row[f"{pipe_name}/{bp_name}"] = analyze_trace(trace, config)
+            rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table 3 — IPC breakdown per core
+# ----------------------------------------------------------------------
+def table3_ipc_breakdown(
+    config: Optional[NicConfig] = None,
+    result: Optional[ThroughputResult] = None,
+) -> Dict[str, float]:
+    """Cycle breakdown at the paper's 6 x 200 MHz operating point."""
+    if result is None:
+        if config is None:
+            config = SOFTWARE_200MHZ
+        result = _run(config)
+    breakdown = result.ipc_breakdown()
+    breakdown["total"] = sum(breakdown.values())
+    return breakdown
+
+
+# ----------------------------------------------------------------------
+# Table 4 — memory bandwidth required / peak / consumed
+# ----------------------------------------------------------------------
+def table4_bandwidth(
+    config: Optional[NicConfig] = None,
+    result: Optional[ThroughputResult] = None,
+) -> Dict[str, Dict[str, float]]:
+    if result is None:
+        if config is None:
+            config = SOFTWARE_200MHZ
+        result = _run(config)
+    report = result.bandwidth_report()
+    totals = ideal_frame_totals()
+    required_control = to_gbps(
+        control_bandwidth_required_bps(totals["send_accesses"], totals["recv_accesses"])
+    )
+    timing = EthernetTiming()
+    required_frame = to_gbps(timing.frame_data_bandwidth_bps(result.frame_bytes))
+    return {
+        "Instruction Memory": {
+            "required": 0.0,  # negligible — the paper marks this N/A
+            "peak": report["imem_peak_gbps"],
+            "consumed": report["imem_consumed_gbps"],
+        },
+        "Scratchpads": {
+            "required": required_control,
+            "peak": report["scratchpad_peak_gbps"],
+            "consumed": report["scratchpad_consumed_gbps"],
+        },
+        "Frame Memory": {
+            "required": required_frame,
+            "peak": report["frame_memory_peak_gbps"],
+            "consumed": report["frame_memory_consumed_gbps"],
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# Tables 5 and 6 — software-only vs RMW-enhanced execution profiles
+# ----------------------------------------------------------------------
+def _per_frame_stats(result: ThroughputResult) -> Dict[str, Dict[str, float]]:
+    rows: Dict[str, Dict[str, float]] = {}
+    for name in SEND_FUNCTIONS:
+        frames = max(1, result.tx_frames)
+        stats = result.function_stats[name]
+        rows[name] = {
+            "instructions": stats.instructions / frames,
+            "accesses": stats.accesses / frames,
+            "cycles": stats.cycles / frames,
+        }
+    for name in RECV_FUNCTIONS:
+        frames = max(1, result.rx_frames)
+        stats = result.function_stats[name]
+        rows[name] = {
+            "instructions": stats.instructions / frames,
+            "accesses": stats.accesses / frames,
+            "cycles": stats.cycles / frames,
+        }
+    return rows
+
+
+def table5_rmw_profiles(
+    software_result: Optional[ThroughputResult] = None,
+    rmw_result: Optional[ThroughputResult] = None,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Per-packet instructions/accesses: ideal vs software vs RMW."""
+    if software_result is None:
+        software_result = _run(SOFTWARE_200MHZ)
+    if rmw_result is None:
+        rmw_result = _run(RMW_166MHZ)
+    ideal = {
+        name: {
+            "instructions": profile.instructions,
+            "accesses": profile.accesses,
+        }
+        for name, profile in IDEAL_PROFILES.items()
+    }
+    return {
+        "ideal": ideal,
+        "software": _per_frame_stats(software_result),
+        "rmw": _per_frame_stats(rmw_result),
+    }
+
+
+def table6_cycles(
+    software_result: Optional[ThroughputResult] = None,
+    rmw_result: Optional[ThroughputResult] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Cycles per packet per function for the two line-rate configs."""
+    if software_result is None:
+        software_result = _run(SOFTWARE_200MHZ)
+    if rmw_result is None:
+        rmw_result = _run(RMW_166MHZ)
+    software = _per_frame_stats(software_result)
+    rmw = _per_frame_stats(rmw_result)
+    rows: Dict[str, Dict[str, float]] = {}
+    for name in SEND_FUNCTIONS + RECV_FUNCTIONS:
+        rows[name] = {
+            "software_cycles": software[name]["cycles"],
+            "rmw_cycles": rmw[name]["cycles"],
+        }
+    rows["send_total"] = {
+        "software_cycles": sum(software[f]["cycles"] for f in SEND_FUNCTIONS),
+        "rmw_cycles": sum(rmw[f]["cycles"] for f in SEND_FUNCTIONS),
+    }
+    rows["recv_total"] = {
+        "software_cycles": sum(software[f]["cycles"] for f in RECV_FUNCTIONS),
+        "rmw_cycles": sum(rmw[f]["cycles"] for f in RECV_FUNCTIONS),
+    }
+    return rows
+
+
+def rmw_reductions(table5: Dict[str, Dict[str, Dict[str, float]]]) -> Dict[str, float]:
+    """Headline percentages: ordering/dispatch savings from the RMW ops."""
+    software = table5["software"]
+    rmw = table5["rmw"]
+
+    def reduction(metric: str, fn: str) -> float:
+        before = software[fn][metric]
+        after = rmw[fn][metric]
+        return 100.0 * (1.0 - after / before) if before else 0.0
+
+    return {
+        "send_ordering_instructions_pct": reduction(
+            "instructions", "send_dispatch_ordering"
+        ),
+        "recv_ordering_instructions_pct": reduction(
+            "instructions", "recv_dispatch_ordering"
+        ),
+        "send_ordering_accesses_pct": reduction("accesses", "send_dispatch_ordering"),
+        "recv_ordering_accesses_pct": reduction("accesses", "recv_dispatch_ordering"),
+    }

@@ -1,0 +1,21 @@
+"""Hardware assist units.
+
+Figure 6's special-purpose engines: two DMA assists (read: host to NIC;
+write: NIC to host) on the PCI interface, and the MAC's transmit and
+receive engines on the Ethernet side.  The four assists are the only
+agents that touch frame data; each streams through the external SDRAM
+with enough staging buffer for two maximum-sized frames, which is what
+lets the SDRAM run near peak bandwidth (Section 2.3).
+"""
+
+from repro.assists.dma import DmaAssist, DmaTransfer
+from repro.assists.mac import MacReceiver, MacTransmitter
+from repro.assists.pci import PciInterface
+
+__all__ = [
+    "DmaAssist",
+    "DmaTransfer",
+    "MacReceiver",
+    "MacTransmitter",
+    "PciInterface",
+]

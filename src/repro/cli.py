@@ -1,0 +1,268 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro run      one full-duplex throughput experiment
+    repro sweep    cores x frequency design-space sweep
+    repro report   regenerate the paper's whole evaluation
+    repro asm      assemble and run a MIPS firmware file
+    repro ilp      IPC-limit analysis of a firmware trace
+
+Installed as the ``repro`` console script, and reachable via
+``python -m repro <subcommand>``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.firmware.ordering import OrderingMode
+from repro.units import mhz
+
+
+def _add_run_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "run", help="run one full-duplex throughput experiment"
+    )
+    parser.add_argument("--cores", type=int, default=6)
+    parser.add_argument("--mhz", type=float, default=166)
+    parser.add_argument("--banks", type=int, default=4)
+    parser.add_argument("--ordering", choices=["rmw", "software"], default="rmw")
+    parser.add_argument("--payload", type=int, default=1472)
+    parser.add_argument("--millis", type=float, default=1.0)
+    parser.add_argument("--offered", type=float, default=1.0,
+                        help="offered receive load as a fraction of line rate")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the full result as JSON")
+
+
+def _add_sweep_parser(subparsers) -> None:
+    parser = subparsers.add_parser("sweep", help="cores x frequency sweep")
+    parser.add_argument("--cores", type=int, nargs="+", default=[1, 2, 4, 6, 8])
+    parser.add_argument("--mhz", type=float, nargs="+",
+                        default=[100, 133, 166, 200])
+    parser.add_argument("--ordering", choices=["rmw", "software"], default="rmw")
+    parser.add_argument("--payload", type=int, default=1472)
+
+
+def _add_report_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "report", help="regenerate the paper's evaluation section"
+    )
+    parser.add_argument("--fast", action="store_true")
+    parser.add_argument("--output", type=str, default="")
+
+
+def _add_asm_parser(subparsers) -> None:
+    parser = subparsers.add_parser("asm", help="assemble and run a MIPS file")
+    parser.add_argument("file", help="assembly source file")
+    parser.add_argument("--entry", type=str, default=None, help="entry label")
+    parser.add_argument("--timing", action="store_true",
+                        help="run on the cycle-level pipelined core")
+    parser.add_argument("--max-steps", type=int, default=1_000_000)
+    parser.add_argument("--dump", type=str, nargs="*", default=[],
+                        help="data labels to dump after the run")
+    parser.add_argument("--list", action="store_true", dest="listing",
+                        help="print an address/encoding listing and exit")
+    parser.add_argument("--emit", type=str, default="",
+                        help="write a flat firmware image to this path")
+
+
+def _add_ilp_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "ilp", help="IPC-limit analysis of the firmware trace (Table 2)"
+    )
+    parser.add_argument("--file", type=str, default=None,
+                        help="assembly file to trace (default: built-in kernels)")
+    parser.add_argument("--iterations", type=int, default=4)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Programmable 10 GbE NIC reproduction (HPCA 2005)",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+    _add_run_parser(subparsers)
+    _add_sweep_parser(subparsers)
+    _add_report_parser(subparsers)
+    _add_asm_parser(subparsers)
+    _add_ilp_parser(subparsers)
+    return parser
+
+
+# ----------------------------------------------------------------------
+def _ordering(name: str) -> OrderingMode:
+    return OrderingMode.RMW if name == "rmw" else OrderingMode.SOFTWARE
+
+
+def _cmd_run(args) -> int:
+    from repro.nic import NicConfig, ThroughputSimulator
+
+    config = NicConfig(
+        cores=args.cores,
+        core_frequency_hz=mhz(args.mhz),
+        scratchpad_banks=args.banks,
+        ordering_mode=_ordering(args.ordering),
+    )
+    simulator = ThroughputSimulator(config, args.payload, offered_fraction=args.offered)
+    result = simulator.run(warmup_s=0.4e-3, measure_s=args.millis * 1e-3)
+    if args.json:
+        import json
+
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+    print(f"{config.label}  payload {args.payload} B")
+    print(f"  throughput: {result.udp_throughput_gbps:.2f} Gb/s "
+          f"({result.line_rate_fraction():.1%} of duplex line rate)")
+    print(f"  tx {result.tx_fps:,.0f} fps, rx {result.rx_fps:,.0f} fps, "
+          f"drops {result.rx_dropped}")
+    print(f"  core utilization {result.core_utilization:.1%}, "
+          f"~{result.mean_outstanding_frames:.0f} frames in flight, "
+          f"rx latency {result.mean_rx_commit_latency_s * 1e6:.1f} us")
+    breakdown = ", ".join(f"{k} {v:.3f}" for k, v in result.ipc_breakdown().items())
+    print(f"  ipc: {breakdown}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.analysis import format_table
+    from repro.nic import NicConfig, ThroughputSimulator
+
+    rows = []
+    for cores in args.cores:
+        row = [cores]
+        for frequency in args.mhz:
+            config = NicConfig(
+                cores=cores,
+                core_frequency_hz=mhz(frequency),
+                ordering_mode=_ordering(args.ordering),
+            )
+            result = ThroughputSimulator(config, args.payload).run(
+                warmup_s=0.4e-3, measure_s=0.8e-3
+            )
+            row.append(result.udp_throughput_gbps)
+        rows.append(row)
+    print(format_table(
+        ["cores \\ MHz"] + [str(f) for f in args.mhz],
+        rows,
+        title=f"UDP Gb/s, {args.ordering} firmware, {args.payload} B payloads",
+    ))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.full_report import generate_full_report
+
+    report = generate_full_report(fast=args.fast)
+    print(report)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report + "\n")
+        print(f"\nreport written to {args.output}")
+    return 0
+
+
+def _cmd_asm(args) -> int:
+    from repro.isa import assemble
+    from repro.isa.debugger import Debugger
+
+    with open(args.file) as handle:
+        source = handle.read()
+    program = assemble(source)
+    print(f"assembled {len(program.instructions)} instructions, "
+          f"{len(program.data)} data bytes")
+
+    if args.emit:
+        from repro.isa.binary import encode_program
+
+        blob = encode_program(program)
+        with open(args.emit, "wb") as handle:
+            handle.write(blob)
+        print(f"firmware image written to {args.emit} ({len(blob)} bytes)")
+
+    if args.listing:
+        from repro.isa.binary import listing as render_listing
+
+        print(render_listing(program))
+        return 0
+
+    if args.timing:
+        from repro.cpu import PipelinedCore
+        from repro.mem import Scratchpad
+
+        core = PipelinedCore(program, Scratchpad(), entry=args.entry)
+        stats = core.run(max_instructions=args.max_steps)
+        print(f"cycles {stats.cycles}, instructions {stats.instructions}, "
+              f"IPC {stats.ipc:.3f}")
+        pieces = ", ".join(f"{k} {v:.3f}" for k, v in stats.breakdown().items())
+        print(f"breakdown: {pieces}")
+        machine = core.machine
+    else:
+        debugger = Debugger(program, entry=args.entry)
+        reason = debugger.run(max_steps=args.max_steps)
+        print(f"stopped: {reason.kind} at {reason.pc:#x}")
+        print(debugger.dump_registers())
+        machine = debugger.machine
+
+    for label in args.dump:
+        address = program.address_of(label)
+        value = machine.memory.load_word(address)
+        print(f"{label} @ {address:#x} = {value:#x} ({value})")
+    return 0
+
+
+def _cmd_ilp(args) -> int:
+    from repro.analysis import format_table
+    from repro.ilp import TABLE2_CONFIGS, ipc_table
+
+    if args.file:
+        from repro.isa import Machine, assemble
+
+        with open(args.file) as handle:
+            program = assemble(handle.read())
+        trace = []
+        Machine(program, trace=trace).run()
+    else:
+        from repro.firmware.kernels import capture_trace
+
+        trace = capture_trace("order_sw", iterations=args.iterations)
+    print(f"trace: {len(trace)} dynamic instructions")
+    table = ipc_table(trace)
+    rows = {}
+    for config, ipc in table.items():
+        key = (config.issue_order.value, config.width)
+        rows.setdefault(key, {})[f"{config.pipeline.value}/{config.branch.value}"] = ipc
+    columns = ["perfect/pbp", "perfect/pbp1", "perfect/nobp",
+               "stalls/pbp", "stalls/pbp1", "stalls/nobp"]
+    print(format_table(
+        ["config"] + columns,
+        [[f"{order}-{width}"] + [cells[c] for c in columns]
+         for (order, width), cells in sorted(rows.items())],
+        title="theoretical peak IPC (Table 2)",
+    ))
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "sweep": _cmd_sweep,
+    "report": _cmd_report,
+    "asm": _cmd_asm,
+    "ilp": _cmd_ilp,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 1
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

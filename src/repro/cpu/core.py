@@ -1,0 +1,259 @@
+"""Cycle-level model of the paper's processor core.
+
+Section 4: "Each processing core is a single-issue, 5-stage pipelined
+processor that implements a subset of the MIPS R4000 instruction set.
+To allow stores to proceed without stalling the processor, a single
+store may be buffered in the MEM stage; loads requiring more than one
+cycle force the processor to stall."
+
+Charging rules (each matches a stall category in Table 3):
+
+* every instruction occupies one issue cycle (``execution``);
+* an I-cache miss stalls fetch until the line fill returns
+  (``imiss_stall``);
+* every scratchpad load stalls one cycle, because the crossbar + bank
+  round trip is 2 cycles against a 1-cycle MEM stage (``load_stall``);
+* waiting for a busy bank adds conflict cycles (``conflict_stall``);
+* a load whose value is consumed by the next instruction stalls one
+  more cycle (load-use), a taken branch annuls one fetch slot past the
+  delay slot, and a branch whose condition comes from the immediately
+  preceding instruction waits a cycle (all ``pipeline_stall``);
+* a store enters the 1-deep store buffer and drains in the background;
+  the core only stalls if the buffer is still occupied when the next
+  memory instruction needs it.
+
+``setb`` executes like a store (the bank does the read-modify-write in
+its slot) and ``update`` like a load (the core needs the returned
+pointer), which is precisely why the paper's RMW instructions are cheap:
+one issue slot each instead of a lock + scan loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.isa.assembler import Program
+from repro.isa.instructions import Instruction
+from repro.isa.machine import Machine, Memory
+from repro.mem.icache import InstructionCache
+from repro.mem.imem import InstructionMemory
+from repro.mem.scratchpad import Scratchpad
+
+
+@dataclass
+class CoreStats:
+    """Per-core cycle accounting (the rows of Table 3)."""
+
+    instructions: int = 0
+    cycles: int = 0
+    imiss_stalls: int = 0
+    load_stalls: int = 0
+    conflict_stalls: int = 0
+    pipeline_stalls: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def breakdown(self) -> dict:
+        """Fractions of total cycles per category (sums to 1.0)."""
+        if self.cycles == 0:
+            return {}
+        return {
+            "execution": self.instructions / self.cycles,
+            "imiss": self.imiss_stalls / self.cycles,
+            "load": self.load_stalls / self.cycles,
+            "conflict": self.conflict_stalls / self.cycles,
+            "pipeline": self.pipeline_stalls / self.cycles,
+        }
+
+
+class PipelinedCore:
+    """One cycle-counted core executing an assembled program."""
+
+    def __init__(
+        self,
+        program: Program,
+        scratchpad: Scratchpad,
+        imem: Optional[InstructionMemory] = None,
+        icache: Optional[InstructionCache] = None,
+        core_id: int = 0,
+        entry: Optional[str] = None,
+        shared_memory: Optional[Memory] = None,
+    ) -> None:
+        memory = shared_memory if shared_memory is not None else scratchpad.memory
+        self.machine = Machine(
+            program,
+            memory,
+            core_id=core_id,
+            entry=entry,
+            load_data=shared_memory is None or core_id == 0,
+        )
+        self.scratchpad = scratchpad
+        self.imem = imem if imem is not None else InstructionMemory()
+        self.icache = icache if icache is not None else InstructionCache()
+        self.core_id = core_id
+        self.cycle = 0
+        self.stats = CoreStats()
+        self._store_buffer_free_at = 0
+        self._last_destination: Optional[int] = None
+        self._last_was_load = False
+        self._pending_taken_penalty = False
+
+    @property
+    def halted(self) -> bool:
+        return self.machine.halted
+
+    # ------------------------------------------------------------------
+    def run_instruction(self) -> Optional[Instruction]:
+        """Execute one instruction and advance the cycle counter."""
+        if self.machine.halted:
+            return None
+        pc = self.machine.pc
+        self._fetch(pc)
+        if self._pending_taken_penalty:
+            # One fetch slot was annulled by the taken branch/jump.
+            self._stall(1, "pipeline")
+            self._pending_taken_penalty = False
+
+        instruction = self.machine.program.instruction_at(pc)
+        spec = instruction.spec
+
+        # Hazard: consuming the value of the immediately preceding
+        # instruction too early (load-use, or branch-on-fresh-condition).
+        sources = instruction.source_registers()
+        depends_on_previous = (
+            self._last_destination is not None
+            and self._last_destination != 0
+            and self._last_destination in sources
+        )
+        if depends_on_previous and (self._last_was_load or spec.is_branch):
+            self._stall(1, "pipeline")
+
+        # Lazily-evaluated device models (micro-tier assists) read the
+        # executing core's cycle to answer progress-pointer loads.
+        memory = self.machine.memory
+        if hasattr(memory, "cycle"):
+            memory.cycle = self.cycle
+
+        taken_before = self.machine.taken_branches
+        executed = self.machine.step()
+        assert executed is instruction
+        self.stats.instructions += 1
+        self.cycle += 1  # the issue slot itself
+        self.stats.cycles += 1
+
+        if spec.is_load or instruction.mnemonic == "update":
+            self._time_load(instruction)
+        elif spec.is_store or instruction.mnemonic == "setb":
+            self._time_store(instruction)
+
+        taken = spec.is_jump or self.machine.taken_branches > taken_before
+        if taken:
+            self._pending_taken_penalty = True
+
+        self._last_destination = instruction.destination_register()
+        self._last_was_load = spec.is_load
+        return instruction
+
+    def run(self, max_instructions: int = 10_000_000) -> CoreStats:
+        executed = 0
+        while not self.machine.halted:
+            if executed >= max_instructions:
+                raise RuntimeError(f"exceeded {max_instructions} instructions")
+            self.run_instruction()
+            executed += 1
+        return self.stats
+
+    # ------------------------------------------------------------------
+    def _fetch(self, pc: int) -> None:
+        if self.icache.lookup(pc):
+            return
+        done = self.imem.fill(self.icache.line_bytes, self.cycle)
+        stall = max(0, done - self.cycle)
+        self._stall(stall, "imiss")
+
+    def _time_load(self, instruction: Instruction) -> None:
+        address = self._effective_address(instruction)
+        access = self.scratchpad.access(address, self.core_id, self.cycle)
+        # Minimum 2-cycle access against the 1-cycle MEM stage: one
+        # guaranteed stall, plus any bank-conflict waiting.
+        self._stall(access.conflict_wait, "conflict")
+        self._stall(1, "load")
+
+    def _time_store(self, instruction: Instruction) -> None:
+        if self._store_buffer_free_at > self.cycle:
+            # Second outstanding store: wait for the buffer to drain.
+            wait = self._store_buffer_free_at - self.cycle
+            self._stall(wait, "conflict")
+        address = self._effective_address(instruction)
+        access = self.scratchpad.access(address, self.core_id, self.cycle)
+        self._store_buffer_free_at = access.data_cycle
+
+    def _effective_address(self, instruction: Instruction) -> int:
+        # The machine already executed the instruction, so registers hold
+        # post-execution values; for address computation only rs + imm is
+        # needed and rs is never the destination of loads in this ISA
+        # subset except degenerate self-overwrites, which firmware
+        # kernels avoid.  Map the functional address into the scratchpad
+        # window, wrapping so synthetic kernels cannot run out of range.
+        if instruction.mnemonic == "setb":
+            base = self.machine.read_register(instruction.rs)
+            index = self.machine.read_register(instruction.rt)
+            address = base + 4 * (index // 32)
+        elif instruction.mnemonic == "update":
+            base = self.machine.read_register(instruction.rs)
+            address = base
+        else:
+            address = (
+                self.machine.read_register(instruction.rs) + instruction.imm
+            ) & 0xFFFFFFFF
+        span = self.scratchpad.capacity_bytes
+        return self.scratchpad.base_address + (address % span) // 4 * 4
+
+    def _stall(self, cycles: int, category: str) -> None:
+        if cycles <= 0:
+            return
+        self.cycle += cycles
+        self.stats.cycles += cycles
+        if category == "imiss":
+            self.stats.imiss_stalls += cycles
+        elif category == "load":
+            self.stats.load_stalls += cycles
+        elif category == "conflict":
+            self.stats.conflict_stalls += cycles
+        elif category == "pipeline":
+            self.stats.pipeline_stalls += cycles
+        else:  # pragma: no cover - internal categories are fixed
+            raise ValueError(f"unknown stall category {category!r}")
+
+
+class LockstepSystem:
+    """Several cores sharing one scratchpad, advanced near-lockstep.
+
+    The scheduler always steps the core with the smallest local cycle
+    count, so cross-core crossbar arbitration happens in global cycle
+    order — the deterministic equivalent of lockstep simulation at
+    instruction granularity.
+    """
+
+    def __init__(self, cores: List[PipelinedCore]) -> None:
+        if not cores:
+            raise ValueError("need at least one core")
+        self.cores = cores
+
+    @property
+    def all_halted(self) -> bool:
+        return all(core.halted for core in self.cores)
+
+    def run(self, max_steps: int = 20_000_000) -> List[CoreStats]:
+        steps = 0
+        while not self.all_halted:
+            if steps >= max_steps:
+                raise RuntimeError(f"exceeded {max_steps} steps")
+            running = [c for c in self.cores if not c.halted]
+            core = min(running, key=lambda c: (c.cycle, c.core_id))
+            core.run_instruction()
+            steps += 1
+        return [core.stats for core in self.cores]

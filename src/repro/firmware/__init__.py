@@ -1,0 +1,46 @@
+"""NIC firmware models.
+
+The paper's firmware contribution is a *frame-level parallel*
+organization: work is divided into bundles of frames needing a given
+processing step (an *event*), any core may run any event, and total
+frame ordering is restored by committing frames in arrival order
+through per-frame status bitmaps.  Two variants of the ordering code
+exist:
+
+* *software-only* — lock-based: acquire, scan status flags for
+  consecutive done bits, clear them, advance pointers, release;
+* *RMW-enhanced* — the paper's ``setb``/``update`` atomic instructions
+  replace the lock + loop.
+
+The task-level parallel baseline (Tigon-II event register) is also
+modeled, to reproduce the motivation that a single event type cannot be
+processed by more than one core at a time.
+"""
+
+from repro.firmware.events import (
+    EventKind,
+    EventRegister,
+    FrameEvent,
+    DistributedEventQueue,
+)
+from repro.firmware.ordering import OrderingBoard, OrderingCost, OrderingMode
+from repro.firmware.profiles import (
+    FirmwareProfiles,
+    FunctionProfile,
+    IDEAL_PROFILES,
+    ideal_frame_totals,
+)
+
+__all__ = [
+    "DistributedEventQueue",
+    "EventKind",
+    "EventRegister",
+    "FirmwareProfiles",
+    "FrameEvent",
+    "FunctionProfile",
+    "IDEAL_PROFILES",
+    "OrderingBoard",
+    "OrderingCost",
+    "OrderingMode",
+    "ideal_frame_totals",
+]

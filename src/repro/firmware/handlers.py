@@ -1,0 +1,137 @@
+"""Functional (untimed) reference model of the frame-parallel firmware.
+
+This is the firmware's *logic* with all timing stripped out: frames
+advance through the send/receive stages of Figures 1 and 2, stage
+completions may arrive in any order (that is the whole point of
+frame-level parallelism), and the ordering boards restore total frame
+order at the commit points.
+
+The timed throughput simulator embeds the same ordering boards; this
+model exists so the logic can be tested exhaustively (including with
+hypothesis-generated adversarial completion orders) without simulating
+time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.firmware.ordering import OrderingBoard, OrderingMode
+
+
+class SendStage(enum.Enum):
+    POSTED = 0         # driver created buffer descriptors
+    BD_FETCHED = 1     # descriptors DMAed into scratchpad
+    DMA_ISSUED = 2     # frame-data DMA in flight to the tx buffer
+    DATA_READY = 3     # frame bytes in SDRAM, done bit set
+    COMMITTED = 4      # in-order hand-off to the MAC
+    TRANSMITTED = 5    # on the wire; driver notified
+
+
+class RecvStage(enum.Enum):
+    ARRIVED = 0        # MAC stored the frame in the rx buffer
+    DMA_ISSUED = 1     # frame-data DMA in flight to host memory
+    DMA_DONE = 2       # data in host memory, done bit set
+    COMMITTED = 3      # in-order descriptor writeback / notify
+
+
+@dataclass
+class FrameRecord:
+    seq: int
+    stage: object
+
+    def advance(self, new_stage: object) -> None:
+        if new_stage.value <= self.stage.value:
+            raise ValueError(
+                f"frame {self.seq}: cannot move from {self.stage} to {new_stage}"
+            )
+        self.stage = new_stage
+
+
+class SendPath:
+    """Functional send pipeline with out-of-order stage completion."""
+
+    def __init__(self, mode: OrderingMode, ring_size: int = 256) -> None:
+        self.board = OrderingBoard(ring_size, mode)
+        self.frames: Dict[int, FrameRecord] = {}
+        self.next_seq = 0
+        self.commit_order: List[int] = []
+
+    def post(self, count: int = 1) -> List[int]:
+        """Driver posts descriptors for ``count`` new frames."""
+        seqs = []
+        for _ in range(count):
+            seq = self.next_seq
+            self.frames[seq] = FrameRecord(seq, SendStage.POSTED)
+            self.next_seq += 1
+            seqs.append(seq)
+        return seqs
+
+    def fetch_bds(self, seqs: List[int]) -> None:
+        for seq in seqs:
+            self.frames[seq].advance(SendStage.BD_FETCHED)
+
+    def issue_dma(self, seq: int) -> None:
+        self.frames[seq].advance(SendStage.DMA_ISSUED)
+
+    def dma_complete(self, seq: int) -> None:
+        """Frame data landed in SDRAM — may happen in any order."""
+        frame = self.frames[seq]
+        frame.advance(SendStage.DATA_READY)
+        self.board.mark_done(seq)
+
+    def commit(self) -> List[int]:
+        """Advance the MAC-visible pointer across consecutive ready frames."""
+        before = self.board.commit_seq
+        count, _cost = self.board.commit()
+        committed = list(range(before, before + count))
+        for seq in committed:
+            self.frames[seq].advance(SendStage.COMMITTED)
+            self.commit_order.append(seq)
+        return committed
+
+    def transmit(self, seq: int) -> None:
+        frame = self.frames[seq]
+        if frame.stage is not SendStage.COMMITTED:
+            raise ValueError(f"frame {seq} transmitted before commit")
+        frame.advance(SendStage.TRANSMITTED)
+        del self.frames[seq]
+
+
+class RecvPath:
+    """Functional receive pipeline with out-of-order stage completion."""
+
+    def __init__(self, mode: OrderingMode, ring_size: int = 256) -> None:
+        self.board = OrderingBoard(ring_size, mode)
+        self.frames: Dict[int, FrameRecord] = {}
+        self.next_seq = 0
+        self.commit_order: List[int] = []
+
+    def arrive(self, count: int = 1) -> List[int]:
+        seqs = []
+        for _ in range(count):
+            seq = self.next_seq
+            self.frames[seq] = FrameRecord(seq, RecvStage.ARRIVED)
+            self.next_seq += 1
+            seqs.append(seq)
+        return seqs
+
+    def issue_dma(self, seq: int) -> None:
+        self.frames[seq].advance(RecvStage.DMA_ISSUED)
+
+    def dma_complete(self, seq: int) -> None:
+        frame = self.frames[seq]
+        frame.advance(RecvStage.DMA_DONE)
+        self.board.mark_done(seq)
+
+    def commit(self) -> List[int]:
+        before = self.board.commit_seq
+        count, _cost = self.board.commit()
+        committed = list(range(before, before + count))
+        for seq in committed:
+            self.frames[seq].advance(RecvStage.COMMITTED)
+            self.commit_order.append(seq)
+            del self.frames[seq]
+        return committed

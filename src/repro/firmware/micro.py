@@ -1,0 +1,720 @@
+"""End-to-end receive firmware for the cycle-level micro NIC.
+
+This is the repository's deepest-fidelity demonstration: real MIPS
+assembly firmware, running on the cycle-level multi-core model
+(:class:`~repro.nic.controller.MicroNic`), driving the memory-mapped
+hardware assists of :mod:`repro.nic.microdev` through a complete
+receive path:
+
+1. claim the next arriving frame with an ll/sc fetch-and-increment
+   (frame-level parallelism: any core takes any frame);
+2. poll the MAC's ``RX_PROD`` progress pointer until the frame has
+   landed in the receive buffer;
+3. program the DMA-write assist (``DMA_CMD``) to move it to the host
+   and poll ``DMA_PROD`` for completion;
+4. mark the frame done with the paper's atomic ``setb``;
+5. harvest consecutive done frames with ``update`` and publish the
+   in-order commit pointer to the hardware (``RX_CONS``).
+
+Cores race on every shared structure; total frame ordering at the
+hardware pointer is the invariant under test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.isa.assembler import Program, assemble
+from repro.nic.config import NicConfig
+from repro.nic.microdev import DEVICE_BASE, DeviceMemory
+
+# Ordering blocks for the receive firmware, in both of the paper's
+# variants.  Both mark the claimed frame ($t1) done and then harvest
+# the consecutive run, publishing commitptr and the RX_CONS hardware
+# pointer; only the mechanism differs.
+_ORDER_RMW_BLOCK = """
+        la   $t6, bitmap           # mark this frame done, atomically
+        setb $t6, $t1
+
+commit:                            # harvest the consecutive run
+        la   $t7, commitptr
+        lw   $t8, 0($t7)
+        addiu $t9, $t8, -1
+        la   $t6, bitmap
+commit_scan:
+        update $t2, $t6, $t9
+        subu $t3, $t2, $t9
+        bgtz $t3, commit_scan
+        move $t9, $t2
+        addiu $t9, $t9, 1
+        ble  $t9, $t8, claim_loop  # no progress: nothing to publish
+        nop
+        sw   $t9, 0($t7)           # publish the software commit pointer
+        sw   $t9, 4($s0)           # RX_CONS: in-order hand-off to hw
+        b    claim_loop
+        nop
+"""
+
+_ORDER_SW_BLOCK = """
+        # -- mark under the ordering spinlock --------------------------
+        la   $t0, olock
+mark_spin:
+        ll   $t2, 0($t0)
+        bnez $t2, mark_spin
+        nop
+        li   $t2, 1
+        sc   $t2, 0($t0)
+        beqz $t2, mark_spin
+        nop
+        la   $t6, bitmap
+        srl  $t3, $t1, 5           # word index
+        sll  $t3, $t3, 2
+        addu $t6, $t6, $t3
+        andi $t4, $t1, 31
+        li   $t5, 1
+        sllv $t5, $t4, $t5
+        lw   $t2, 0($t6)
+        or   $t2, $t2, $t5
+        sw   $t2, 0($t6)
+        sw   $zero, 0($t0)         # release
+
+commit:                            # scan-and-clear under the lock
+        la   $t0, olock
+commit_spin:
+        ll   $t2, 0($t0)
+        bnez $t2, commit_spin
+        nop
+        li   $t2, 1
+        sc   $t2, 0($t0)
+        beqz $t2, commit_spin
+        nop
+        la   $t7, commitptr
+        lw   $t9, 0($t7)
+        move $t8, $t9
+commit_scan:
+        la   $t6, bitmap
+        srl  $t3, $t9, 5
+        sll  $t3, $t3, 2
+        addu $t6, $t6, $t3
+        andi $t4, $t9, 31
+        li   $t5, 1
+        sllv $t5, $t4, $t5
+        lw   $t2, 0($t6)
+        and  $t3, $t2, $t5
+        beqz $t3, commit_done
+        nop
+        nor  $t5, $t5, $zero
+        and  $t2, $t2, $t5         # clear the bit
+        sw   $t2, 0($t6)
+        b    commit_scan
+        addiu $t9, $t9, 1          # delay slot: next sequence
+commit_done:
+        sw   $t9, 0($t7)           # publish commit pointer
+        la   $t0, olock
+        sw   $zero, 0($t0)         # release
+        ble  $t9, $t8, claim_loop  # nothing new committed
+        nop
+        sw   $t9, 4($s0)           # RX_CONS hardware pointer
+        b    claim_loop
+        nop
+"""
+
+_FIRMWARE_TEMPLATE = """
+        .text
+main:
+        li   $s0, {device_base}    # device register window
+        li   $s1, {total_frames}   # frames to receive
+
+claim_loop:
+        la   $t0, claim
+claim_retry:
+        ll   $t1, 0($t0)           # t1 = next unclaimed frame
+        bge  $t1, $s1, drain       # all frames claimed -> drain commits
+        nop
+        addiu $t2, $t1, 1
+        sc   $t2, 0($t0)
+        beqz $t2, claim_retry
+        nop
+
+wait_rx:                           # poll the MAC progress pointer
+        lw   $t3, 0($s0)           # RX_PROD
+        ble  $t3, $t1, wait_rx     # need prod > seq
+        nop
+
+        sw   $t1, 8($s0)           # DMA_CMD: move frame to host memory
+        lw   $t4, 8($s0)           # snapshot of commands issued so far
+wait_dma:
+        lw   $t3, 12($s0)          # DMA_PROD
+        blt  $t3, $t4, wait_dma    # wait until everything issued so far
+        nop                        # (including ours) has completed
+
+{ordering_block}
+drain:                             # help until every frame committed
+        la   $t7, commitptr
+        lw   $t8, 0($t7)
+        bge  $t8, $s1, done
+        nop
+        b    commit
+        nop
+done:
+        halt
+
+        .data
+        .align 2
+claim:      .word 0
+commitptr:  .word 0
+olock:      .word 0
+bitmap:     .space {bitmap_bytes}
+"""
+
+# Ordering blocks for the receive firmware, in both of the paper's
+# variants.  Both mark the claimed frame ($t1) done and harvest the
+# consecutive run, publishing commitptr and the RX_CONS hardware
+# pointer; only the mechanism differs.
+_ORDER_RMW_BLOCK = """
+        la   $t6, bitmap           # mark this frame done, atomically
+        setb $t6, $t1
+
+commit:                            # harvest the consecutive run
+        la   $t7, commitptr
+        lw   $t8, 0($t7)
+        addiu $t9, $t8, -1
+        la   $t6, bitmap
+commit_scan:
+        update $t2, $t6, $t9
+        subu $t3, $t2, $t9
+        bgtz $t3, commit_scan
+        move $t9, $t2
+        addiu $t9, $t9, 1
+        ble  $t9, $t8, claim_loop  # no progress: nothing to publish
+        nop
+        sw   $t9, 0($t7)           # publish the software commit pointer
+        sw   $t9, 4($s0)           # RX_CONS: in-order hand-off to hw
+        b    claim_loop
+        nop
+"""
+
+# The lock-based equivalent the paper's instructions replace: every
+# flag update and every scan runs inside an ll/sc spinlock critical
+# section, with a load/test/clear/store loop per committed frame.
+_ORDER_SW_BLOCK = """
+        la   $t0, olock            # -- mark under the ordering lock --
+mark_spin:
+        ll   $t2, 0($t0)
+        bnez $t2, mark_spin
+        nop
+        li   $t2, 1
+        sc   $t2, 0($t0)
+        beqz $t2, mark_spin
+        nop
+        la   $t6, bitmap
+        srl  $t3, $t1, 5           # word index
+        sll  $t3, $t3, 2
+        addu $t6, $t6, $t3
+        andi $t4, $t1, 31
+        li   $t5, 1
+        sllv $t5, $t4, $t5
+        lw   $t2, 0($t6)
+        or   $t2, $t2, $t5
+        sw   $t2, 0($t6)
+        sw   $zero, 0($t0)         # release
+
+commit:                            # scan-and-clear under the lock
+        la   $t0, olock
+commit_spin:
+        ll   $t2, 0($t0)
+        bnez $t2, commit_spin
+        nop
+        li   $t2, 1
+        sc   $t2, 0($t0)
+        beqz $t2, commit_spin
+        nop
+        la   $t7, commitptr
+        lw   $t9, 0($t7)
+        move $t8, $t9
+commit_scan:
+        la   $t6, bitmap
+        srl  $t3, $t9, 5
+        sll  $t3, $t3, 2
+        addu $t6, $t6, $t3
+        andi $t4, $t9, 31
+        li   $t5, 1
+        sllv $t5, $t4, $t5
+        lw   $t2, 0($t6)
+        and  $t3, $t2, $t5
+        beqz $t3, commit_done
+        nop
+        nor  $t5, $t5, $zero
+        and  $t2, $t2, $t5         # clear the bit
+        sw   $t2, 0($t6)
+        b    commit_scan
+        addiu $t9, $t9, 1          # delay slot: next sequence
+commit_done:
+        sw   $t9, 0($t7)           # publish commit pointer
+        la   $t0, olock
+        sw   $zero, 0($t0)         # release
+        ble  $t9, $t8, claim_loop  # nothing new committed
+        nop
+        sw   $t9, 4($s0)           # RX_CONS hardware pointer
+        b    claim_loop
+        nop
+"""
+
+
+_DUPLEX_TEMPLATE = """
+        .text
+# ======================================================================
+# Receive path (cores entering at main_rx)
+# ======================================================================
+main_rx:
+        li   $s0, {device_base}
+        li   $s1, {rx_frames}
+rx_claim_loop:
+        la   $t0, claim_rx
+rx_claim_retry:
+        ll   $t1, 0($t0)
+        bge  $t1, $s1, rx_drain
+        nop
+        addiu $t2, $t1, 1
+        sc   $t2, 0($t0)
+        beqz $t2, rx_claim_retry
+        nop
+rx_wait_mac:
+        lw   $t3, 0x00($s0)        # RX_PROD
+        ble  $t3, $t1, rx_wait_mac
+        nop
+        sw   $t1, 0x08($s0)        # DMA_CMD (to host)
+        lw   $t4, 0x08($s0)
+rx_wait_dma:
+        lw   $t3, 0x0C($s0)        # DMA_PROD
+        blt  $t3, $t4, rx_wait_dma
+        nop
+        la   $t6, bitmap_rx
+        setb $t6, $t1
+rx_commit:
+        la   $t7, commit_rx
+        lw   $t8, 0($t7)
+        addiu $t9, $t8, -1
+        la   $t6, bitmap_rx
+rx_commit_scan:
+        update $t2, $t6, $t9
+        subu $t3, $t2, $t9
+        bgtz $t3, rx_commit_scan
+        move $t9, $t2
+        addiu $t9, $t9, 1
+        ble  $t9, $t8, rx_claim_loop
+        nop
+        sw   $t9, 0($t7)
+        sw   $t9, 0x04($s0)        # RX_CONS
+        b    rx_claim_loop
+        nop
+rx_drain:
+        la   $t7, commit_rx
+        lw   $t8, 0($t7)
+        bge  $t8, $s1, rx_done
+        nop
+        b    rx_commit
+        nop
+rx_done:
+        halt
+
+# ======================================================================
+# Transmit path (cores entering at main_tx)
+# ======================================================================
+main_tx:
+        li   $s0, {device_base}
+        li   $s1, {tx_frames}
+tx_claim_loop:
+        la   $t0, claim_tx
+tx_claim_retry:
+        ll   $t1, 0($t0)
+        bge  $t1, $s1, tx_drain
+        nop
+        addiu $t2, $t1, 1
+        sc   $t2, 0($t0)
+        beqz $t2, tx_claim_retry
+        nop
+tx_wait_bd:
+        lw   $t3, 0x18($s0)        # TXBD_PROD: descriptors on board?
+        bgt  $t3, $t1, tx_have_bd
+        nop
+        sw   $0, 0x14($s0)         # TXBD_CMD (assist caps outstanding)
+        b    tx_wait_bd
+        nop
+tx_have_bd:
+        sw   $t1, 0x1C($s0)        # TXDMA_CMD: pull frame data
+        lw   $t4, 0x1C($s0)        # issue-count snapshot
+tx_wait_dma:
+        lw   $t3, 0x20($s0)        # TXDMA_PROD
+        blt  $t3, $t4, tx_wait_dma
+        nop
+        la   $t6, bitmap_tx
+        setb $t6, $t1
+tx_commit:
+        la   $t7, commit_tx
+        lw   $t8, 0($t7)
+        addiu $t9, $t8, -1
+        la   $t6, bitmap_tx
+tx_commit_scan:
+        update $t2, $t6, $t9
+        subu $t3, $t2, $t9
+        bgtz $t3, tx_commit_scan
+        move $t9, $t2
+        addiu $t9, $t9, 1
+        ble  $t9, $t8, tx_claim_loop
+        nop
+        sw   $t9, 0($t7)
+        sw   $t9, 0x24($s0)        # TX_READY: in-order MAC hand-off
+        b    tx_claim_loop
+        nop
+tx_drain:
+        la   $t7, commit_tx
+        lw   $t8, 0($t7)
+        bge  $t8, $s1, tx_wire_wait
+        nop
+        b    tx_commit
+        nop
+tx_wire_wait:
+        lw   $t3, 0x28($s0)        # TX_DONE: wait for the wire to drain
+        blt  $t3, $s1, tx_wire_wait
+        nop
+        halt
+
+        .data
+        .align 2
+claim_rx:   .word 0
+commit_rx:  .word 0
+claim_tx:   .word 0
+commit_tx:  .word 0
+bitmap_rx:  .space {rx_bitmap_bytes}
+bitmap_tx:  .space {tx_bitmap_bytes}
+"""
+
+
+def micro_duplex_firmware(tx_frames: int, rx_frames: int) -> str:
+    """Assemblable source for the full-duplex firmware (two entry
+    points: ``main_tx`` and ``main_rx``)."""
+    if tx_frames < 1 or rx_frames < 1:
+        raise ValueError("need at least one frame per direction")
+    return _DUPLEX_TEMPLATE.format(
+        device_base=DEVICE_BASE,
+        tx_frames=tx_frames,
+        rx_frames=rx_frames,
+        rx_bitmap_bytes=4 * (-(-rx_frames // 32)),
+        tx_bitmap_bytes=4 * (-(-tx_frames // 32)),
+    )
+
+
+@dataclass
+class MicroDuplexResult:
+    """Outcome of a full-duplex micro-tier run."""
+
+    tx_frames: int
+    rx_frames: int
+    tx_committed: int
+    rx_committed: int
+    tx_on_wire: int
+    rx_consumer: int
+    total_cycles: int
+    total_instructions: int
+
+    @property
+    def completed_in_order(self) -> bool:
+        return (
+            self.tx_committed == self.tx_frames == self.tx_on_wire
+            and self.rx_committed == self.rx_frames == self.rx_consumer
+        )
+
+
+def run_micro_duplex(
+    cores: int = 4,
+    tx_frames: int = 32,
+    rx_frames: int = 32,
+    wire_cycles: int = 25,
+    dma_latency_cycles: int = 40,
+    config: Optional[NicConfig] = None,
+) -> MicroDuplexResult:
+    """Run both directions concurrently; even cores transmit, odd
+    cores receive."""
+    from repro.nic.controller import MicroNic  # local import: avoids a cycle
+
+    if cores < 2:
+        raise ValueError("full duplex needs at least two cores")
+    program = assemble(micro_duplex_firmware(tx_frames, rx_frames))
+    device = DeviceMemory(
+        total_rx_frames=rx_frames,
+        rx_interarrival_cycles=wire_cycles,
+        dma_latency_cycles=dma_latency_cycles,
+        total_tx_frames=tx_frames,
+        tx_wire_cycles=wire_cycles,
+    )
+    nic_config = config if config is not None else NicConfig(cores=cores)
+    entries = ["main_tx" if index % 2 == 0 else "main_rx" for index in range(cores)]
+    nic = MicroNic(nic_config, program, entries=entries, shared_memory=device)
+    stats = nic.run()
+
+    device.cycle = max(core.cycle for core in nic.cores)
+    return MicroDuplexResult(
+        tx_frames=tx_frames,
+        rx_frames=rx_frames,
+        tx_committed=device.load_word(program.address_of("commit_tx")),
+        rx_committed=device.load_word(program.address_of("commit_rx")),
+        tx_on_wire=device._tx_wire_done(),
+        rx_consumer=device.rx_consumer,
+        total_cycles=max(core.cycle for core in nic.cores),
+        total_instructions=sum(s.instructions for s in stats),
+    )
+
+
+def micro_receive_firmware(total_frames: int, ordering: str = "rmw") -> str:
+    """Assemblable source for the receive firmware.
+
+    ``ordering`` selects the frame-ordering implementation: ``"rmw"``
+    (the paper's ``setb``/``update`` instructions) or ``"sw"`` (the
+    ll/sc spinlock + scan-and-clear loop they replace).
+    """
+    if total_frames < 1:
+        raise ValueError("need at least one frame")
+    if ordering not in ("rmw", "sw"):
+        raise ValueError(f"ordering must be 'rmw' or 'sw', got {ordering!r}")
+    bitmap_words = -(-total_frames // 32)
+    block = _ORDER_RMW_BLOCK if ordering == "rmw" else _ORDER_SW_BLOCK
+    return _FIRMWARE_TEMPLATE.format(
+        device_base=DEVICE_BASE,
+        total_frames=total_frames,
+        bitmap_bytes=4 * bitmap_words,
+        ordering_block=block,
+    )
+
+
+def assemble_micro_receive(total_frames: int, ordering: str = "rmw") -> Program:
+    return assemble(micro_receive_firmware(total_frames, ordering))
+
+
+@dataclass
+class MicroReceiveResult:
+    """Outcome of one end-to-end micro-tier receive run."""
+
+    frames: int
+    committed: int
+    rx_consumer: int
+    dma_commands: int
+    total_cycles: int
+    total_instructions: int
+    per_core_cycles: List[int]
+
+    @property
+    def completed_in_order(self) -> bool:
+        return self.committed == self.frames == self.rx_consumer
+
+    @property
+    def cycles_per_frame(self) -> float:
+        return self.total_cycles / self.frames if self.frames else 0.0
+
+
+def run_micro_receive(
+    cores: int = 4,
+    total_frames: int = 64,
+    rx_interarrival_cycles: int = 25,
+    dma_latency_cycles: int = 40,
+    config: Optional[NicConfig] = None,
+    ordering: str = "rmw",
+) -> MicroReceiveResult:
+    """Run the receive firmware end to end; returns the checked result."""
+    from repro.nic.controller import MicroNic  # local import: avoids a cycle
+
+    program = assemble_micro_receive(total_frames, ordering)
+    device = DeviceMemory(
+        total_rx_frames=total_frames,
+        rx_interarrival_cycles=rx_interarrival_cycles,
+        dma_latency_cycles=dma_latency_cycles,
+    )
+    nic_config = config if config is not None else NicConfig(cores=cores)
+    nic = MicroNic(nic_config, program, shared_memory=device)
+    stats = nic.run()
+
+    commit_address = program.address_of("commitptr")
+    committed = device.load_word(commit_address)
+    return MicroReceiveResult(
+        frames=total_frames,
+        committed=committed,
+        rx_consumer=device.rx_consumer,
+        dma_commands=device.dma_commands_issued,
+        total_cycles=max(core.cycle for core in nic.cores),
+        total_instructions=sum(s.instructions for s in stats),
+        per_core_cycles=[core.cycle for core in nic.cores],
+    )
+
+
+# ======================================================================
+# Header-filter service (Section 8 extension): receive + inspect
+# ======================================================================
+_FILTER_TEMPLATE = """
+        .text
+main:
+        li   $s0, {device_base}
+        li   $s1, {total_frames}
+
+claim_loop:
+        la   $t0, claim
+claim_retry:
+        ll   $t1, 0($t0)
+        bge  $t1, $s1, drain
+        nop
+        addiu $t2, $t1, 1
+        sc   $t2, 0($t0)
+        beqz $t2, claim_retry
+        nop
+
+wait_rx:
+        lw   $t3, 0x00($s0)        # RX_PROD
+        ble  $t3, $t1, wait_rx
+        nop
+
+        # -- header inspection (seqlock on the shared select register) --
+hdr_retry:
+        sw   $t1, 0x2C($s0)        # HDR_SEL = our frame
+        lw   $s2, 0x38($s0)        # HDR_VAL
+        lw   $t6, 0x2C($s0)        # another core may have re-selected
+        bne  $t6, $t1, hdr_retry
+        nop
+        la   $t7, blocklist
+        li   $t8, {blocklist_len}
+filter_loop:
+        lw   $t5, 0($t7)
+        bne  $t5, $s2, filter_next
+        nop
+        la   $t0, matches          # blocked frame: count it
+match_retry:
+        ll   $t5, 0($t0)
+        addiu $t5, $t5, 1
+        sc   $t5, 0($t0)
+        beqz $t5, match_retry
+        nop
+        b    filter_done
+        nop
+filter_next:
+        addiu $t8, $t8, -1
+        bgtz $t8, filter_loop
+        addiu $t7, $t7, 4          # delay slot: next rule
+filter_done:
+
+        sw   $t1, 0x08($s0)        # DMA_CMD: deliver to host
+        lw   $t4, 0x08($s0)
+wait_dma:
+        lw   $t3, 0x0C($s0)        # DMA_PROD
+        blt  $t3, $t4, wait_dma
+        nop
+
+        la   $t6, bitmap
+        setb $t6, $t1
+commit:
+        la   $t7, commitptr
+        lw   $t8, 0($t7)
+        addiu $t9, $t8, -1
+        la   $t6, bitmap
+commit_scan:
+        update $t2, $t6, $t9
+        subu $t3, $t2, $t9
+        bgtz $t3, commit_scan
+        move $t9, $t2
+        addiu $t9, $t9, 1
+        ble  $t9, $t8, claim_loop
+        nop
+        sw   $t9, 0($t7)
+        sw   $t9, 4($s0)           # RX_CONS
+        b    claim_loop
+        nop
+
+drain:
+        la   $t7, commitptr
+        lw   $t8, 0($t7)
+        bge  $t8, $s1, done
+        nop
+        b    commit
+        nop
+done:
+        halt
+
+        .data
+        .align 2
+claim:      .word 0
+commitptr:  .word 0
+matches:    .word 0
+blocklist:  .word {blocklist_words}
+bitmap:     .space {bitmap_bytes}
+"""
+
+
+def micro_filter_firmware(total_frames: int, blocklist) -> str:
+    """Receive firmware with per-frame header filtering (a Section 8
+    'intrusion detection'-style service): each frame's header word is
+    read through the device's inspection window and compared against a
+    blocklist; matches are counted atomically."""
+    if total_frames < 1:
+        raise ValueError("need at least one frame")
+    rules = list(blocklist)
+    if not 1 <= len(rules) <= 8:
+        raise ValueError("blocklist must have 1-8 entries")
+    bitmap_words = -(-total_frames // 32)
+    return _FILTER_TEMPLATE.format(
+        device_base=DEVICE_BASE,
+        total_frames=total_frames,
+        blocklist_len=len(rules),
+        blocklist_words=", ".join(str(rule & 0xFFFFFFFF) for rule in rules),
+        bitmap_bytes=4 * bitmap_words,
+    )
+
+
+@dataclass
+class MicroFilterResult:
+    """Outcome of a filtered receive run."""
+
+    frames: int
+    committed: int
+    matches: int
+    expected_matches: int
+    total_cycles: int
+    total_instructions: int
+
+    @property
+    def correct(self) -> bool:
+        return self.committed == self.frames and self.matches == self.expected_matches
+
+
+def run_micro_filter(
+    cores: int = 4,
+    total_frames: int = 64,
+    blocklist=None,
+    rx_interarrival_cycles: int = 25,
+    dma_latency_cycles: int = 40,
+) -> MicroFilterResult:
+    """Run the filtering firmware; verifies the match count against the
+    Python-side expectation."""
+    from repro.nic.controller import MicroNic  # local import: avoids a cycle
+    from repro.nic.microdev import header_word
+
+    if blocklist is None:
+        # Block every frame whose header the device will actually
+        # produce for seq 3 and seq 7 (two deterministic rules).
+        blocklist = (header_word(3), header_word(7))
+    program = assemble(micro_filter_firmware(total_frames, blocklist))
+    device = DeviceMemory(
+        total_rx_frames=total_frames,
+        rx_interarrival_cycles=rx_interarrival_cycles,
+        dma_latency_cycles=dma_latency_cycles,
+    )
+    nic = MicroNic(NicConfig(cores=cores), program, shared_memory=device)
+    stats = nic.run()
+
+    rules = {rule & 0xFFFFFFFF for rule in blocklist}
+    expected = sum(1 for seq in range(total_frames) if header_word(seq) in rules)
+    return MicroFilterResult(
+        frames=total_frames,
+        committed=device.load_word(program.address_of("commitptr")),
+        matches=device.load_word(program.address_of("matches")),
+        expected_matches=expected,
+        total_cycles=max(core.cycle for core in nic.cores),
+        total_instructions=sum(s.instructions for s in stats),
+    )

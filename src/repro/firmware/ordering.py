@@ -1,0 +1,185 @@
+"""Total frame ordering over out-of-order frame processing.
+
+Concurrent event processing completes frames out of order, but TCP
+performance requires in-order delivery (Section 3.3).  The firmware
+therefore keeps, per direction, a *status bitmap* indexed by frame
+sequence number modulo the in-flight ring: a handler that finishes a
+frame's stage sets that frame's bit, and a commit step advances the
+hardware-visible pointer across the longest run of consecutive set bits
+starting at the current commit point.
+
+Two implementations of the same contract:
+
+``OrderingMode.SOFTWARE``
+    Lock-based: acquire the ordering lock, read-modify-write the flag
+    word to set a bit, and loop load/test/clear/store to harvest
+    consecutive bits.  The paper calls out these "synchronized, looping
+    memory accesses" as a significant overhead.
+
+``OrderingMode.RMW``
+    The paper's ``setb`` instruction sets a bit in one atomic slot and
+    ``update`` harvests an entire word's run of consecutive bits in one
+    atomic slot, with no lock at all.
+
+Both run against a real :class:`~repro.isa.machine.Memory` bitmap using
+the *same* ``apply_setb``/``apply_update`` word semantics as the ISA, so
+the functional behaviour here and in assembly firmware kernels cannot
+diverge.  Each operation returns an :class:`OrderingCost` with the
+instruction/load/store counts the operation would execute on a core,
+which is what the throughput simulator charges.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.isa.machine import Memory, apply_setb, apply_update
+
+
+class OrderingMode(enum.Enum):
+    SOFTWARE = "software-only"
+    RMW = "rmw-enhanced"
+
+
+@dataclass(frozen=True)
+class OrderingCost:
+    """Core-side cost of one ordering operation."""
+
+    instructions: float
+    loads: float
+    stores: float
+
+    def __add__(self, other: "OrderingCost") -> "OrderingCost":
+        return OrderingCost(
+            self.instructions + other.instructions,
+            self.loads + other.loads,
+            self.stores + other.stores,
+        )
+
+ZERO_COST = OrderingCost(0.0, 0.0, 0.0)
+
+# Software path: setting a status bit means computing the word/bit
+# index, then a load/or/store read-modify-write — performed inside the
+# ordering lock's critical section (the caller charges the lock).
+# Each committed (scanned) frame is a load/test/clear/store loop trip,
+# and every commit attempt pays a base scan (plus the final failed
+# check) even when nothing commits — the "synchronized, looping memory
+# accesses" of Section 3.3.
+_SW_MARK = OrderingCost(instructions=11.0, loads=4.0, stores=1.0)
+_SW_COMMIT_BASE = OrderingCost(instructions=12.0, loads=5.0, stores=0.0)
+_SW_COMMIT_PER_FRAME = OrderingCost(instructions=9.0, loads=3.0, stores=1.0)
+# Boards that drive a *hardware* pointer (the MAC consumer pointer)
+# need a validated consecutive range before the pointer may move: the
+# software path scans the flags once to establish the range and a
+# second time to clear it (Section 3.3's range-check-then-update).
+_SW_COMMIT_PER_FRAME_HW = OrderingCost(instructions=12.0, loads=5.0, stores=1.0)
+# RMW path: index computation + one `setb`; commits are one `update`
+# per aligned word examined, lock-free.
+_RMW_MARK = OrderingCost(instructions=4.0, loads=0.0, stores=1.0)
+_RMW_COMMIT_BASE = OrderingCost(instructions=4.0, loads=0.0, stores=0.0)
+_RMW_COMMIT_PER_WORD = OrderingCost(instructions=3.0, loads=1.0, stores=0.0)
+# Advancing the hardware pointer once something committed (both modes).
+_POINTER_UPDATE = OrderingCost(instructions=3.0, loads=0.0, stores=1.0)
+
+
+class OrderingBoard:
+    """One direction's status bitmap + commit pointer."""
+
+    def __init__(self, ring_size: int, mode: OrderingMode, hw_pointer: bool = False) -> None:
+        if ring_size < 32 or ring_size % 32:
+            raise ValueError(
+                f"ring size must be a positive multiple of 32, got {ring_size}"
+            )
+        self.ring_size = ring_size
+        self.mode = mode
+        self.hw_pointer = hw_pointer
+        self._bitmap = Memory(ring_size // 8)
+        self.commit_seq = 0          # next sequence number to commit
+        self.marked = 0
+        self.committed = 0
+        self.commit_calls = 0
+
+    @property
+    def requires_lock(self) -> bool:
+        """Whether mark/commit must run under the ordering lock."""
+        return self.mode is OrderingMode.SOFTWARE
+
+    # ------------------------------------------------------------------
+    def mark_done(self, seq: int) -> OrderingCost:
+        """Record that ``seq`` finished its stage (still uncommitted)."""
+        if seq < self.commit_seq:
+            raise ValueError(f"sequence {seq} already committed")
+        if seq >= self.commit_seq + self.ring_size:
+            raise ValueError(
+                f"sequence {seq} would lap the {self.ring_size}-entry ring "
+                f"(commit pointer at {self.commit_seq})"
+            )
+        apply_setb(self._bitmap, 0, seq % self.ring_size)
+        self.marked += 1
+        return _SW_MARK if self.mode is OrderingMode.SOFTWARE else _RMW_MARK
+
+    def is_marked(self, seq: int) -> bool:
+        index = seq % self.ring_size
+        word = self._bitmap.load_word(4 * (index // 32))
+        return bool(word & (1 << (index % 32)))
+
+    # ------------------------------------------------------------------
+    def commit(self) -> tuple:
+        """Advance the commit pointer across consecutive done frames.
+
+        Returns ``(newly_committed_count, OrderingCost)``.
+        """
+        self.commit_calls += 1
+        if self.mode is OrderingMode.RMW:
+            return self._commit_rmw()
+        return self._commit_software()
+
+    def _commit_rmw(self) -> tuple:
+        cost = _RMW_COMMIT_BASE
+        total = 0
+        while True:
+            index = self.commit_seq % self.ring_size
+            last = index - 1  # -1 at a ring boundary starts at bit 0
+            new_last = apply_update(self._bitmap, 0, last)
+            cost = cost + _RMW_COMMIT_PER_WORD
+            progress = new_last - last
+            if progress <= 0:
+                break
+            self.commit_seq += progress
+            total += progress
+            # `update` stops at an aligned word boundary; loop to let the
+            # run continue into the next word (or wrap the ring).
+        if total:
+            cost = cost + _POINTER_UPDATE
+        self.committed += total
+        return total, cost
+
+    def _commit_software(self) -> tuple:
+        cost = _SW_COMMIT_BASE
+        per_frame = _SW_COMMIT_PER_FRAME_HW if self.hw_pointer else _SW_COMMIT_PER_FRAME
+        total = 0
+        while self.is_marked(self.commit_seq):
+            index = self.commit_seq % self.ring_size
+            word_addr = 4 * (index // 32)
+            word = self._bitmap.load_word(word_addr)
+            self._bitmap.store_word(word_addr, word & ~(1 << (index % 32)))
+            self.commit_seq += 1
+            total += 1
+            cost = cost + per_frame
+        if total:
+            cost = cost + _POINTER_UPDATE
+        self.committed += total
+        return total, cost
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Marked-but-uncommitted frames (an O(ring) debugging helper)."""
+        count = 0
+        for seq in range(self.commit_seq, self.commit_seq + self.ring_size):
+            if self.is_marked(seq):
+                count += 1
+            else:
+                break
+        return count

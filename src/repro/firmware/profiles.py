@@ -1,0 +1,152 @@
+"""Per-function operation profiles (the model's calibration surface).
+
+The paper's Table 1 reports per-frame instruction and data-access counts
+measured from real (proprietary) Tigon-II-derived firmware.  Those
+counts are inputs to every throughput result, so this module encodes
+them as *ideal* per-frame profiles whose totals match the paper's
+Section 2.1 arithmetic exactly:
+
+* send  = 281.8 instructions and 100.0 accesses per frame
+  (229 MIPS and 2.6 Gb/s at 812,744 frames/s);
+* receive = 253.5 instructions and 84.6 accesses per frame
+  (206 MIPS and 2.2 Gb/s).
+
+Everything *else* — parallelization overhead, dispatch, ordering, lock
+contention, and the software-vs-RMW differences of Tables 5 and 6 — is
+emergent from simulation, not tabulated here.
+
+The fractional counts are per-frame averages: descriptor fetches move
+32 (send) / 16 (receive) buffer descriptors per DMA, and each sent frame
+uses two descriptors (header + payload regions), exactly as in the
+paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.cpu.costmodel import OpProfile
+
+# Batching constants from Section 2.1.
+SEND_BDS_PER_FETCH = 32
+RECV_BDS_PER_FETCH = 16
+BDS_PER_SENT_FRAME = 2      # header region + payload region
+BDS_PER_RECV_FRAME = 1
+SEND_FRAMES_PER_BD_FETCH = SEND_BDS_PER_FETCH // BDS_PER_SENT_FRAME  # 16
+RECV_FRAMES_PER_BD_FETCH = RECV_BDS_PER_FETCH // BDS_PER_RECV_FRAME  # 16
+
+
+@dataclass(frozen=True)
+class FunctionProfile:
+    """Ideal per-frame cost of one NIC-processing function."""
+
+    name: str
+    per_frame: OpProfile
+
+    @property
+    def instructions(self) -> float:
+        return self.per_frame.instructions
+
+    @property
+    def accesses(self) -> float:
+        return self.per_frame.accesses
+
+
+def _profile(instructions: float, loads: float, stores: float) -> OpProfile:
+    return OpProfile(instructions=instructions, loads=loads, stores=stores)
+
+
+# Table 1 (ideal, per frame).  Loads/stores split roughly 60/40, the mix
+# observed in descriptor-processing code (read descriptor fields, write
+# assist command words and status).
+IDEAL_PROFILES: Dict[str, FunctionProfile] = {
+    "fetch_send_bd": FunctionProfile("Fetch Send BD", _profile(56.8, 11.0, 7.0)),
+    "send_frame": FunctionProfile("Send Frame", _profile(225.0, 49.0, 33.0)),
+    "fetch_recv_bd": FunctionProfile("Fetch Receive BD", _profile(43.5, 9.0, 5.6)),
+    "recv_frame": FunctionProfile("Receive Frame", _profile(210.0, 42.0, 28.0)),
+}
+
+
+def ideal_frame_totals() -> Dict[str, float]:
+    """Sanity totals used by tests and the Table 1 bench."""
+    send_i = (
+        IDEAL_PROFILES["fetch_send_bd"].instructions
+        + IDEAL_PROFILES["send_frame"].instructions
+    )
+    send_a = (
+        IDEAL_PROFILES["fetch_send_bd"].accesses
+        + IDEAL_PROFILES["send_frame"].accesses
+    )
+    recv_i = (
+        IDEAL_PROFILES["fetch_recv_bd"].instructions
+        + IDEAL_PROFILES["recv_frame"].instructions
+    )
+    recv_a = (
+        IDEAL_PROFILES["fetch_recv_bd"].accesses
+        + IDEAL_PROFILES["recv_frame"].accesses
+    )
+    return {
+        "send_instructions": send_i,
+        "send_accesses": send_a,
+        "recv_instructions": recv_i,
+        "recv_accesses": recv_a,
+    }
+
+
+@dataclass(frozen=True)
+class FirmwareProfiles:
+    """Parallelization-overhead constants of the frame-parallel firmware.
+
+    These model the *re-entrant* task functions of Section 3.3: the
+    dispatch loop that inspects hardware pointers and builds event
+    structures, the per-event queue manipulation, and the lock
+    acquire/release sequences.  Ordering costs come from
+    :mod:`repro.firmware.ordering` (they differ by mode); everything
+    here is mode-independent.
+    """
+
+    # Dispatch loop: scan hardware progress pointers / queue head, once
+    # per handler invocation.
+    dispatch_per_event: OpProfile = field(
+        default_factory=lambda: _profile(26.0, 5.0, 3.0)
+    )
+    # Building one frame's entry in an event structure.
+    dispatch_per_frame: OpProfile = field(
+        default_factory=lambda: _profile(7.0, 1.0, 2.0)
+    )
+    # Re-entrancy overhead added to each task function, per frame
+    # (synchronized access to shared ring indices and buffer accounting).
+    reentrancy_per_frame: OpProfile = field(
+        default_factory=lambda: _profile(9.0, 2.0, 1.5)
+    )
+    # Per-frame completion bookkeeping that no RMW instruction can
+    # replace: recycling the send frame's two BDs and ring slots (send),
+    # and producing the return descriptor with actual length/status
+    # plus buffer accounting (receive).  Charged to the dispatch and
+    # ordering functions in both firmware variants.
+    send_completion_per_frame: OpProfile = field(
+        default_factory=lambda: _profile(9.0, 2.0, 2.0)
+    )
+    recv_completion_per_frame: OpProfile = field(
+        default_factory=lambda: _profile(27.0, 7.0, 4.0)
+    )
+    # One uncontended lock acquire + release (ll/sc loop + barrier +
+    # release store).
+    lock_acquire_release: OpProfile = field(
+        default_factory=lambda: _profile(14.0, 3.0, 2.0)
+    )
+    # One trip of the lock spin loop (ll / test / branch), charged per
+    # spin cycle bundle while waiting for a contended lock.
+    spin_loop: OpProfile = field(default_factory=lambda: _profile(4.0, 1.0, 0.0))
+    spin_loop_cycles: float = 6.0  # cycles one spin trip occupies
+
+    def spin_cost(self, wait_cycles: float) -> OpProfile:
+        """Busy-wait cost for ``wait_cycles`` of lock contention."""
+        if wait_cycles <= 0:
+            return _profile(0.0, 0.0, 0.0)
+        trips = wait_cycles / self.spin_loop_cycles
+        return self.spin_loop.scaled(trips)
+
+
+DEFAULT_FIRMWARE_PROFILES = FirmwareProfiles()

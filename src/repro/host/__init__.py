@@ -1,0 +1,19 @@
+"""Host-system model: device driver, buffer descriptors, main memory.
+
+The paper models the host abstractly (Section 5: "The host model
+emulates the real device driver"), and deliberately does not model the
+I/O interconnect's bandwidth, only the latency NIC-initiated DMAs
+experience.  This package follows the same contract.
+"""
+
+from repro.host.descriptors import BufferDescriptor, DescriptorRing
+from repro.host.driver import DriverModel, DriverStats
+from repro.host.memory import HostMemoryLayout
+
+__all__ = [
+    "BufferDescriptor",
+    "DescriptorRing",
+    "DriverModel",
+    "DriverStats",
+    "HostMemoryLayout",
+]

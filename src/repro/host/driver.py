@@ -1,0 +1,140 @@
+"""Device-driver model.
+
+Emulates the driver half of the cooperative send/receive protocol of
+Section 2.1:
+
+* **send** — creates two buffer descriptors per frame (42 B header
+  region + payload region), pushes them on the send ring, and rings the
+  NIC's mailbox register.  In saturation mode it always has another
+  frame ready, so the ring refills as soon as completions arrive.
+* **receive** — preallocates a pool of main-memory buffers and
+  "continually allocates free buffers and notifies the NIC of buffer
+  availability using buffer descriptors"; the model replenishes the
+  receive-BD ring whenever the NIC has drained below a threshold.
+* **completions** — consumes send/receive completion notifications,
+  with interrupt coalescing statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.host.descriptors import (
+    BufferDescriptor,
+    DescriptorRing,
+    FLAG_END_OF_FRAME,
+    FLAG_HEADER_REGION,
+    FLAG_RECV_BUFFER,
+)
+from repro.host.memory import HostMemoryLayout
+from repro.net.ethernet import TX_HEADER_REGION_BYTES
+
+
+@dataclass
+class DriverStats:
+    frames_posted: int = 0
+    recv_buffers_posted: int = 0
+    send_completions: int = 0
+    recv_completions: int = 0
+    interrupts: int = 0
+
+    @property
+    def completions_per_interrupt(self) -> float:
+        total = self.send_completions + self.recv_completions
+        return total / self.interrupts if self.interrupts else 0.0
+
+
+class DriverModel:
+    """The OS half of the NIC protocol."""
+
+    def __init__(
+        self,
+        udp_payload_bytes: int,
+        frame_bytes: int,
+        send_ring_capacity: int = 512,
+        recv_ring_capacity: int = 256,
+        layout: Optional[HostMemoryLayout] = None,
+        max_frames: Optional[int] = None,
+    ) -> None:
+        self.udp_payload_bytes = udp_payload_bytes
+        self.frame_bytes = frame_bytes
+        self.send_ring = DescriptorRing(send_ring_capacity, "send-bd")
+        self.recv_ring = DescriptorRing(recv_ring_capacity, "recv-bd")
+        self.layout = layout if layout is not None else HostMemoryLayout()
+        self.max_frames = max_frames  # None = saturation (endless traffic)
+        self.stats = DriverStats()
+        self._next_send_seq = 0
+        self._next_recv_buffer = 0
+        self._payload_bytes = max(1, frame_bytes - TX_HEADER_REGION_BYTES - 4)
+
+    # -- send side -------------------------------------------------------
+    def refill_send_ring(self) -> int:
+        """Post descriptors for as many new frames as fit; returns frames."""
+        posted = 0
+        while self.send_ring.free_slots >= 2:
+            if (
+                self.max_frames is not None
+                and self._next_send_seq >= self.max_frames
+            ):
+                break
+            seq = self._next_send_seq
+            header = BufferDescriptor(
+                address=self.layout.tx_header_address(seq),
+                length=TX_HEADER_REGION_BYTES,
+                flags=FLAG_HEADER_REGION,
+                cookie=seq,
+            )
+            payload = BufferDescriptor(
+                address=self.layout.tx_payload_address(seq),
+                length=self._payload_bytes,
+                flags=FLAG_END_OF_FRAME,
+                cookie=seq,
+            )
+            self.send_ring.push_many([header, payload])
+            self._next_send_seq += 1
+            posted += 1
+        self.stats.frames_posted += posted
+        return posted
+
+    def send_bds_available(self) -> int:
+        return self.send_ring.peek_count()
+
+    def consume_send_bds(self, count: int) -> List[BufferDescriptor]:
+        """The NIC's descriptor DMA pulls ``count`` BDs off the ring."""
+        return self.send_ring.pop_many(count)
+
+    # -- receive side ------------------------------------------------------
+    def replenish_recv_ring(self) -> int:
+        """Allocate free buffers up to ring capacity; returns buffers."""
+        posted = 0
+        while not self.recv_ring.is_full:
+            index = self._next_recv_buffer
+            descriptor = BufferDescriptor(
+                address=self.layout.rx_buffer_address(index),
+                length=self.frame_bytes,
+                flags=FLAG_RECV_BUFFER,
+                cookie=index,
+            )
+            self.recv_ring.push(descriptor)
+            self._next_recv_buffer += 1
+            posted += 1
+        self.stats.recv_buffers_posted += posted
+        return posted
+
+    def recv_bds_available(self) -> int:
+        return self.recv_ring.peek_count()
+
+    def consume_recv_bds(self, count: int) -> List[BufferDescriptor]:
+        return self.recv_ring.pop_many(count)
+
+    # -- completions -------------------------------------------------------
+    def complete_sends(self, count: int, interrupt: bool) -> None:
+        self.stats.send_completions += count
+        if interrupt:
+            self.stats.interrupts += 1
+
+    def complete_receives(self, count: int, interrupt: bool) -> None:
+        self.stats.recv_completions += count
+        if interrupt:
+            self.stats.interrupts += 1

@@ -1,0 +1,34 @@
+"""Offline instruction-level-parallelism limit study (paper Table 2).
+
+Given a dynamic instruction trace of idealized NIC firmware, compute the
+theoretical peak IPC for combinations of:
+
+* issue order — in-order vs out-of-order;
+* issue width — 1, 2, 4;
+* pipeline — perfect (unit latency, no structural hazards) vs a
+  realistic 5-stage pipeline with full forwarding (load-use latency of
+  2 cycles, one memory operation per cycle);
+* branch handling — perfect prediction of any number of branches per
+  cycle (PBP), perfect prediction of at most one branch per cycle
+  (PBP1), or no prediction (a branch stops issue for the cycle).
+"""
+
+from repro.ilp.analyzer import (
+    BranchModel,
+    IlpConfig,
+    IssueOrder,
+    PipelineModel,
+    TABLE2_CONFIGS,
+    analyze_trace,
+    ipc_table,
+)
+
+__all__ = [
+    "BranchModel",
+    "IlpConfig",
+    "IssueOrder",
+    "PipelineModel",
+    "TABLE2_CONFIGS",
+    "analyze_trace",
+    "ipc_table",
+]

@@ -1,0 +1,193 @@
+"""Trace-driven IPC limit analysis.
+
+The scheduler walks the dynamic trace once in program order and assigns
+each instruction an issue cycle subject to the selected constraints:
+
+data dependences
+    True (read-after-write) register dependences through a last-writer
+    table, plus store→load ordering through the same memory word (the
+    conservative memory dependence an idealized machine must respect).
+
+pipeline model
+    ``PERFECT`` — every producer's result is available the next cycle,
+    no structural hazards.  ``STALLS`` — a five-stage pipeline with all
+    forwarding paths: load results arrive one cycle later than ALU
+    results (the classic load-use stall) and only one memory operation
+    can issue per cycle.
+
+branch model
+    ``PBP`` — any number of branches issue per cycle, all perfectly
+    predicted.  ``PBP1`` — at most one (perfectly predicted) branch per
+    cycle.  ``NOBP`` — no prediction: a control instruction ends the
+    issue cycle, so nothing younger issues in the same cycle.
+
+issue order
+    ``IN_ORDER`` — an instruction cannot issue before any older
+    instruction.  ``OUT_OF_ORDER`` — only the constraints above apply;
+    scheduling is greedy earliest-fit in program order, which is optimal
+    for this resource model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from repro.isa.trace import TraceEntry
+
+
+class IssueOrder(enum.Enum):
+    IN_ORDER = "in-order"
+    OUT_OF_ORDER = "out-of-order"
+
+
+class PipelineModel(enum.Enum):
+    PERFECT = "perfect"
+    STALLS = "stalls"
+
+
+class BranchModel(enum.Enum):
+    PBP = "pbp"      # perfect prediction, unlimited branches/cycle
+    PBP1 = "pbp1"    # perfect prediction, one branch/cycle
+    NOBP = "nobp"    # no prediction: branch ends the issue cycle
+
+
+@dataclass(frozen=True)
+class IlpConfig:
+    """One processor configuration for the limit study."""
+
+    issue_order: IssueOrder
+    width: int
+    pipeline: PipelineModel
+    branch: BranchModel
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError(f"issue width must be >= 1, got {self.width}")
+
+    @property
+    def label(self) -> str:
+        order = "IO" if self.issue_order is IssueOrder.IN_ORDER else "OOO"
+        return f"{order}-{self.width}/{self.pipeline.value}/{self.branch.value}"
+
+
+# The paper's Table 2 sweeps in-order and out-of-order cores at widths
+# 1, 2, and 4 under both pipelines and all three branch models.
+TABLE2_WIDTHS = (1, 2, 4)
+TABLE2_CONFIGS: List[IlpConfig] = [
+    IlpConfig(order, width, pipeline, branch)
+    for order in (IssueOrder.IN_ORDER, IssueOrder.OUT_OF_ORDER)
+    for width in TABLE2_WIDTHS
+    for pipeline in (PipelineModel.PERFECT, PipelineModel.STALLS)
+    for branch in (BranchModel.PBP, BranchModel.PBP1, BranchModel.NOBP)
+]
+
+
+class _CycleResources:
+    """Per-cycle issue-slot / memory-port / branch-slot bookkeeping."""
+
+    def __init__(self, width: int, mem_ports: int, branch_slots: int) -> None:
+        self.width = width
+        self.mem_ports = mem_ports
+        self.branch_slots = branch_slots
+        self._slots: Dict[int, int] = {}
+        self._mem: Dict[int, int] = {}
+        self._branches: Dict[int, int] = {}
+        self._closed_after: Dict[int, int] = {}  # NOBP: cycle -> slot index cap
+
+    def fits(self, cycle: int, is_mem: bool, is_control: bool) -> bool:
+        if self._slots.get(cycle, 0) >= self.width:
+            return False
+        if cycle in self._closed_after:
+            return False  # a no-BP control op already ended this cycle
+        if is_mem and self.mem_ports and self._mem.get(cycle, 0) >= self.mem_ports:
+            return False
+        if (
+            is_control
+            and self.branch_slots
+            and self._branches.get(cycle, 0) >= self.branch_slots
+        ):
+            return False
+        return True
+
+    def take(self, cycle: int, is_mem: bool, is_control: bool, close: bool) -> None:
+        self._slots[cycle] = self._slots.get(cycle, 0) + 1
+        if is_mem:
+            self._mem[cycle] = self._mem.get(cycle, 0) + 1
+        if is_control:
+            self._branches[cycle] = self._branches.get(cycle, 0) + 1
+        if close:
+            self._closed_after[cycle] = self._slots[cycle]
+
+
+def analyze_trace(trace: Sequence[TraceEntry], config: IlpConfig) -> float:
+    """Schedule ``trace`` under ``config`` and return its IPC."""
+    if not trace:
+        raise ValueError("cannot analyze an empty trace")
+
+    load_latency = 2 if config.pipeline is PipelineModel.STALLS else 1
+    mem_ports = 1 if config.pipeline is PipelineModel.STALLS else 0  # 0 = unlimited
+    if config.branch is BranchModel.PBP1:
+        branch_slots = 1
+    else:
+        branch_slots = 0  # unlimited; NOBP is handled via cycle closing
+    nobp = config.branch is BranchModel.NOBP
+    in_order = config.issue_order is IssueOrder.IN_ORDER
+
+    resources = _CycleResources(config.width, mem_ports, branch_slots)
+    ready_cycle: Dict[int, int] = {}         # register -> cycle its value is ready
+    last_store_issue: Dict[int, int] = {}    # word address -> issue cycle
+    last_issue_cycle = 0                     # youngest issued instruction's cycle
+    control_barrier = 0                      # NOBP: first cycle fetch reopens
+    max_cycle = 0
+
+    for entry in trace:
+        earliest = 0
+        for reg in entry.sources:
+            if reg:
+                earliest = max(earliest, ready_cycle.get(reg, 0))
+        if entry.is_load and entry.mem_address is not None:
+            word = entry.mem_address & ~3
+            if word in last_store_issue:
+                earliest = max(earliest, last_store_issue[word] + 1)
+        if nobp:
+            earliest = max(earliest, control_barrier)
+        if in_order:
+            earliest = max(earliest, last_issue_cycle)
+
+        is_mem = entry.is_memory
+        is_control = entry.is_control
+        cycle = earliest
+        while not resources.fits(cycle, is_mem, is_control):
+            cycle += 1
+            if in_order:
+                # Younger instructions may not bypass this one.
+                pass
+        resources.take(cycle, is_mem, is_control, close=nobp and is_control)
+
+        if entry.destination is not None and entry.destination != 0:
+            latency = load_latency if entry.is_load else 1
+            ready_cycle[entry.destination] = cycle + latency
+        if entry.is_store and entry.mem_address is not None:
+            last_store_issue[entry.mem_address & ~3] = cycle
+        if nobp and is_control:
+            # Without prediction a control op ends the issue cycle; in the
+            # realistic pipeline a *taken* one also kills the fetch slot
+            # past the delay slot (static not-taken fetch redirect).
+            penalty = 2 if (entry.taken and config.pipeline is PipelineModel.STALLS) else 1
+            control_barrier = max(control_barrier, cycle + penalty)
+        if in_order:
+            last_issue_cycle = max(last_issue_cycle, cycle)
+        max_cycle = max(max_cycle, cycle)
+
+    total_cycles = max_cycle + 1
+    return len(trace) / total_cycles
+
+
+def ipc_table(
+    trace: Sequence[TraceEntry],
+    configs: Iterable[IlpConfig] = TABLE2_CONFIGS,
+) -> Dict[IlpConfig, float]:
+    """IPC for every configuration (the body of Table 2)."""
+    return {config: analyze_trace(trace, config) for config in configs}

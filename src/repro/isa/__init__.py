@@ -1,0 +1,47 @@
+"""MIPS R4000-subset ISA with the paper's atomic RMW extensions.
+
+The paper's firmware runs on single-issue cores implementing "a subset
+of the MIPS R4000 instruction set" extended with two atomic
+read-modify-write instructions, ``setb`` and ``update``, that the
+frame-ordering code uses in place of lock/scan/clear loops (Section 4).
+
+This package provides:
+
+* :mod:`repro.isa.instructions` — instruction formats, mnemonics, and
+  32-bit binary encode/decode;
+* :mod:`repro.isa.assembler` — a two-pass assembler with labels,
+  ``.text``/``.data`` sections and the usual pseudo-instructions;
+* :mod:`repro.isa.machine` — a functional interpreter with branch delay
+  slots, ll/sc, and a shared-memory multi-core stepper;
+* :mod:`repro.isa.trace` — dynamic instruction trace capture consumed by
+  the ILP limit study (Table 2).
+"""
+
+from repro.isa.assembler import AssemblerError, Program, assemble
+from repro.isa.instructions import (
+    Instruction,
+    InstructionSpec,
+    REGISTER_NAMES,
+    decode,
+    encode,
+    spec_for,
+)
+from repro.isa.machine import Machine, MachineError, Memory, MultiCoreMachine
+from repro.isa.trace import TraceEntry
+
+__all__ = [
+    "AssemblerError",
+    "Instruction",
+    "InstructionSpec",
+    "Machine",
+    "MachineError",
+    "Memory",
+    "MultiCoreMachine",
+    "Program",
+    "REGISTER_NAMES",
+    "TraceEntry",
+    "assemble",
+    "decode",
+    "encode",
+    "spec_for",
+]

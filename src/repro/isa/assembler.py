@@ -1,0 +1,575 @@
+"""Two-pass MIPS assembler.
+
+Supports the instruction subset in :mod:`repro.isa.instructions` plus
+the conventional pseudo-instructions (``li``, ``la``, ``move``, ``nop``,
+``b``, ``beqz``, ``bnez``, ``blt``, ``bge``, ``bgt``, ``ble``, ``not``)
+and directives (``.text``, ``.data``, ``.word``, ``.half``, ``.byte``,
+``.space``, ``.align``, ``.globl``).
+
+Branch delay slots are architectural (one slot, as on the R4000) and are
+*not* auto-filled: firmware kernels write their delay slots explicitly,
+just as the Tigon-II firmware did.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instructions import (
+    Instruction,
+    REGISTER_NUMBERS,
+    SPECS,
+)
+
+AT = 1  # assembler temporary register
+
+
+class AssemblerError(ValueError):
+    """Raised for any syntax or semantic error, with line context."""
+
+
+@dataclass
+class Program:
+    """Result of assembling one source unit."""
+
+    instructions: List[Instruction]
+    text_base: int
+    data: bytes
+    data_base: int
+    symbols: Dict[str, int]
+    source_lines: List[str] = field(default_factory=list)
+    line_numbers: List[int] = field(default_factory=list)
+
+    @property
+    def text_bytes(self) -> int:
+        return len(self.instructions) * 4
+
+    def address_of(self, label: str) -> int:
+        try:
+            return self.symbols[label]
+        except KeyError:
+            raise KeyError(f"no symbol named {label!r}") from None
+
+    def instruction_at(self, address: int) -> Instruction:
+        index = (address - self.text_base) // 4
+        if not 0 <= index < len(self.instructions):
+            raise IndexError(f"address {address:#x} outside text section")
+        return self.instructions[index]
+
+
+def _hi_lo(address: int) -> Tuple[int, int]:
+    """Split an address into (lui_value, signed_low16) for lui + memop."""
+    low = address & 0xFFFF
+    if low & 0x8000:
+        low -= 0x10000
+    high = ((address - low) >> 16) & 0xFFFF
+    return high, low
+
+
+_MEM_OPERAND = re.compile(r"^(?P<offset>[^()]*)\((?P<base>\$[a-z0-9]+)\)$")
+
+
+def _parse_register(token: str, line: int) -> int:
+    token = token.strip()
+    if not token.startswith("$"):
+        raise AssemblerError(f"line {line}: expected register, got {token!r}")
+    name = token[1:]
+    if name.isdigit():
+        number = int(name)
+        if not 0 <= number < 32:
+            raise AssemblerError(f"line {line}: register {token} out of range")
+        return number
+    if name in REGISTER_NUMBERS:
+        return REGISTER_NUMBERS[name]
+    raise AssemblerError(f"line {line}: unknown register {token!r}")
+
+
+def _parse_int(token: str, line: int) -> int:
+    token = token.strip()
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(f"line {line}: expected integer, got {token!r}") from None
+
+
+@dataclass
+class _Item:
+    """One source statement after tokenization (pass 1 artifact)."""
+
+    mnemonic: str
+    operands: List[str]
+    line: int
+    source: str
+
+
+def _tokenize(source: str):
+    """Yield (labels, item-or-directive, line number, raw text)."""
+    for line_number, raw in enumerate(source.splitlines(), start=1):
+        text = raw.split("#", 1)[0].strip()
+        if not text:
+            continue
+        # Peel off any leading labels ("name:"), possibly several.
+        labels = []
+        while True:
+            match = re.match(r"^([A-Za-z_.$][\w.$]*)\s*:\s*(.*)$", text)
+            if not match:
+                break
+            labels.append(match.group(1))
+            text = match.group(2).strip()
+        if not text:
+            yield labels, None, line_number, raw
+            continue
+        parts = text.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = []
+        if len(parts) > 1:
+            operands = [op.strip() for op in parts[1].split(",")]
+        yield labels, _Item(mnemonic, operands, line_number, raw), line_number, raw
+
+
+# Sizes (in instructions) of pseudo-instruction expansions.
+def _pseudo_size(item: _Item) -> int:
+    m = item.mnemonic
+    if m in ("nop", "move", "b", "beqz", "bnez", "not", "neg"):
+        return 1
+    if m == "li":
+        value = _parse_int(item.operands[1], item.line)
+        if -32768 <= value < 32768 or 0 <= value <= 0xFFFF:
+            return 1
+        return 2
+    if m == "la":
+        return 2
+    if m in ("blt", "bge", "bgt", "ble", "bltu", "bgeu"):
+        return 2
+    spec = SPECS.get(m)
+    if spec is None:
+        raise AssemblerError(f"line {item.line}: unknown mnemonic {m!r}")
+    if spec.fmt == "mem" and len(item.operands) == 2 and "(" not in item.operands[1]:
+        return 2  # lw rt, label  ->  lui $at + lw rt, lo($at)
+    return 1
+
+
+class _Assembler:
+    def __init__(self, source: str, text_base: int, data_base: int) -> None:
+        self.source = source
+        self.text_base = text_base
+        self.data_base = data_base
+        self.symbols: Dict[str, int] = {}
+        self.instructions: List[Instruction] = []
+        self.line_numbers: List[int] = []
+        self.source_lines: List[str] = []
+        self.data = bytearray()
+
+    # ------------------------------------------------------------------
+    def run(self) -> Program:
+        self._first_pass()
+        self._second_pass()
+        return Program(
+            instructions=self.instructions,
+            text_base=self.text_base,
+            data=bytes(self.data),
+            data_base=self.data_base,
+            symbols=dict(self.symbols),
+            source_lines=self.source_lines,
+            line_numbers=self.line_numbers,
+        )
+
+    # ------------------------------------------------------------------
+    def _first_pass(self) -> None:
+        """Assign addresses to labels."""
+        section = "text"
+        text_pc = self.text_base
+        data_pc = self.data_base
+        for labels, item, line, _raw in _tokenize(self.source):
+            for label in labels:
+                if label in self.symbols:
+                    raise AssemblerError(f"line {line}: duplicate label {label!r}")
+                self.symbols[label] = text_pc if section == "text" else data_pc
+            if item is None:
+                continue
+            if item.mnemonic.startswith("."):
+                section, text_pc, data_pc = self._directive_size(
+                    item, section, text_pc, data_pc
+                )
+                continue
+            if section != "text":
+                raise AssemblerError(
+                    f"line {item.line}: instruction outside .text section"
+                )
+            text_pc += 4 * _pseudo_size(item)
+
+    def _directive_size(
+        self, item: _Item, section: str, text_pc: int, data_pc: int
+    ):
+        d = item.mnemonic
+        if d == ".text":
+            return "text", text_pc, data_pc
+        if d == ".data":
+            return "data", text_pc, data_pc
+        if d == ".globl":
+            return section, text_pc, data_pc
+        if section != "data":
+            raise AssemblerError(f"line {item.line}: {d} only allowed in .data")
+        if d == ".word":
+            return section, text_pc, data_pc + 4 * len(item.operands)
+        if d == ".half":
+            return section, text_pc, data_pc + 2 * len(item.operands)
+        if d == ".byte":
+            return section, text_pc, data_pc + len(item.operands)
+        if d == ".space":
+            return section, text_pc, data_pc + _parse_int(item.operands[0], item.line)
+        if d == ".align":
+            alignment = 1 << _parse_int(item.operands[0], item.line)
+            aligned = (data_pc + alignment - 1) // alignment * alignment
+            return section, text_pc, aligned
+        raise AssemblerError(f"line {item.line}: unknown directive {d!r}")
+
+    # ------------------------------------------------------------------
+    def _second_pass(self) -> None:
+        section = "text"
+        data_pc = self.data_base
+        for _labels, item, _line, raw in _tokenize(self.source):
+            if item is None:
+                continue
+            if item.mnemonic.startswith("."):
+                section, data_pc = self._emit_directive(item, section, data_pc)
+                continue
+            self._emit_instruction(item, raw)
+
+    def _emit_directive(self, item: _Item, section: str, data_pc: int):
+        d = item.mnemonic
+        if d == ".text":
+            return "text", data_pc
+        if d == ".data":
+            return "data", data_pc
+        if d == ".globl":
+            return section, data_pc
+        if d == ".word":
+            for op in item.operands:
+                value = self._resolve_value(op, item.line)
+                self.data.extend((value & 0xFFFFFFFF).to_bytes(4, "little"))
+            return section, data_pc + 4 * len(item.operands)
+        if d == ".half":
+            for op in item.operands:
+                value = self._resolve_value(op, item.line)
+                self.data.extend((value & 0xFFFF).to_bytes(2, "little"))
+            return section, data_pc + 2 * len(item.operands)
+        if d == ".byte":
+            for op in item.operands:
+                value = self._resolve_value(op, item.line)
+                self.data.append(value & 0xFF)
+            return section, data_pc + len(item.operands)
+        if d == ".space":
+            count = _parse_int(item.operands[0], item.line)
+            self.data.extend(b"\x00" * count)
+            return section, data_pc + count
+        if d == ".align":
+            alignment = 1 << _parse_int(item.operands[0], item.line)
+            target = (data_pc + alignment - 1) // alignment * alignment
+            self.data.extend(b"\x00" * (target - data_pc))
+            return section, target
+        raise AssemblerError(f"line {item.line}: unknown directive {d!r}")
+
+    def _resolve_value(self, token: str, line: int) -> int:
+        token = token.strip()
+        if token in self.symbols:
+            return self.symbols[token]
+        return _parse_int(token, line)
+
+    # ------------------------------------------------------------------
+    def _append(self, instruction: Instruction, item: _Item, raw: str) -> None:
+        self.instructions.append(instruction)
+        self.line_numbers.append(item.line)
+        self.source_lines.append(raw.strip())
+
+    def _current_pc(self) -> int:
+        return self.text_base + 4 * len(self.instructions)
+
+    def _branch_offset(self, label: str, line: int) -> int:
+        if label not in self.symbols:
+            raise AssemblerError(f"line {line}: undefined label {label!r}")
+        target = self.symbols[label]
+        # Offset is relative to the instruction after the branch (the
+        # delay slot), in words.
+        offset = (target - (self._current_pc() + 4)) // 4
+        if not -(1 << 15) <= offset < (1 << 15):
+            raise AssemblerError(f"line {line}: branch to {label!r} out of range")
+        return offset
+
+    def _emit_instruction(self, item: _Item, raw: str) -> None:
+        m = item.mnemonic
+        ops = item.operands
+        line = item.line
+        if m in _PSEUDO_EMITTERS:
+            _PSEUDO_EMITTERS[m](self, item, raw)
+            return
+        spec = SPECS.get(m)
+        if spec is None:
+            raise AssemblerError(f"line {line}: unknown mnemonic {m!r}")
+        fmt = spec.fmt
+        if m == "setb":
+            self._require(ops, 2, item)
+            self._append(
+                Instruction(m, rs=_parse_register(ops[0], line), rt=_parse_register(ops[1], line)),
+                item, raw,
+            )
+        elif m == "update":
+            self._require(ops, 3, item)
+            self._append(
+                Instruction(
+                    m,
+                    rd=_parse_register(ops[0], line),
+                    rs=_parse_register(ops[1], line),
+                    rt=_parse_register(ops[2], line),
+                ),
+                item, raw,
+            )
+        elif m == "halt":
+            self._append(Instruction(m), item, raw)
+        elif m in ("mult", "multu", "div", "divu"):
+            self._require(ops, 2, item)
+            self._append(
+                Instruction(
+                    m,
+                    rs=_parse_register(ops[0], line),
+                    rt=_parse_register(ops[1], line),
+                ),
+                item, raw,
+            )
+        elif m in ("mfhi", "mflo"):
+            self._require(ops, 1, item)
+            self._append(Instruction(m, rd=_parse_register(ops[0], line)), item, raw)
+        elif fmt == "r":
+            self._require(ops, 3, item)
+            self._append(
+                Instruction(
+                    m,
+                    rd=_parse_register(ops[0], line),
+                    rs=_parse_register(ops[1], line),
+                    rt=_parse_register(ops[2], line),
+                ),
+                item, raw,
+            )
+        elif fmt == "shift":
+            self._require(ops, 3, item)
+            self._append(
+                Instruction(
+                    m,
+                    rd=_parse_register(ops[0], line),
+                    rt=_parse_register(ops[1], line),
+                    shamt=_parse_int(ops[2], line),
+                ),
+                item, raw,
+            )
+        elif fmt == "i":
+            if m == "lui":
+                self._require(ops, 2, item)
+                self._append(
+                    Instruction(m, rt=_parse_register(ops[0], line), imm=_parse_int(ops[1], line)),
+                    item, raw,
+                )
+            else:
+                self._require(ops, 3, item)
+                self._append(
+                    Instruction(
+                        m,
+                        rt=_parse_register(ops[0], line),
+                        rs=_parse_register(ops[1], line),
+                        imm=_parse_int(ops[2], line),
+                    ),
+                    item, raw,
+                )
+        elif fmt == "mem":
+            self._require(ops, 2, item)
+            rt = _parse_register(ops[0], line)
+            match = _MEM_OPERAND.match(ops[1].replace(" ", ""))
+            if match:
+                offset_text = match.group("offset") or "0"
+                base = _parse_register(match.group("base"), line)
+                if offset_text in self.symbols:
+                    offset = self.symbols[offset_text]
+                else:
+                    offset = _parse_int(offset_text, line)
+                self._append(Instruction(m, rt=rt, rs=base, imm=offset), item, raw)
+            else:
+                # lw rt, label  ->  lui $at, hi(label); lw rt, lo(label)($at)
+                label = ops[1].strip()
+                if label not in self.symbols:
+                    raise AssemblerError(f"line {line}: undefined label {label!r}")
+                high, low = _hi_lo(self.symbols[label])
+                self._append(Instruction("lui", rt=AT, imm=high), item, raw)
+                self._append(Instruction(m, rt=rt, rs=AT, imm=low), item, raw)
+        elif fmt == "branch":
+            self._require(ops, 3, item)
+            self._append(
+                Instruction(
+                    m,
+                    rs=_parse_register(ops[0], line),
+                    rt=_parse_register(ops[1], line),
+                    imm=self._branch_offset(ops[2], line),
+                    label=ops[2],
+                ),
+                item, raw,
+            )
+        elif fmt == "branch1":
+            self._require(ops, 2, item)
+            self._append(
+                Instruction(
+                    m,
+                    rs=_parse_register(ops[0], line),
+                    imm=self._branch_offset(ops[1], line),
+                    label=ops[1],
+                ),
+                item, raw,
+            )
+        elif fmt == "j":
+            self._require(ops, 1, item)
+            label = ops[0].strip()
+            if label in self.symbols:
+                target = self.symbols[label] >> 2
+            else:
+                target = _parse_int(label, line) >> 2
+            self._append(Instruction(m, target=target, label=label), item, raw)
+        elif fmt == "jr":
+            self._require(ops, 1, item)
+            self._append(Instruction(m, rs=_parse_register(ops[0], line)), item, raw)
+        elif fmt == "jalr":
+            if len(ops) == 1:
+                self._append(Instruction(m, rd=31, rs=_parse_register(ops[0], line)), item, raw)
+            else:
+                self._require(ops, 2, item)
+                self._append(
+                    Instruction(
+                        m, rd=_parse_register(ops[0], line), rs=_parse_register(ops[1], line)
+                    ),
+                    item, raw,
+                )
+        else:
+            raise AssemblerError(f"line {line}: cannot assemble {m!r}")
+
+    def _require(self, ops: List[str], count: int, item: _Item) -> None:
+        if len(ops) != count:
+            raise AssemblerError(
+                f"line {item.line}: {item.mnemonic} expects {count} operands, "
+                f"got {len(ops)}"
+            )
+
+    # -- pseudo-instructions -------------------------------------------
+    def _emit_nop(self, item: _Item, raw: str) -> None:
+        self._append(Instruction("sll", rd=0, rt=0, shamt=0), item, raw)
+
+    def _emit_move(self, item: _Item, raw: str) -> None:
+        self._require(item.operands, 2, item)
+        rd = _parse_register(item.operands[0], item.line)
+        rs = _parse_register(item.operands[1], item.line)
+        self._append(Instruction("addu", rd=rd, rs=rs, rt=0), item, raw)
+
+    def _emit_li(self, item: _Item, raw: str) -> None:
+        self._require(item.operands, 2, item)
+        rt = _parse_register(item.operands[0], item.line)
+        value = _parse_int(item.operands[1], item.line)
+        if -32768 <= value < 32768:
+            self._append(Instruction("addiu", rt=rt, rs=0, imm=value), item, raw)
+        elif 0 <= value <= 0xFFFF:
+            self._append(Instruction("ori", rt=rt, rs=0, imm=value), item, raw)
+        else:
+            self._append(Instruction("lui", rt=rt, imm=(value >> 16) & 0xFFFF), item, raw)
+            self._append(Instruction("ori", rt=rt, rs=rt, imm=value & 0xFFFF), item, raw)
+
+    def _emit_la(self, item: _Item, raw: str) -> None:
+        self._require(item.operands, 2, item)
+        rt = _parse_register(item.operands[0], item.line)
+        label = item.operands[1].strip()
+        if label not in self.symbols:
+            raise AssemblerError(f"line {item.line}: undefined label {label!r}")
+        address = self.symbols[label]
+        self._append(Instruction("lui", rt=rt, imm=(address >> 16) & 0xFFFF), item, raw)
+        self._append(Instruction("ori", rt=rt, rs=rt, imm=address & 0xFFFF), item, raw)
+
+    def _emit_b(self, item: _Item, raw: str) -> None:
+        self._require(item.operands, 1, item)
+        offset = self._branch_offset(item.operands[0], item.line)
+        self._append(
+            Instruction("beq", rs=0, rt=0, imm=offset, label=item.operands[0]),
+            item, raw,
+        )
+
+    def _emit_beqz(self, item: _Item, raw: str) -> None:
+        self._require(item.operands, 2, item)
+        rs = _parse_register(item.operands[0], item.line)
+        offset = self._branch_offset(item.operands[1], item.line)
+        self._append(
+            Instruction("beq", rs=rs, rt=0, imm=offset, label=item.operands[1]),
+            item, raw,
+        )
+
+    def _emit_bnez(self, item: _Item, raw: str) -> None:
+        self._require(item.operands, 2, item)
+        rs = _parse_register(item.operands[0], item.line)
+        offset = self._branch_offset(item.operands[1], item.line)
+        self._append(
+            Instruction("bne", rs=rs, rt=0, imm=offset, label=item.operands[1]),
+            item, raw,
+        )
+
+    def _emit_not(self, item: _Item, raw: str) -> None:
+        self._require(item.operands, 2, item)
+        rd = _parse_register(item.operands[0], item.line)
+        rs = _parse_register(item.operands[1], item.line)
+        self._append(Instruction("nor", rd=rd, rs=rs, rt=0), item, raw)
+
+    def _emit_neg(self, item: _Item, raw: str) -> None:
+        self._require(item.operands, 2, item)
+        rd = _parse_register(item.operands[0], item.line)
+        rs = _parse_register(item.operands[1], item.line)
+        self._append(Instruction("subu", rd=rd, rs=0, rt=rs), item, raw)
+
+    def _emit_compare_branch(self, item: _Item, raw: str) -> None:
+        """blt/bge/bgt/ble and unsigned variants via slt + branch."""
+        self._require(item.operands, 3, item)
+        m = item.mnemonic
+        ra = _parse_register(item.operands[0], item.line)
+        rb = _parse_register(item.operands[1], item.line)
+        slt_op = "sltu" if m.endswith("u") else "slt"
+        base = m.rstrip("u")
+        if base in ("blt", "bge"):
+            self._append(Instruction(slt_op, rd=AT, rs=ra, rt=rb), item, raw)
+        else:  # bgt / ble compare the swapped pair
+            self._append(Instruction(slt_op, rd=AT, rs=rb, rt=ra), item, raw)
+        offset = self._branch_offset(item.operands[2], item.line)
+        branch = "bne" if base in ("blt", "bgt") else "beq"
+        self._append(
+            Instruction(branch, rs=AT, rt=0, imm=offset, label=item.operands[2]),
+            item, raw,
+        )
+
+
+_PSEUDO_EMITTERS = {
+    "nop": _Assembler._emit_nop,
+    "move": _Assembler._emit_move,
+    "li": _Assembler._emit_li,
+    "la": _Assembler._emit_la,
+    "b": _Assembler._emit_b,
+    "beqz": _Assembler._emit_beqz,
+    "bnez": _Assembler._emit_bnez,
+    "not": _Assembler._emit_not,
+    "neg": _Assembler._emit_neg,
+    "blt": _Assembler._emit_compare_branch,
+    "bge": _Assembler._emit_compare_branch,
+    "bgt": _Assembler._emit_compare_branch,
+    "ble": _Assembler._emit_compare_branch,
+    "bltu": _Assembler._emit_compare_branch,
+    "bgeu": _Assembler._emit_compare_branch,
+}
+
+
+def assemble(source: str, text_base: int = 0x0000, data_base: int = 0x0001_0000) -> Program:
+    """Assemble ``source`` into a :class:`Program`.
+
+    ``text_base``/``data_base`` default to the layout used by the
+    firmware kernels: code in instruction memory at 0, data in the
+    scratchpad window at 64 KB.
+    """
+    return _Assembler(source, text_base, data_base).run()

@@ -1,0 +1,125 @@
+"""Binary images and program listings.
+
+Completes the ISA toolchain: assembled programs can be emitted as flat
+binary images (the form firmware is burned into the NIC's instruction
+memory), loaded back, and rendered as human-readable listings.  The
+image format is deliberately simple and self-describing:
+
+``REPRO10G`` magic, version word, text base/length, data base/length,
+then raw little-endian text (one encoded instruction per word) and data
+bytes.  Symbols are not stored — an image is what the hardware sees.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.isa.assembler import Program
+from repro.isa.instructions import Instruction, decode, disassemble, encode
+
+MAGIC = b"REPRO10G"
+VERSION = 1
+_HEADER = struct.Struct("<8sIIIII")  # magic, version, tbase, tlen, dbase, dlen
+
+
+class ImageError(ValueError):
+    """Raised for malformed binary images."""
+
+
+def encode_program(program: Program) -> bytes:
+    """Serialize a program to a flat firmware image."""
+    text = b"".join(
+        encode(instruction).to_bytes(4, "little")
+        for instruction in program.instructions
+    )
+    header = _HEADER.pack(
+        MAGIC,
+        VERSION,
+        program.text_base,
+        len(text),
+        program.data_base,
+        len(program.data),
+    )
+    return header + text + program.data
+
+
+@dataclass(frozen=True)
+class LoadedImage:
+    """A firmware image read back from bytes."""
+
+    instructions: List[Instruction]
+    text_base: int
+    data: bytes
+    data_base: int
+
+    def to_program(self) -> Program:
+        """Wrap as a runnable :class:`Program` (symbols are lost)."""
+        return Program(
+            instructions=list(self.instructions),
+            text_base=self.text_base,
+            data=self.data,
+            data_base=self.data_base,
+            symbols={"main": self.text_base},
+        )
+
+
+def decode_image(blob: bytes) -> LoadedImage:
+    """Parse a firmware image produced by :func:`encode_program`."""
+    if len(blob) < _HEADER.size:
+        raise ImageError("image truncated before header")
+    magic, version, text_base, text_len, data_base, data_len = _HEADER.unpack_from(blob)
+    if magic != MAGIC:
+        raise ImageError(f"bad magic {magic!r}")
+    if version != VERSION:
+        raise ImageError(f"unsupported image version {version}")
+    if text_len % 4:
+        raise ImageError(f"text length {text_len} not word aligned")
+    expected = _HEADER.size + text_len + data_len
+    if len(blob) != expected:
+        raise ImageError(f"image length {len(blob)} != header's {expected}")
+    text = blob[_HEADER.size : _HEADER.size + text_len]
+    data = blob[_HEADER.size + text_len :]
+    instructions = [
+        decode(int.from_bytes(text[offset : offset + 4], "little"))
+        for offset in range(0, text_len, 4)
+    ]
+    return LoadedImage(
+        instructions=instructions,
+        text_base=text_base,
+        data=data,
+        data_base=data_base,
+    )
+
+
+def listing(program: Program, with_encoding: bool = True) -> str:
+    """Render an address/encoding/disassembly listing with labels.
+
+    The classic ``objdump``-style view used by the debugger and the
+    ``repro asm --list`` CLI flag.
+    """
+    labels_by_address = {}
+    for name, address in program.symbols.items():
+        labels_by_address.setdefault(address, []).append(name)
+
+    lines: List[str] = []
+    for index, instruction in enumerate(program.instructions):
+        address = program.text_base + 4 * index
+        for label in labels_by_address.get(address, []):
+            lines.append(f"{label}:")
+        word = encode(instruction)
+        if with_encoding:
+            lines.append(f"  {address:#08x}:  {word:08x}  {disassemble(instruction)}")
+        else:
+            lines.append(f"  {address:#08x}:  {disassemble(instruction)}")
+    if program.data:
+        lines.append("")
+        lines.append(f".data @ {program.data_base:#x} ({len(program.data)} bytes)")
+        for offset in range(0, min(len(program.data), 64), 16):
+            chunk = program.data[offset : offset + 16]
+            hex_bytes = " ".join(f"{b:02x}" for b in chunk)
+            lines.append(f"  {program.data_base + offset:#08x}:  {hex_bytes}")
+        if len(program.data) > 64:
+            lines.append(f"  ... {len(program.data) - 64} more bytes")
+    return "\n".join(lines)

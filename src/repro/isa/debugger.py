@@ -1,0 +1,153 @@
+"""Interactive-grade debugging facilities for firmware development.
+
+A reproduction meant to be *used* needs tooling for writing new firmware
+kernels, so this module provides the classic debugger surface over
+:class:`~repro.isa.machine.Machine`:
+
+* breakpoints by address or label;
+* data watchpoints (word granularity) that fire on value change;
+* single-step / run-to-break execution;
+* register-file and memory dumps and a small execution history ring.
+
+Used by tests and by anyone extending ``repro.firmware.kernels``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from repro.isa.assembler import Program
+from repro.isa.instructions import REGISTER_NAMES, disassemble
+from repro.isa.machine import Machine, Memory
+
+
+@dataclass(frozen=True)
+class StopReason:
+    """Why :meth:`Debugger.run` returned."""
+
+    kind: str                # 'breakpoint' | 'watchpoint' | 'halted' | 'step-limit'
+    pc: int
+    detail: str = ""
+
+
+class Debugger:
+    """Wraps a machine with breakpoints, watchpoints, and history."""
+
+    def __init__(
+        self,
+        program: Program,
+        memory: Optional[Memory] = None,
+        entry: Optional[str] = None,
+        history_depth: int = 32,
+    ) -> None:
+        self.program = program
+        self.machine = Machine(program, memory, entry=entry)
+        self._breakpoints: Set[int] = set()
+        self._watchpoints: Dict[int, int] = {}  # word address -> last value
+        self.history: Deque[Tuple[int, str]] = deque(maxlen=history_depth)
+        self.stop_reason: Optional[StopReason] = None
+
+    # -- breakpoints -----------------------------------------------------
+    def add_breakpoint(self, where) -> int:
+        """Set a breakpoint at an address or label; returns the address."""
+        address = self.program.address_of(where) if isinstance(where, str) else where
+        if address % 4:
+            raise ValueError(f"breakpoint address {address:#x} not word aligned")
+        self._breakpoints.add(address)
+        return address
+
+    def remove_breakpoint(self, where) -> None:
+        address = self.program.address_of(where) if isinstance(where, str) else where
+        self._breakpoints.discard(address)
+
+    @property
+    def breakpoints(self) -> List[int]:
+        return sorted(self._breakpoints)
+
+    # -- watchpoints -----------------------------------------------------
+    def add_watchpoint(self, where) -> int:
+        """Watch one word (address or data label) for value changes."""
+        address = self.program.address_of(where) if isinstance(where, str) else where
+        if address % 4:
+            raise ValueError(f"watchpoint address {address:#x} not word aligned")
+        self._watchpoints[address] = self.machine.memory.load_word(address)
+        return address
+
+    def _check_watchpoints(self) -> Optional[str]:
+        for address, old in self._watchpoints.items():
+            new = self.machine.memory.load_word(address)
+            if new != old:
+                self._watchpoints[address] = new
+                return f"[{address:#x}] {old:#x} -> {new:#x}"
+        return None
+
+    # -- execution --------------------------------------------------------
+    def step(self) -> Optional[StopReason]:
+        """Execute one instruction; returns a stop reason if one fired."""
+        if self.machine.halted:
+            self.stop_reason = StopReason("halted", self.machine.pc)
+            return self.stop_reason
+        pc = self.machine.pc
+        instruction = self.machine.step()
+        self.history.append((pc, disassemble(instruction)))
+        changed = self._check_watchpoints()
+        if changed is not None:
+            self.stop_reason = StopReason("watchpoint", pc, changed)
+            return self.stop_reason
+        if self.machine.pc in self._breakpoints:
+            self.stop_reason = StopReason("breakpoint", self.machine.pc)
+            return self.stop_reason
+        if self.machine.halted:
+            self.stop_reason = StopReason("halted", self.machine.pc)
+            return self.stop_reason
+        return None
+
+    def run(self, max_steps: int = 1_000_000) -> StopReason:
+        """Run until a breakpoint, watchpoint, halt, or the step limit."""
+        for _ in range(max_steps):
+            reason = self.step()
+            if reason is not None:
+                return reason
+        self.stop_reason = StopReason("step-limit", self.machine.pc)
+        return self.stop_reason
+
+    # -- inspection --------------------------------------------------------
+    def registers(self) -> Dict[str, int]:
+        return {
+            f"${name}": self.machine.read_register(index)
+            for index, name in enumerate(REGISTER_NAMES)
+        }
+
+    def dump_registers(self, nonzero_only: bool = True) -> str:
+        lines = []
+        for name, value in self.registers().items():
+            if nonzero_only and value == 0:
+                continue
+            lines.append(f"{name:6s} = {value:#010x} ({value})")
+        return "\n".join(lines) or "(all registers zero)"
+
+    def dump_memory(self, where, words: int = 8) -> str:
+        address = self.program.address_of(where) if isinstance(where, str) else where
+        lines = []
+        for index in range(words):
+            word_address = address + 4 * index
+            value = self.machine.memory.load_word(word_address)
+            lines.append(f"{word_address:#010x}: {value:#010x}")
+        return "\n".join(lines)
+
+    def where(self) -> str:
+        """Current pc with its disassembly and nearest preceding label."""
+        pc = self.machine.pc
+        label = ""
+        best = -1
+        for name, address in self.program.symbols.items():
+            if address <= pc and address > best and address < self.program.data_base:
+                label, best = name, address
+        offset = pc - best if best >= 0 else pc
+        location = f"{label}+{offset:#x}" if label else f"{pc:#x}"
+        if self.machine.halted:
+            return f"{location}: <halted>"
+        instruction = self.program.instruction_at(pc)
+        return f"{location}: {disassemble(instruction)}"

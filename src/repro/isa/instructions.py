@@ -1,0 +1,348 @@
+"""Instruction formats, mnemonics, and binary encodings.
+
+The subset below covers everything the firmware kernels and the ILP
+study need: the integer ALU, loads/stores, branches with one delay slot,
+jumps, ll/sc for lock-based synchronization, and the two new atomic
+read-modify-write instructions proposed by the paper:
+
+``setb rbase, rindex``
+    Atomically set bit ``rindex`` of the bit array starting at the word
+    address in ``rbase``.
+
+``update rd, rbase, rlast``
+    Atomically scan the bit array at ``rbase`` for consecutive set bits
+    starting at position ``rlast`` + 1, examining at most the single
+    aligned 32-bit word containing that starting bit; clear the set bits
+    found; write into ``rd`` the offset of the last cleared bit, or
+    ``rlast`` unchanged when the first examined bit was clear.
+
+Both are encoded in the SPECIAL2 opcode space (0x1C), the standard MIPS
+mechanism for implementation-specific extensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+REGISTER_NAMES = (
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+    "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+    "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+    "t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+)
+
+REGISTER_NUMBERS: Dict[str, int] = {name: i for i, name in enumerate(REGISTER_NAMES)}
+
+OP_SPECIAL = 0x00
+OP_SPECIAL2 = 0x1C
+
+# funct codes within SPECIAL2 for the paper's extensions (vendor space).
+FUNCT_SETB = 0x30
+FUNCT_UPDATE = 0x31
+FUNCT_HALT = 0x3F
+
+
+@dataclass(frozen=True)
+class InstructionSpec:
+    """Static description of one mnemonic."""
+
+    mnemonic: str
+    fmt: str          # 'r', 'i', 'j', 'shift', 'mem', 'branch', 'branch1', 'jr', 'jalr', 'custom'
+    opcode: int
+    funct: Optional[int] = None
+    rt_field: Optional[int] = None  # for bltz/bgez (REGIMM encodings)
+    is_load: bool = False
+    is_store: bool = False
+    is_branch: bool = False
+    is_jump: bool = False
+    is_rmw: bool = False
+    writes_rd: bool = False
+    writes_rt: bool = False
+    writes_ra: bool = False
+
+OP_REGIMM = 0x01
+
+_SPECS = [
+    # R-type ALU: op rd, rs, rt
+    InstructionSpec("addu", "r", OP_SPECIAL, funct=0x21, writes_rd=True),
+    InstructionSpec("subu", "r", OP_SPECIAL, funct=0x23, writes_rd=True),
+    InstructionSpec("and", "r", OP_SPECIAL, funct=0x24, writes_rd=True),
+    InstructionSpec("or", "r", OP_SPECIAL, funct=0x25, writes_rd=True),
+    InstructionSpec("xor", "r", OP_SPECIAL, funct=0x26, writes_rd=True),
+    InstructionSpec("nor", "r", OP_SPECIAL, funct=0x27, writes_rd=True),
+    InstructionSpec("slt", "r", OP_SPECIAL, funct=0x2A, writes_rd=True),
+    InstructionSpec("sltu", "r", OP_SPECIAL, funct=0x2B, writes_rd=True),
+    InstructionSpec("sllv", "r", OP_SPECIAL, funct=0x04, writes_rd=True),
+    InstructionSpec("srlv", "r", OP_SPECIAL, funct=0x06, writes_rd=True),
+    InstructionSpec("srav", "r", OP_SPECIAL, funct=0x07, writes_rd=True),
+    InstructionSpec("mul", "r", OP_SPECIAL2, funct=0x02, writes_rd=True),
+    # HI/LO multiply-divide unit (rd unused; results read via mfhi/mflo).
+    InstructionSpec("mult", "r", OP_SPECIAL, funct=0x18),
+    InstructionSpec("multu", "r", OP_SPECIAL, funct=0x19),
+    InstructionSpec("div", "r", OP_SPECIAL, funct=0x1A),
+    InstructionSpec("divu", "r", OP_SPECIAL, funct=0x1B),
+    InstructionSpec("mfhi", "r", OP_SPECIAL, funct=0x10, writes_rd=True),
+    InstructionSpec("mflo", "r", OP_SPECIAL, funct=0x12, writes_rd=True),
+    # Shifts with immediate shamt: op rd, rt, shamt
+    InstructionSpec("sll", "shift", OP_SPECIAL, funct=0x00, writes_rd=True),
+    InstructionSpec("srl", "shift", OP_SPECIAL, funct=0x02, writes_rd=True),
+    InstructionSpec("sra", "shift", OP_SPECIAL, funct=0x03, writes_rd=True),
+    # I-type ALU: op rt, rs, imm
+    InstructionSpec("addiu", "i", 0x09, writes_rt=True),
+    InstructionSpec("andi", "i", 0x0C, writes_rt=True),
+    InstructionSpec("ori", "i", 0x0D, writes_rt=True),
+    InstructionSpec("xori", "i", 0x0E, writes_rt=True),
+    InstructionSpec("slti", "i", 0x0A, writes_rt=True),
+    InstructionSpec("sltiu", "i", 0x0B, writes_rt=True),
+    InstructionSpec("lui", "i", 0x0F, writes_rt=True),  # rs field unused
+    # Loads/stores: op rt, offset(rs)
+    InstructionSpec("lw", "mem", 0x23, is_load=True, writes_rt=True),
+    InstructionSpec("lh", "mem", 0x21, is_load=True, writes_rt=True),
+    InstructionSpec("lhu", "mem", 0x25, is_load=True, writes_rt=True),
+    InstructionSpec("lb", "mem", 0x20, is_load=True, writes_rt=True),
+    InstructionSpec("lbu", "mem", 0x24, is_load=True, writes_rt=True),
+    InstructionSpec("sw", "mem", 0x2B, is_store=True),
+    InstructionSpec("sh", "mem", 0x29, is_store=True),
+    InstructionSpec("sb", "mem", 0x28, is_store=True),
+    InstructionSpec("ll", "mem", 0x30, is_load=True, writes_rt=True),
+    InstructionSpec("sc", "mem", 0x38, is_store=True, writes_rt=True),
+    # Branches (one architectural delay slot)
+    InstructionSpec("beq", "branch", 0x04, is_branch=True),
+    InstructionSpec("bne", "branch", 0x05, is_branch=True),
+    InstructionSpec("blez", "branch1", 0x06, is_branch=True),
+    InstructionSpec("bgtz", "branch1", 0x07, is_branch=True),
+    InstructionSpec("bltz", "branch1", OP_REGIMM, rt_field=0x00, is_branch=True),
+    InstructionSpec("bgez", "branch1", OP_REGIMM, rt_field=0x01, is_branch=True),
+    # Jumps
+    InstructionSpec("j", "j", 0x02, is_jump=True),
+    InstructionSpec("jal", "j", 0x03, is_jump=True, writes_ra=True),
+    InstructionSpec("jr", "jr", OP_SPECIAL, funct=0x08, is_jump=True),
+    InstructionSpec("jalr", "jalr", OP_SPECIAL, funct=0x09, is_jump=True, writes_rd=True),
+    # Paper's atomic extensions + a simulator halt.
+    InstructionSpec("setb", "r", OP_SPECIAL2, funct=FUNCT_SETB, is_rmw=True,
+                    is_store=True),
+    InstructionSpec("update", "r", OP_SPECIAL2, funct=FUNCT_UPDATE, is_rmw=True,
+                    is_load=True, writes_rd=True),
+    InstructionSpec("halt", "custom", OP_SPECIAL2, funct=FUNCT_HALT),
+]
+
+SPECS: Dict[str, InstructionSpec] = {spec.mnemonic: spec for spec in _SPECS}
+
+
+def spec_for(mnemonic: str) -> InstructionSpec:
+    """Look up the spec for a mnemonic, raising on unknown names."""
+    try:
+        return SPECS[mnemonic]
+    except KeyError:
+        raise KeyError(f"unknown mnemonic {mnemonic!r}") from None
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded/assembled instruction.
+
+    Field use by format:
+
+    * ``r``:      rd, rs, rt
+    * ``shift``:  rd, rt, shamt
+    * ``i``:      rt, rs, imm (16-bit, sign- or zero-extended per op)
+    * ``mem``:    rt, imm(rs)
+    * ``branch``: rs, rt, imm (word offset from delay slot)
+    * ``branch1``: rs, imm
+    * ``j``:      target (word address)
+    * ``jr``:     rs;  ``jalr``: rd, rs
+    """
+
+    mnemonic: str
+    rd: int = 0
+    rs: int = 0
+    rt: int = 0
+    imm: int = 0
+    shamt: int = 0
+    target: int = 0
+    label: Optional[str] = None  # symbolic target kept for disassembly
+
+    @property
+    def spec(self) -> InstructionSpec:
+        return SPECS[self.mnemonic]
+
+    # -- register dependence queries (used by the pipeline and ILP code) --
+    # The HI/LO pair is modeled as pseudo-register 32 for dependence
+    # tracking (mult/div write it, mfhi/mflo read it).
+    HILO = 32
+
+    def source_registers(self) -> Tuple[int, ...]:
+        spec = self.spec
+        fmt = spec.fmt
+        if self.mnemonic in ("mfhi", "mflo"):
+            return (self.HILO,)
+        if fmt == "r":
+            if spec.is_rmw:
+                if self.mnemonic == "setb":
+                    return (self.rs, self.rt)
+                return (self.rs, self.rt)  # update reads base + last offset
+            return (self.rs, self.rt)
+        if fmt == "shift":
+            return (self.rt,)
+        if fmt == "i":
+            if self.mnemonic == "lui":
+                return ()
+            return (self.rs,)
+        if fmt == "mem":
+            if spec.is_store:
+                return (self.rs, self.rt)
+            return (self.rs,)
+        if fmt == "branch":
+            return (self.rs, self.rt)
+        if fmt == "branch1":
+            return (self.rs,)
+        if fmt in ("jr", "jalr"):
+            return (self.rs,)
+        return ()
+
+    def destination_register(self) -> Optional[int]:
+        spec = self.spec
+        if self.mnemonic in ("mult", "multu", "div", "divu"):
+            return self.HILO
+        if spec.writes_rd:
+            return self.rd
+        if spec.writes_rt:
+            return self.rt
+        if spec.writes_ra:
+            return 31
+        return None
+
+    def __str__(self) -> str:
+        return disassemble(self)
+
+
+def _reg(index: int) -> str:
+    return f"${REGISTER_NAMES[index]}"
+
+
+def disassemble(instruction: Instruction) -> str:
+    """Render an instruction in assembler syntax."""
+    spec = instruction.spec
+    m = instruction.mnemonic
+    if m == "halt":
+        return "halt"
+    if m == "setb":
+        return f"setb {_reg(instruction.rs)}, {_reg(instruction.rt)}"
+    if m == "update":
+        return f"update {_reg(instruction.rd)}, {_reg(instruction.rs)}, {_reg(instruction.rt)}"
+    if m in ("mult", "multu", "div", "divu"):
+        return f"{m} {_reg(instruction.rs)}, {_reg(instruction.rt)}"
+    if m in ("mfhi", "mflo"):
+        return f"{m} {_reg(instruction.rd)}"
+    fmt = spec.fmt
+    if fmt == "r":
+        return f"{m} {_reg(instruction.rd)}, {_reg(instruction.rs)}, {_reg(instruction.rt)}"
+    if fmt == "shift":
+        return f"{m} {_reg(instruction.rd)}, {_reg(instruction.rt)}, {instruction.shamt}"
+    if fmt == "i":
+        if m == "lui":
+            return f"{m} {_reg(instruction.rt)}, {instruction.imm & 0xFFFF:#x}"
+        return f"{m} {_reg(instruction.rt)}, {_reg(instruction.rs)}, {instruction.imm}"
+    if fmt == "mem":
+        return f"{m} {_reg(instruction.rt)}, {instruction.imm}({_reg(instruction.rs)})"
+    if fmt == "branch":
+        target = instruction.label or instruction.imm
+        return f"{m} {_reg(instruction.rs)}, {_reg(instruction.rt)}, {target}"
+    if fmt == "branch1":
+        target = instruction.label or instruction.imm
+        return f"{m} {_reg(instruction.rs)}, {target}"
+    if fmt == "j":
+        target = instruction.label or f"{instruction.target:#x}"
+        return f"{m} {target}"
+    if fmt == "jr":
+        return f"{m} {_reg(instruction.rs)}"
+    if fmt == "jalr":
+        return f"{m} {_reg(instruction.rd)}, {_reg(instruction.rs)}"
+    raise ValueError(f"cannot disassemble format {fmt!r}")
+
+
+# ----------------------------------------------------------------------
+# Binary encode / decode
+# ----------------------------------------------------------------------
+def _check_uint(value: int, bits: int, what: str) -> int:
+    if not 0 <= value < (1 << bits):
+        raise ValueError(f"{what} {value} does not fit in {bits} bits")
+    return value
+
+
+def _to_u16(imm: int) -> int:
+    if not -(1 << 15) <= imm < (1 << 16):
+        raise ValueError(f"immediate {imm} does not fit in 16 bits")
+    return imm & 0xFFFF
+
+
+def encode(instruction: Instruction) -> int:
+    """Encode to a 32-bit word using genuine MIPS field layouts."""
+    spec = instruction.spec
+    op = spec.opcode
+    rs = _check_uint(instruction.rs, 5, "rs")
+    rt = _check_uint(instruction.rt, 5, "rt")
+    rd = _check_uint(instruction.rd, 5, "rd")
+    if spec.fmt == "r" or spec.fmt in ("jr", "jalr") or spec.fmt == "custom":
+        funct = spec.funct or 0
+        return (op << 26) | (rs << 21) | (rt << 16) | (rd << 11) | funct
+    if spec.fmt == "shift":
+        shamt = _check_uint(instruction.shamt, 5, "shamt")
+        return (op << 26) | (rt << 16) | (rd << 11) | (shamt << 6) | (spec.funct or 0)
+    if spec.fmt in ("i", "mem", "branch"):
+        return (op << 26) | (rs << 21) | (rt << 16) | _to_u16(instruction.imm)
+    if spec.fmt == "branch1":
+        rt_field = spec.rt_field if spec.rt_field is not None else 0
+        return (op << 26) | (rs << 21) | (rt_field << 16) | _to_u16(instruction.imm)
+    if spec.fmt == "j":
+        target = _check_uint(instruction.target, 26, "jump target")
+        return (op << 26) | target
+    raise ValueError(f"cannot encode format {spec.fmt!r}")
+
+
+def _sign_extend_16(value: int) -> int:
+    return value - 0x10000 if value & 0x8000 else value
+
+
+_DECODE_R: Dict[Tuple[int, int], InstructionSpec] = {}
+_DECODE_I: Dict[int, InstructionSpec] = {}
+_DECODE_REGIMM: Dict[int, InstructionSpec] = {}
+for _spec in _SPECS:
+    if _spec.opcode in (OP_SPECIAL, OP_SPECIAL2) and _spec.funct is not None:
+        _DECODE_R[(_spec.opcode, _spec.funct)] = _spec
+    elif _spec.opcode == OP_REGIMM:
+        _DECODE_REGIMM[_spec.rt_field or 0] = _spec
+    else:
+        _DECODE_I[_spec.opcode] = _spec
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit word back into an :class:`Instruction`."""
+    op = (word >> 26) & 0x3F
+    rs = (word >> 21) & 0x1F
+    rt = (word >> 16) & 0x1F
+    rd = (word >> 11) & 0x1F
+    shamt = (word >> 6) & 0x1F
+    funct = word & 0x3F
+    imm16 = word & 0xFFFF
+    if op in (OP_SPECIAL, OP_SPECIAL2):
+        spec = _DECODE_R.get((op, funct))
+        if spec is None:
+            raise ValueError(f"cannot decode word {word:#010x} (funct {funct:#x})")
+        if spec.fmt == "shift":
+            return Instruction(spec.mnemonic, rd=rd, rt=rt, shamt=shamt)
+        return Instruction(spec.mnemonic, rd=rd, rs=rs, rt=rt)
+    if op == OP_REGIMM:
+        spec = _DECODE_REGIMM.get(rt)
+        if spec is None:
+            raise ValueError(f"cannot decode REGIMM word {word:#010x}")
+        return Instruction(spec.mnemonic, rs=rs, imm=_sign_extend_16(imm16))
+    spec = _DECODE_I.get(op)
+    if spec is None:
+        raise ValueError(f"cannot decode word {word:#010x} (opcode {op:#x})")
+    if spec.fmt == "j":
+        return Instruction(spec.mnemonic, target=word & 0x3FFFFFF)
+    if spec.mnemonic in ("andi", "ori", "xori", "lui"):
+        return Instruction(spec.mnemonic, rs=rs, rt=rt, imm=imm16)
+    return Instruction(spec.mnemonic, rs=rs, rt=rt, imm=_sign_extend_16(imm16))

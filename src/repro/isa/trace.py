@@ -1,0 +1,38 @@
+"""Dynamic instruction trace records.
+
+The ILP limit study (paper Table 2) performs "an offline analysis of a
+dynamic instruction trace of idealized NIC firmware".  The functional
+machine can capture one of these traces; each entry carries exactly the
+information the offline scheduler needs: register dependences, whether
+the instruction touches memory, and whether it is a (taken) branch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One dynamically executed instruction."""
+
+    pc: int
+    mnemonic: str
+    sources: Tuple[int, ...]
+    destination: Optional[int]
+    is_load: bool
+    is_store: bool
+    is_branch: bool
+    is_jump: bool
+    taken: bool
+    mem_address: Optional[int] = None
+
+    @property
+    def is_memory(self) -> bool:
+        return self.is_load or self.is_store
+
+    @property
+    def is_control(self) -> bool:
+        """True for anything that can redirect fetch (branch or jump)."""
+        return self.is_branch or self.is_jump

@@ -1,0 +1,37 @@
+"""The paper's partitioned NIC memory system.
+
+Control data (descriptors, frame metadata, event state) lives in a
+multi-banked on-chip scratchpad reached through a 32-bit round-robin
+crossbar; instructions live in a shared instruction memory behind
+per-core I-caches; frame contents live in external GDDR SDRAM reached
+over a separate 128-bit bus.  :mod:`repro.mem.coherence` additionally
+provides the trace-driven MESI cache simulator used to justify the
+scratchpad over coherent caches (Figure 3).
+"""
+
+from repro.mem.coherence import (
+    CoherenceStats,
+    CoherentCacheSystem,
+    MesiState,
+    TraceAccess,
+    sweep_cache_sizes,
+)
+from repro.mem.crossbar import Crossbar
+from repro.mem.icache import InstructionCache
+from repro.mem.imem import InstructionMemory
+from repro.mem.scratchpad import Scratchpad
+from repro.mem.sdram import GddrSdram, SdramRequest
+
+__all__ = [
+    "CoherenceStats",
+    "CoherentCacheSystem",
+    "sweep_cache_sizes",
+    "Crossbar",
+    "GddrSdram",
+    "InstructionCache",
+    "InstructionMemory",
+    "MesiState",
+    "Scratchpad",
+    "SdramRequest",
+    "TraceAccess",
+]

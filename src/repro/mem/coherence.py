@@ -1,0 +1,214 @@
+"""Trace-driven MESI cache-coherence simulator (the Figure 3 study).
+
+The paper evaluates whether per-processor coherent caches could replace
+the scratchpad.  Metadata access traces from a 6-core frame-parallel run
+are fed through SMPCache with fully-associative LRU caches, 16-byte
+lines (to avoid false sharing), and a MESI protocol, sweeping cache size
+from 16 B to 32 KB.  The collective hit ratio never exceeds ~55%, and
+fewer than 1% of writes invalidate another cache — i.e., caching fails
+for *lack of locality*, not for coherence overhead.
+
+This module is a faithful, self-contained replacement for SMPCache's
+role in that experiment.  Like SMPCache it supports at most 8 caches,
+which is why DMA-assist traces are interleaved into one cache and MAC
+traces into another before analysis.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+MAX_CACHES = 8
+
+
+class MesiState(enum.Enum):
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+
+@dataclass(frozen=True)
+class TraceAccess:
+    """One memory reference by one cache's owner."""
+
+    cache_id: int
+    address: int
+    is_write: bool
+
+
+@dataclass
+class CoherenceStats:
+    """Aggregate results of one trace run."""
+
+    hits: int = 0
+    misses: int = 0
+    reads: int = 0
+    writes: int = 0
+    invalidations_caused_by_writes: int = 0
+    write_accesses_causing_invalidation: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def write_invalidation_ratio(self) -> float:
+        """Fraction of write accesses that invalidated another cache."""
+        if self.writes == 0:
+            return 0.0
+        return self.write_accesses_causing_invalidation / self.writes
+
+
+class _Cache:
+    """One fully-associative LRU cache; values are MESI states."""
+
+    def __init__(self, capacity_lines: int) -> None:
+        self.capacity_lines = capacity_lines
+        self.lines: "OrderedDict[int, MesiState]" = OrderedDict()
+
+    def get(self, line: int) -> MesiState:
+        state = self.lines.get(line, MesiState.INVALID)
+        if state is not MesiState.INVALID:
+            self.lines.move_to_end(line)
+        return state
+
+    def put(self, line: int, state: MesiState) -> bool:
+        """Install/refresh a line; returns True if a dirty line was evicted."""
+        evicted_dirty = False
+        if line not in self.lines and len(self.lines) >= self.capacity_lines:
+            _victim, victim_state = self.lines.popitem(last=False)
+            evicted_dirty = victim_state is MesiState.MODIFIED
+        self.lines[line] = state
+        self.lines.move_to_end(line)
+        return evicted_dirty
+
+    def drop(self, line: int) -> None:
+        self.lines.pop(line, None)
+
+
+class CoherentCacheSystem:
+    """N private MESI caches over one shared backing store."""
+
+    def __init__(
+        self,
+        cache_count: int,
+        cache_size_bytes: int,
+        line_bytes: int = 16,
+    ) -> None:
+        if not 1 <= cache_count <= MAX_CACHES:
+            raise ValueError(
+                f"cache count must be in [1, {MAX_CACHES}] "
+                f"(SMPCache's limit, preserved here), got {cache_count}"
+            )
+        if line_bytes <= 0 or cache_size_bytes < line_bytes:
+            raise ValueError("cache must hold at least one line")
+        self.cache_count = cache_count
+        self.cache_size_bytes = cache_size_bytes
+        self.line_bytes = line_bytes
+        capacity_lines = cache_size_bytes // line_bytes
+        self.caches: List[_Cache] = [_Cache(capacity_lines) for _ in range(cache_count)]
+        self.stats = CoherenceStats()
+
+    # ------------------------------------------------------------------
+    def _line_of(self, address: int) -> int:
+        return address // self.line_bytes
+
+    def _other_holders(self, line: int, me: int) -> List[int]:
+        holders = []
+        for cache_id, cache in enumerate(self.caches):
+            if cache_id != me and cache.lines.get(line, MesiState.INVALID) is not MesiState.INVALID:
+                holders.append(cache_id)
+        return holders
+
+    def access(self, access: TraceAccess) -> bool:
+        """Run one reference through the protocol; returns True on hit."""
+        if not 0 <= access.cache_id < self.cache_count:
+            raise ValueError(f"no cache {access.cache_id}")
+        line = self._line_of(access.address)
+        cache = self.caches[access.cache_id]
+        state = cache.get(line)
+        if access.is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+
+        if not access.is_write:
+            if state is not MesiState.INVALID:
+                self.stats.hits += 1
+                return True
+            # Read miss: load Shared if others hold it, else Exclusive.
+            self.stats.misses += 1
+            holders = self._other_holders(line, access.cache_id)
+            if holders:
+                for holder in holders:
+                    holder_cache = self.caches[holder]
+                    if holder_cache.lines[line] is MesiState.MODIFIED:
+                        self.stats.writebacks += 1
+                    holder_cache.lines[line] = MesiState.SHARED
+                new_state = MesiState.SHARED
+            else:
+                new_state = MesiState.EXCLUSIVE
+            if cache.put(line, new_state):
+                self.stats.writebacks += 1
+            return False
+
+        # Write path.
+        if state in (MesiState.MODIFIED, MesiState.EXCLUSIVE):
+            cache.lines[line] = MesiState.MODIFIED
+            self.stats.hits += 1
+            return True
+        if state is MesiState.SHARED:
+            # Upgrade: hit, but must invalidate other sharers.
+            invalidated = self._invalidate_others(line, access.cache_id)
+            cache.lines[line] = MesiState.MODIFIED
+            self.stats.hits += 1
+            if invalidated:
+                self.stats.write_accesses_causing_invalidation += 1
+            return True
+        # Write miss (read-for-ownership).
+        self.stats.misses += 1
+        invalidated = self._invalidate_others(line, access.cache_id)
+        if cache.put(line, MesiState.MODIFIED):
+            self.stats.writebacks += 1
+        if invalidated:
+            self.stats.write_accesses_causing_invalidation += 1
+        return False
+
+    def _invalidate_others(self, line: int, me: int) -> int:
+        holders = self._other_holders(line, me)
+        for holder in holders:
+            if self.caches[holder].lines[line] is MesiState.MODIFIED:
+                self.stats.writebacks += 1
+            self.caches[holder].drop(line)
+        count = len(holders)
+        self.stats.invalidations_caused_by_writes += count
+        return count
+
+    # ------------------------------------------------------------------
+    def run_trace(self, trace: Iterable[TraceAccess]) -> CoherenceStats:
+        for access in trace:
+            self.access(access)
+        return self.stats
+
+
+def sweep_cache_sizes(
+    trace: Sequence[TraceAccess],
+    cache_count: int,
+    sizes_bytes: Iterable[int],
+    line_bytes: int = 16,
+) -> Dict[int, CoherenceStats]:
+    """The Figure 3 sweep: hit ratio vs per-cache size."""
+    results: Dict[int, CoherenceStats] = {}
+    for size in sizes_bytes:
+        system = CoherentCacheSystem(cache_count, size, line_bytes)
+        results[size] = system.run_trace(trace)
+    return results

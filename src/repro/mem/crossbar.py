@@ -1,0 +1,60 @@
+"""32-bit crossbar between processors/assists and the scratchpad banks.
+
+The paper's interconnect (Section 4): "The crossbar is 32 bits wide and
+allows one transaction to each scratchpad bank and to the external
+memory bus interface per cycle with round-robin arbitration for each
+resource.  Accessing any scratchpad bank requires a latency of 2 cycles:
+one to request and traverse the crossbar and another to access the
+memory and return requested data."
+
+Each destination resource accepts one transaction per cycle.  Requests
+for a busy resource are pushed to the next free cycle; round-robin
+fairness is obtained by the lockstep core model issuing same-cycle
+requests in rotating order (see :mod:`repro.cpu.core`), which matches a
+rotating-priority arbiter's behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+CROSSBAR_TRAVERSAL_CYCLES = 1
+RESOURCE_ACCESS_CYCLES = 1
+TOTAL_ACCESS_LATENCY = CROSSBAR_TRAVERSAL_CYCLES + RESOURCE_ACCESS_CYCLES  # 2
+
+
+class Crossbar:
+    """One-grant-per-resource-per-cycle arbiter."""
+
+    def __init__(self, resource_count: int) -> None:
+        if resource_count < 1:
+            raise ValueError("crossbar needs at least one resource")
+        self.resource_count = resource_count
+        self._next_free_cycle: List[int] = [0] * resource_count
+        self.grants = 0
+        self.conflict_cycles = 0
+
+    def request(self, resource: int, requester: int, cycle: int) -> int:
+        """Request one transaction; returns the grant cycle.
+
+        The requester sees its data ``TOTAL_ACCESS_LATENCY`` cycles after
+        the grant (one cycle to traverse, one to access).  ``requester``
+        is kept for statistics/debugging symmetry with real arbiters.
+        """
+        if not 0 <= resource < self.resource_count:
+            raise ValueError(f"no such resource {resource}")
+        if cycle < 0:
+            raise ValueError(f"cycle must be non-negative, got {cycle}")
+        grant = max(cycle, self._next_free_cycle[resource])
+        self.conflict_cycles += grant - cycle
+        self._next_free_cycle[resource] = grant + 1
+        self.grants += 1
+        return grant
+
+    def completion_cycle(self, grant_cycle: int) -> int:
+        """Cycle at which data is back at the requester."""
+        return grant_cycle + TOTAL_ACCESS_LATENCY
+
+    def busy_until(self, resource: int) -> int:
+        """First cycle at which the resource could take a new grant."""
+        return self._next_free_cycle[resource]

@@ -1,0 +1,92 @@
+"""Cycle-level NIC controller (the micro tier).
+
+Wires the Figure 6 computation/memory architecture at cycle resolution:
+``cores`` 5-stage pipelined cores with private I-caches fed from the
+shared instruction memory, all reaching a banked scratchpad through the
+round-robin crossbar.  Runs real assembled MIPS programs — the firmware
+kernels — and reports the same per-category stall statistics the
+macro-tier cost model produces, which is how the two tiers are
+cross-validated (see ``tests/test_cross_validation.py``).
+
+Frame-data SDRAM and the assists are not part of this tier: the paper's
+processors never touch frame data, so the micro tier models exactly
+what the cores see — instructions and control data.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cpu.core import CoreStats, LockstepSystem, PipelinedCore
+from repro.isa.assembler import Program
+from repro.mem.icache import InstructionCache
+from repro.mem.imem import InstructionMemory
+from repro.mem.scratchpad import Scratchpad
+from repro.nic.config import NicConfig
+
+
+class MicroNic:
+    """N cores + banked scratchpad + instruction memory, cycle by cycle."""
+
+    def __init__(
+        self,
+        config: NicConfig,
+        program: Program,
+        entries: Optional[List[str]] = None,
+        shared_memory=None,
+    ) -> None:
+        """``shared_memory`` lets callers substitute a device-mapped
+        memory (:class:`~repro.nic.microdev.DeviceMemory`) so firmware
+        can drive the memory-mapped hardware assists."""
+        if entries is not None and len(entries) != config.cores:
+            raise ValueError(
+                f"need one entry point per core ({config.cores}), got {len(entries)}"
+            )
+        self.config = config
+        self.program = program
+        self.scratchpad = Scratchpad(
+            banks=config.scratchpad_banks,
+            capacity_bytes=config.scratchpad_bytes,
+            memory=shared_memory,
+        )
+        self.imem = InstructionMemory(capacity_bytes=config.imem_bytes)
+        self.cores: List[PipelinedCore] = []
+        for core_id in range(config.cores):
+            icache = InstructionCache(
+                capacity_bytes=config.icache_bytes,
+                associativity=config.icache_associativity,
+                line_bytes=config.icache_line_bytes,
+            )
+            entry = entries[core_id] if entries else None
+            core = PipelinedCore(
+                program,
+                self.scratchpad,
+                imem=self.imem,
+                icache=icache,
+                core_id=core_id,
+                entry=entry,
+                shared_memory=self.scratchpad.memory,
+            )
+            self.cores.append(core)
+        self.system = LockstepSystem(self.cores)
+
+    def run(self, max_steps: int = 20_000_000) -> List[CoreStats]:
+        """Run every core to its halt; returns per-core statistics."""
+        return self.system.run(max_steps=max_steps)
+
+    # -- aggregate views --------------------------------------------------
+    def combined_stats(self) -> CoreStats:
+        total = CoreStats()
+        for core in self.cores:
+            stats = core.stats
+            total.instructions += stats.instructions
+            total.cycles += stats.cycles
+            total.imiss_stalls += stats.imiss_stalls
+            total.load_stalls += stats.load_stalls
+            total.conflict_stalls += stats.conflict_stalls
+            total.pipeline_stalls += stats.pipeline_stalls
+        return total
+
+    @property
+    def scratchpad_accesses(self) -> int:
+        return self.scratchpad.accesses

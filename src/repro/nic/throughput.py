@@ -1,0 +1,1117 @@
+"""Event-driven full-system NIC simulator (the macro tier).
+
+This is the model behind Figures 7 and 8 and Tables 3-6.  It simulates,
+with discrete events over picosecond time:
+
+* the device driver posting send descriptors and replenishing receive
+  buffers (rings bound the in-flight frame population, as on real NICs);
+* the four hardware assists — DMA read/write with pipelined host
+  latency and globally serialized SDRAM bursts, MAC tx/rx with real
+  Ethernet wire timing;
+* the frame-level parallel firmware: a distributed event queue served
+  by ``cores`` identical cores, with handler durations produced by the
+  :class:`~repro.cpu.costmodel.CoreCostModel` under a dynamically
+  measured scratchpad-contention level;
+* total frame ordering through :class:`~repro.firmware.ordering.OrderingBoard`
+  bitmaps (lock-based or RMW-enhanced), and the firmware's remaining
+  locks with FIFO spin-wait contention.
+
+Approximations (documented per DESIGN.md §5): a handler's internal
+timeline — including its lock acquisitions — is laid out when the
+handler is dispatched rather than interleaved instruction-by-instruction
+with other cores; lock hand-off is therefore FIFO in dispatch order.
+Measurements happen after a warm-up window so rings, buffers, and the
+contention estimate reach steady state.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.assists.dma import DmaAssist
+from repro.assists.mac import MacReceiver, MacTransmitter
+from repro.assists.pci import PciInterface
+from repro.cpu.costmodel import ContentionModel, HandlerCost, OpProfile
+from repro.firmware.events import DistributedEventQueue, EventKind, FrameEvent
+from repro.firmware.ordering import OrderingBoard, OrderingCost
+from repro.firmware.profiles import (
+    RECV_BDS_PER_FETCH,
+    SEND_BDS_PER_FETCH,
+    SEND_FRAMES_PER_BD_FETCH,
+    IDEAL_PROFILES,
+)
+from repro.host.descriptors import DESCRIPTOR_BYTES
+from repro.host.driver import DriverModel
+from repro.mem.sdram import GddrSdram
+from repro.net.ethernet import (
+    EthernetTiming,
+    TX_HEADER_REGION_BYTES,
+    frame_bytes_for_udp_payload,
+)
+from repro.nic.config import NicConfig
+from repro.sim.kernel import Simulator
+from repro.sim.stats import Histogram
+from repro.units import ps_to_seconds, to_gbps
+
+# The split of the Send/Receive Frame task between its initiation part
+# (claim frames, program the DMA assist) and its completion part
+# (process finished DMAs, produce descriptors, notify).
+_START_FRACTION = 0.55
+_FINISH_FRACTION = 1.0 - _START_FRACTION
+
+# Lock hold times (core cycles) for the short critical sections that
+# remain in both firmware variants.
+_HOLD_TXQ = 10.0
+_HOLD_RXPOOL = 14.0
+_HOLD_NOTIFY = 10.0
+
+
+@dataclass
+class FunctionStats:
+    """Per-function accounting (rows of Tables 5 and 6)."""
+
+    instructions: float = 0.0
+    loads: float = 0.0
+    stores: float = 0.0
+    cycles: float = 0.0
+    imiss_cycles: float = 0.0
+    load_cycles: float = 0.0
+    conflict_cycles: float = 0.0
+    pipeline_cycles: float = 0.0
+    lock_wait_cycles: float = 0.0
+    invocations: int = 0
+    frames: int = 0
+
+    @property
+    def accesses(self) -> float:
+        return self.loads + self.stores
+
+    def per_frame(self, frames: int) -> Dict[str, float]:
+        if frames <= 0:
+            return {"instructions": 0.0, "accesses": 0.0, "cycles": 0.0}
+        return {
+            "instructions": self.instructions / frames,
+            "accesses": self.accesses / frames,
+            "cycles": self.cycles / frames,
+        }
+
+
+FUNCTION_NAMES = (
+    "fetch_send_bd",
+    "send_frame",
+    "send_dispatch_ordering",
+    "send_locking",
+    "fetch_recv_bd",
+    "recv_frame",
+    "recv_dispatch_ordering",
+    "recv_locking",
+)
+
+
+@dataclass
+class ThroughputResult:
+    """Everything the benchmarks read out of one simulation run."""
+
+    config: NicConfig
+    udp_payload_bytes: int      # mean, for mixed-size workloads
+    frame_bytes: int            # mean, for mixed-size workloads
+    measure_seconds: float
+    tx_frames: int
+    rx_frames: int
+    tx_payload_bytes: int
+    rx_payload_bytes: int
+    line_fps_per_direction: float
+    rx_offered: int
+    rx_dropped: int
+    function_stats: Dict[str, FunctionStats]
+    busy_cycles: float
+    total_core_cycles: float
+    cost_totals: HandlerCost
+    scratchpad_core_accesses: int
+    scratchpad_assist_accesses: int
+    sdram_useful_bytes: int
+    sdram_transferred_bytes: int
+    imem_fill_bytes: float
+    conflict_wait: float
+    lock_waits: Dict[str, float]
+    event_queue_high_water: int
+    retries: int
+    mean_rx_commit_latency_s: float = 0.0
+    mean_outstanding_frames: float = 0.0
+    p99_rx_commit_latency_s: float = 0.0
+
+    # -- headline rates ---------------------------------------------------
+    @property
+    def tx_fps(self) -> float:
+        return self.tx_frames / self.measure_seconds
+
+    @property
+    def rx_fps(self) -> float:
+        return self.rx_frames / self.measure_seconds
+
+    @property
+    def total_fps(self) -> float:
+        return self.tx_fps + self.rx_fps
+
+    @property
+    def udp_throughput_bps(self) -> float:
+        payload = self.tx_payload_bytes + self.rx_payload_bytes
+        return payload * 8 / self.measure_seconds
+
+    @property
+    def udp_throughput_gbps(self) -> float:
+        return to_gbps(self.udp_throughput_bps)
+
+    def line_rate_fraction(self, timing: Optional[EthernetTiming] = None) -> float:
+        if timing is not None:
+            limit = 2 * timing.frames_per_second(self.frame_bytes)
+        else:
+            limit = 2 * self.line_fps_per_direction
+        return self.total_fps / limit if limit else 0.0
+
+    # -- Table 3 ----------------------------------------------------------
+    def ipc_breakdown(self) -> Dict[str, float]:
+        """Per-core cycle breakdown over busy cycles (Table 3 rows)."""
+        busy = self.busy_cycles
+        if busy <= 0:
+            return {}
+        totals = self.cost_totals
+        return {
+            "execution": totals.instructions / busy,
+            "imiss": totals.imiss_cycles / busy,
+            "load": totals.load_cycles / busy,
+            "conflict": totals.conflict_cycles / busy,
+            "pipeline": totals.pipeline_cycles / busy,
+        }
+
+    @property
+    def core_utilization(self) -> float:
+        if self.total_core_cycles <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / self.total_core_cycles)
+
+    # -- export -------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable summary for downstream tooling (CLI --json)."""
+        return {
+            "config": self.config.label,
+            "udp_payload_bytes": self.udp_payload_bytes,
+            "frame_bytes": self.frame_bytes,
+            "measure_seconds": self.measure_seconds,
+            "tx_fps": self.tx_fps,
+            "rx_fps": self.rx_fps,
+            "udp_throughput_gbps": self.udp_throughput_gbps,
+            "line_rate_fraction": self.line_rate_fraction(),
+            "core_utilization": self.core_utilization,
+            "rx_dropped": self.rx_dropped,
+            "mean_outstanding_frames": self.mean_outstanding_frames,
+            "mean_rx_commit_latency_us": self.mean_rx_commit_latency_s * 1e6,
+            "p99_rx_commit_latency_us": self.p99_rx_commit_latency_s * 1e6,
+            "ipc_breakdown": self.ipc_breakdown(),
+            "bandwidth": self.bandwidth_report(),
+            "functions": {
+                name: {
+                    "instructions": stats.instructions,
+                    "accesses": stats.accesses,
+                    "cycles": stats.cycles,
+                    "invocations": stats.invocations,
+                    "frames": stats.frames,
+                }
+                for name, stats in self.function_stats.items()
+            },
+        }
+
+    # -- Table 4 ----------------------------------------------------------
+    def bandwidth_report(self) -> Dict[str, float]:
+        seconds = self.measure_seconds
+        freq = self.config.core_frequency_hz
+        core_access_rate = self.scratchpad_core_accesses / seconds
+        assist_access_rate = self.scratchpad_assist_accesses / seconds
+        return {
+            "scratchpad_consumed_gbps": to_gbps(
+                (core_access_rate + assist_access_rate) * 32
+            ),
+            "scratchpad_peak_gbps": to_gbps(self.config.scratchpad_banks * 32 * freq),
+            "scratchpad_core_maccesses_per_s": core_access_rate / 1e6,
+            "scratchpad_assist_maccesses_per_s": assist_access_rate / 1e6,
+            "frame_memory_consumed_gbps": to_gbps(
+                self.sdram_transferred_bytes * 8 / seconds
+            ),
+            "frame_memory_useful_gbps": to_gbps(self.sdram_useful_bytes * 8 / seconds),
+            "frame_memory_peak_gbps": to_gbps(
+                self.config.sdram_width_bits * 2 * self.config.sdram_frequency_hz
+            ),
+            "imem_consumed_gbps": to_gbps(self.imem_fill_bytes * 8 / seconds),
+            "imem_peak_gbps": to_gbps(128 * freq),
+        }
+
+
+class _Lock:
+    """A firmware spinlock with FIFO hand-off in reservation order."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.free_at_ps = 0
+        self.acquisitions = 0
+        self.contended = 0
+        self.total_wait_cycles = 0.0
+
+
+class ThroughputSimulator:
+    """One full-duplex streaming experiment."""
+
+    def __init__(
+        self,
+        config: NicConfig,
+        udp_payload_bytes: int = 1472,
+        offered_fraction: float = 1.0,
+        size_model=None,
+        rx_burst_frames: int = 1,
+    ) -> None:
+        """``size_model`` (a :class:`repro.net.workload.FrameSizeModel`)
+        overrides the constant ``udp_payload_bytes`` with per-frame
+        sizes — e.g. :class:`repro.net.workload.ImixSize`.
+
+        ``rx_burst_frames`` > 1 makes receive arrivals bursty: frames
+        arrive back to back in groups of that size, with idle gaps
+        sized so the *average* offered load still matches
+        ``offered_fraction`` — an on/off traffic extension for buffer
+        stress studies."""
+        from repro.net.workload import ConstantSize
+
+        self.config = config
+        self.sizes = size_model if size_model is not None else ConstantSize(
+            udp_payload_bytes
+        )
+        self.udp_payload_bytes = round(self.sizes.mean_payload_bytes)
+        self.frame_bytes = round(self.sizes.mean_frame_bytes)
+        self.timing = EthernetTiming()
+        self.line_fps_per_direction = self.sizes.line_rate_fps(self.timing)
+        self.sim = Simulator()
+        self.core_clock = self.sim.add_clock("core", config.core_frequency_hz)
+        self.sdram_clock = self.sim.add_clock("sdram", config.sdram_frequency_hz)
+
+        self.sdram = GddrSdram(
+            frequency_hz=config.sdram_frequency_hz,
+            data_width_bits=config.sdram_width_bits,
+        )
+        self.pci = PciInterface(dma_latency_ps=config.dma_latency_ps)
+        self.dma_read = DmaAssist(
+            "dma-read", self.sim, self.pci, self.sdram, self.sdram_clock, to_nic=True
+        )
+        self.dma_write = DmaAssist(
+            "dma-write", self.sim, self.pci, self.sdram, self.sdram_clock, to_nic=False
+        )
+        self.mac_tx = MacTransmitter(self.sdram, self.sdram_clock, self.timing)
+
+        if rx_burst_frames < 1:
+            raise ValueError("rx_burst_frames must be >= 1")
+
+        def rx_gap(seq: int) -> int:
+            wire = self.timing.frame_time_ps(self.sizes.frame_bytes(seq))
+            if rx_burst_frames == 1:
+                return round(wire / offered_fraction)
+            # Within a burst: back-to-back (one wire time).  The last
+            # frame of each burst carries the whole idle gap, sized so
+            # the average rate equals offered_fraction of line rate.
+            if (seq + 1) % rx_burst_frames:
+                return wire
+            idle = wire * (rx_burst_frames / offered_fraction - rx_burst_frames + 1)
+            return round(idle)
+
+        self.mac_rx = MacReceiver(
+            self.sdram,
+            self.sdram_clock,
+            timing=self.timing,
+            gap_fn=rx_gap,
+        )
+        self.driver = DriverModel(
+            self.udp_payload_bytes,
+            self.sizes.max_frame_bytes,
+            send_ring_capacity=config.send_ring_capacity,
+            recv_ring_capacity=config.recv_ring_capacity,
+        )
+
+        mode = config.ordering_mode
+        self.board_tx_mac = OrderingBoard(config.ordering_ring, mode, hw_pointer=True)
+        self.board_tx_notify = OrderingBoard(config.ordering_ring, mode)
+        self.board_rx = OrderingBoard(config.ordering_ring, mode)
+
+        self.queue = DistributedEventQueue(max_depth=4096)
+        self.locks: Dict[str, _Lock] = {
+            name: _Lock(name)
+            for name in ("txq", "rxpool", "notify_tx", "notify_rx", "order_tx", "order_rx")
+        }
+        self.fn: Dict[str, FunctionStats] = {
+            name: FunctionStats() for name in FUNCTION_NAMES
+        }
+        self.contention = ContentionModel(config.scratchpad_banks)
+        # Initial contention estimate: the line-rate control-data access
+        # budget (Section 2.1's ~185 accesses/frame-pair, plus ~60%
+        # parallelization overhead) spread over the core clock.  The
+        # periodic feedback loop refines it from measured traffic.
+        line_pairs = self.line_fps_per_direction
+        estimated_rate = 300.0 * line_pairs / config.core_frequency_hz
+        self._conflict_wait = self.contention.expected_wait(min(2.5, estimated_rate))
+
+        # -- firmware-visible state ---------------------------------------
+        self._idle_cores = config.cores
+        self._busy_ps = 0.0
+        self._tx_fetch_inflight = 0    # frames' worth of BD fetches in flight
+        self._tx_bd_onboard = 0        # frames with descriptors on NIC
+        self._tx_claim_seq = 0         # next tx frame to start DMA for
+        self._tx_mac_seq = 0           # next committed frame to transmit
+        self._tx_outstanding_mac = 0
+        self._tx_space = config.tx_buffer_bytes
+        self._rx_space = config.rx_buffer_bytes
+        self._rx_written = 0           # frames landed in rx buffer
+        self._rx_claim_seq = 0         # next rx frame to start host DMA for
+        self._rx_bds_onboard = 64      # preloaded receive descriptors
+        self._rx_fetch_inflight = 0    # receive BDs being fetched
+        self._rx_pump_active = False
+        self._send_event_queued = False
+        self._recv_event_queued = False
+        self._task_claims: Dict[EventKind, bool] = {kind: False for kind in EventKind}
+
+        # -- measurement ----------------------------------------------------
+        self._tx_done_frames = 0       # wire-complete transmit frames
+        self._rx_done_frames = 0       # committed (delivered) receive frames
+        self._rx_dropped = 0
+        self._tx_payload_done = 0      # UDP payload bytes on the wire
+        self._rx_payload_done = 0      # UDP payload bytes delivered
+        self._rx_landed_at: Dict[int, int] = {}   # seq -> SDRAM-landed time
+        self._rx_latency_sum_ps = 0.0
+        self._rx_latency_samples = 0
+        # Microsecond buckets up to 1 ms for the latency distribution.
+        self.rx_latency_histogram = Histogram(
+            "rx-commit-latency-us",
+            [1, 2, 4, 6, 8, 10, 15, 20, 30, 50, 100, 200, 500, 1000],
+        )
+        self._inflight_sum = 0.0
+        self._inflight_samples = 0
+        self._assist_accesses = 0
+        self._core_accesses = 0.0
+        self._cost_totals = HandlerCost(0, 0, 0, 0, 0, 0)
+        self._contention_window_accesses = 0.0
+        self._contention_window_start_ps = 0
+
+        self.driver.replenish_recv_ring()
+        self.driver.refill_send_ring()
+
+    # ==================================================================
+    # Cost charging
+    # ==================================================================
+    def _charge(self, fn_name: str, profile: OpProfile, frames: int = 0) -> float:
+        """Charge a profile to a function; returns its cycle cost."""
+        cost = self.config.cost_model.cost(profile, self._conflict_wait)
+        stats = self.fn[fn_name]
+        stats.instructions += profile.instructions
+        stats.loads += profile.loads
+        stats.stores += profile.stores
+        stats.cycles += cost.total_cycles
+        stats.imiss_cycles += cost.imiss_cycles
+        stats.load_cycles += cost.load_cycles
+        stats.conflict_cycles += cost.conflict_cycles
+        stats.pipeline_cycles += cost.pipeline_cycles
+        stats.frames += frames
+        totals = self._cost_totals
+        totals.instructions += cost.instructions
+        totals.execution_cycles += cost.execution_cycles
+        totals.imiss_cycles += cost.imiss_cycles
+        totals.load_cycles += cost.load_cycles
+        totals.conflict_cycles += cost.conflict_cycles
+        totals.pipeline_cycles += cost.pipeline_cycles
+        self._core_accesses += profile.accesses
+        self._contention_window_accesses += profile.accesses
+        return cost.total_cycles
+
+    def _charge_ordering(self, fn_name: str, cost: OrderingCost) -> float:
+        return self._charge(
+            fn_name,
+            OpProfile(
+                instructions=cost.instructions,
+                loads=cost.loads,
+                stores=cost.stores,
+            ),
+        )
+
+    def _acquire_lock(self, name: str, now_ps: int, hold_cycles: float, fn_name: str) -> float:
+        """Reserve a lock FIFO; returns cycles spent (wait + hold prologue).
+
+        The acquire/release instruction cost and the spin cost are
+        charged to ``fn_name`` (a locking bucket); the wait itself is
+        recorded as lock-wait cycles.
+        """
+        lock = self.locks[name]
+        period = self.core_clock.period_ps
+        start_ps = max(now_ps, lock.free_at_ps)
+        wait_cycles = (start_ps - now_ps) / period
+        lock.free_at_ps = start_ps + round(hold_cycles * period)
+        lock.acquisitions += 1
+        if wait_cycles > 0:
+            lock.contended += 1
+            lock.total_wait_cycles += wait_cycles
+        cycles = self._charge(fn_name, self.config.firmware.lock_acquire_release)
+        if wait_cycles > 0:
+            # A waiting core executes its ll/test/branch spin loop for
+            # the whole wait; one loop trip costs ~spin_loop_cycles, so
+            # the charged profile fills the wait with real instructions.
+            cycles += self._charge(fn_name, self.config.firmware.spin_cost(wait_cycles))
+            self.fn[fn_name].lock_wait_cycles += wait_cycles
+        return cycles
+
+    def _assist_touch(self, count: int) -> None:
+        self._assist_accesses += count
+        self._contention_window_accesses += count
+
+    def _checksum_profile(self, first: int, batch: int) -> Optional[OpProfile]:
+        """Per-batch cost of the configured checksum service (§8
+        extension).  'assist' folds the sum into the data stream and
+        leaves only a status check; 'firmware' walks the payload one
+        word at a time on a core."""
+        mode = self.config.checksum_offload
+        if mode == "none":
+            return None
+        if mode == "assist":
+            return OpProfile(
+                instructions=4.0 * batch, loads=1.0 * batch, stores=0.0
+            )
+        # Firmware mode: the cores must read payload words from the
+        # *frame* SDRAM — the memory the partitioned design deliberately
+        # keeps them away from.  Each word costs the 2-instruction
+        # add/loop plus an SDRAM round trip (tens of cycles, partially
+        # hidden by burst buffering); we fold that stall into the
+        # instruction count as ~5 issue-slot equivalents per word.
+        # These loads bypass the scratchpad, so they do not appear in
+        # its contention accounting.
+        instructions = 0.0
+        for seq in range(first, first + batch):
+            words = self.sizes.payload_bytes(seq) / 4.0
+            instructions += 12.0 + 7.0 * words
+        return OpProfile(instructions=instructions, loads=0.0, stores=0.0)
+
+    # ==================================================================
+    # Core scheduling
+    # ==================================================================
+    def _push_event(self, event: FrameEvent) -> None:
+        self.queue.push(event)
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        while self._idle_cores > 0 and not self.queue.empty:
+            event = self.queue.pop()
+            assert event is not None
+            if self.config.task_level_firmware and self._task_claims[event.kind]:
+                # Event-register semantics: one core per event type.
+                self.queue.push_retry(event)
+                if all(
+                    self._task_claims[e.kind] for e in list(self.queue._queue)
+                ):
+                    break
+                continue
+            self._task_claims[event.kind] = True
+            self._idle_cores -= 1
+            cycles = self._run_handler(event)
+            duration_ps = self.core_clock.cycles_to_ps(max(1.0, cycles))
+            self._busy_ps += duration_ps
+            self.sim.schedule(duration_ps, lambda k=event.kind: self._handler_done(k))
+
+    def _handler_done(self, kind: EventKind) -> None:
+        self._idle_cores += 1
+        self._task_claims[kind] = False
+        self._dispatch()
+
+    # ==================================================================
+    # Handlers (each returns its cycle cost; side effects scheduled)
+    # ==================================================================
+    _EVENT_FN = {
+        EventKind.FETCH_SEND_BD: "fetch_send_bd",
+        EventKind.SEND_FRAME: "send_frame",
+        EventKind.SEND_COMPLETE: "send_frame",
+        EventKind.FETCH_RECV_BD: "fetch_recv_bd",
+        EventKind.RECV_FRAME: "recv_frame",
+        EventKind.RECV_COMPLETE: "recv_frame",
+    }
+
+    def _run_handler(self, event: FrameEvent) -> float:
+        now = self.sim.now_ps
+        self.fn[self._EVENT_FN[event.kind]].invocations += 1
+        if event.kind is EventKind.FETCH_SEND_BD:
+            return self._handle_fetch_send_bd(now)
+        if event.kind is EventKind.SEND_FRAME:
+            return self._handle_send_frame(now)
+        if event.kind is EventKind.SEND_COMPLETE:
+            return self._handle_send_complete(now, event)
+        if event.kind is EventKind.FETCH_RECV_BD:
+            return self._handle_fetch_recv_bd(now)
+        if event.kind is EventKind.RECV_FRAME:
+            return self._handle_recv_frame(now)
+        if event.kind is EventKind.RECV_COMPLETE:
+            return self._handle_recv_complete(now, event)
+        raise ValueError(f"no handler for {event.kind}")
+
+    # -- send path ------------------------------------------------------
+    def _maybe_fetch_send_bds(self) -> None:
+        # Descriptor-fetch DMAs pipeline: several batches may be in
+        # flight at once, bounded by the scratchpad BD staging buffer —
+        # this is what hides large host latencies (the NIC keeps
+        # "several hundred outstanding frames", Section 7).
+        if (
+            self._tx_bd_onboard
+            + self._tx_fetch_inflight
+            + SEND_FRAMES_PER_BD_FETCH
+            > self.config.tx_bd_buffer_frames
+        ):
+            return  # scratchpad BD staging buffer is full
+        if self.driver.send_bds_available() < SEND_BDS_PER_FETCH:
+            self.driver.refill_send_ring()
+        if self.driver.send_bds_available() < SEND_BDS_PER_FETCH:
+            return
+        self._tx_fetch_inflight += SEND_FRAMES_PER_BD_FETCH
+        self.driver.consume_send_bds(SEND_BDS_PER_FETCH)
+        self._push_event(FrameEvent(EventKind.FETCH_SEND_BD))
+
+    def _handle_fetch_send_bd(self, now: int) -> float:
+        fw = self.config.firmware
+        frames = SEND_FRAMES_PER_BD_FETCH
+        cycles = self._charge("send_dispatch_ordering", fw.dispatch_per_event)
+        cycles += self._acquire_lock("txq", now, _HOLD_TXQ, "send_locking")
+        profile = IDEAL_PROFILES["fetch_send_bd"].per_frame.plus(
+            fw.reentrancy_per_frame
+        ).scaled(frames)
+        cycles += self._charge("fetch_send_bd", profile, frames=frames)
+        transfer = self.dma_read.descriptor_transfer(
+            now + self.core_clock.cycles_to_ps(cycles),
+            SEND_BDS_PER_FETCH * DESCRIPTOR_BYTES,
+        )
+        self._assist_touch(self.config.assist_accesses_per_dma)
+        self.sim.schedule_at(transfer.complete_ps, lambda: self._send_bds_arrived(frames))
+        return cycles
+
+    def _send_bds_arrived(self, frames: int) -> None:
+        self._tx_bd_onboard += frames
+        self._tx_fetch_inflight -= frames
+        self._queue_send_frame_event()
+        self._maybe_fetch_send_bds()
+
+    def _queue_send_frame_event(self) -> None:
+        if self._send_event_queued:
+            return
+        if self._tx_bd_onboard <= 0:
+            return
+        self._send_event_queued = True
+        self._push_event(FrameEvent(EventKind.SEND_FRAME))
+
+    def _handle_send_frame(self, now: int) -> float:
+        fw = self.config.firmware
+        self._send_event_queued = False
+        # Claim as many frames as have staged BDs, fit the batch limit,
+        # and fit (by their individual sizes) in the transmit buffer.
+        batch_limit = min(self._tx_bd_onboard, self.config.send_batch_max)
+        batch = 0
+        bytes_needed = 0
+        while batch < batch_limit:
+            frame_size = self.sizes.frame_bytes(self._tx_claim_seq + batch)
+            if bytes_needed + frame_size > self._tx_space:
+                break
+            bytes_needed += frame_size
+            batch += 1
+        cycles = self._charge("send_dispatch_ordering", fw.dispatch_per_event)
+        if self.board_tx_mac.requires_lock:
+            # The software dispatch loop "inspects the final-stage
+            # results in-order for a done status" on every pass, commit
+            # or not; the RMW firmware folds this into the completion
+            # handler's single `update`.
+            cycles += self._commit_tx(now, cycles)
+        if batch <= 0:
+            self.queue.retries += 1
+            return cycles  # retried when space frees or BDs arrive
+        cycles += self._acquire_lock("txq", now, _HOLD_TXQ, "send_locking")
+        first = self._tx_claim_seq
+        self._tx_claim_seq += batch
+        self._tx_bd_onboard -= batch
+        self._tx_space -= bytes_needed
+        cycles += self._charge(
+            "send_dispatch_ordering", fw.dispatch_per_frame.scaled(batch)
+        )
+        start_profile = IDEAL_PROFILES["send_frame"].per_frame.plus(
+            fw.reentrancy_per_frame
+        ).scaled(batch * _START_FRACTION)
+        cycles += self._charge("send_frame", start_profile, frames=batch)
+        checksum = self._checksum_profile(first, batch)
+        if checksum is not None:
+            cycles += self._charge("send_frame", checksum)
+
+        issue_ps = now + self.core_clock.cycles_to_ps(cycles)
+        pending = {"left": 2 * batch}
+
+        def transfer_done(_finish_ps: int, f: int = first, b: int = batch) -> None:
+            pending["left"] -= 1
+            if pending["left"] == 0:
+                self._push_event(FrameEvent(EventKind.SEND_COMPLETE, first_seq=f, count=b))
+
+        for index in range(batch):
+            seq = first + index
+            sdram_addr = self._tx_slot_address(seq)
+            payload_bytes = max(
+                1, self.sizes.frame_bytes(seq) - TX_HEADER_REGION_BYTES
+            )
+            self.dma_read.frame_transfer(
+                issue_ps,
+                self.driver.layout.tx_header_address(seq),
+                sdram_addr,
+                TX_HEADER_REGION_BYTES,
+                transfer_done,
+            )
+            self.dma_read.frame_transfer(
+                issue_ps,
+                self.driver.layout.tx_payload_address(seq),
+                sdram_addr + 64,
+                payload_bytes,
+                transfer_done,
+            )
+            self._assist_touch(2 * self.config.assist_accesses_per_dma)
+        if self._tx_bd_onboard > 0:
+            self._queue_send_frame_event()
+        self._maybe_fetch_send_bds()
+        return cycles
+
+    def _handle_send_complete(self, now: int, event: FrameEvent) -> float:
+        fw = self.config.firmware
+        batch = event.count
+        cycles = self._charge("send_dispatch_ordering", fw.dispatch_per_event)
+        finish_profile = IDEAL_PROFILES["send_frame"].per_frame.scaled(
+            batch * _FINISH_FRACTION
+        )
+        cycles += self._charge("send_frame", finish_profile, frames=0)
+        cycles += self._charge(
+            "send_dispatch_ordering", fw.send_completion_per_frame.scaled(batch)
+        )
+
+        # Two send-side ordering points: MAC hand-off and host notify.
+        # Software mode must take the ordering lock around every status
+        # flag update; the RMW instructions make each mark one atomic op.
+        software = self.board_tx_mac.requires_lock
+        for seq in range(event.first_seq, event.first_seq + batch):
+            if software:
+                # Every status-flag update synchronizes: acquire, RMW
+                # the flag word, release (Section 3.3).
+                cycles += self._acquire_lock(
+                    "order_tx", now, 22.0, "send_dispatch_ordering"
+                )
+            cycles += self._charge_ordering(
+                "send_dispatch_ordering", self.board_tx_mac.mark_done(seq)
+            )
+            cycles += self._charge_ordering(
+                "send_dispatch_ordering", self.board_tx_notify.mark_done(seq)
+            )
+        cycles += self._commit_tx(now, cycles)
+        self._maybe_fetch_send_bds()
+        return cycles
+
+    def _commit_tx(self, now: int, cycles_so_far: float) -> float:
+        """Commit pass over both send-side boards, with side effects."""
+        cycles = 0.0
+        if self.board_tx_mac.requires_lock:
+            cycles += self._acquire_lock(
+                "order_tx", now, 26.0, "send_dispatch_ordering"
+            )
+        committed, cost = self.board_tx_mac.commit()
+        cycles += self._charge_ordering("send_dispatch_ordering", cost)
+        notified, notify_cost = self.board_tx_notify.commit()
+        cycles += self._charge_ordering("send_dispatch_ordering", notify_cost)
+        if notified:
+            cycles += self._acquire_lock("notify_tx", now, _HOLD_NOTIFY, "send_locking")
+            done_ps = now + self.core_clock.cycles_to_ps(cycles_so_far + cycles)
+            self.dma_write.descriptor_transfer(done_ps, DESCRIPTOR_BYTES)
+            self._assist_touch(self.config.assist_accesses_per_dma)
+            interrupt = (
+                self.board_tx_notify.commit_seq % self.config.interrupt_coalesce_frames
+            ) < notified
+            self.driver.complete_sends(notified, interrupt)
+            self.driver.refill_send_ring()
+        if committed:
+            self.sim.schedule(
+                self.core_clock.cycles_to_ps(cycles_so_far + cycles), self._mac_tx_pump
+            )
+        return cycles
+
+    def _mac_tx_pump(self) -> None:
+        while (
+            self._tx_outstanding_mac < 2
+            and self._tx_mac_seq < self.board_tx_mac.commit_seq
+        ):
+            seq = self._tx_mac_seq
+            self._tx_mac_seq += 1
+            self._tx_outstanding_mac += 1
+            wire = self.mac_tx.transmit(
+                self.sim.now_ps,
+                seq,
+                self._tx_slot_address(seq),
+                self.sizes.frame_bytes(seq),
+            )
+            self._assist_touch(self.config.assist_accesses_per_mac_frame)
+            self.sim.schedule_at(
+                wire.wire_end_ps, lambda s=seq: self._tx_wire_done(s)
+            )
+
+    def _tx_wire_done(self, seq: int) -> None:
+        self._tx_outstanding_mac -= 1
+        self._tx_space += self.sizes.frame_bytes(seq)
+        self._tx_done_frames += 1
+        self._tx_payload_done += self.sizes.payload_bytes(seq)
+        self._queue_send_frame_event()
+        self._mac_tx_pump()
+
+    def _tx_slot_address(self, seq: int) -> int:
+        slots = max(1, self.config.tx_buffer_bytes // 2048)
+        return (seq % slots) * 2048
+
+    # -- receive path -----------------------------------------------------
+    def _start_rx(self) -> None:
+        if self._rx_pump_active:
+            return
+        self._rx_pump_active = True
+        self._rx_pump()
+
+    def _rx_pump(self) -> None:
+        now = self.sim.now_ps
+        frame_size = self.sizes.frame_bytes(self.mac_rx._next_seq)
+        if self._rx_space < frame_size:
+            # Buffer full: the wire does not wait.  Sleep until space
+            # frees (wake comes from _rx_space_freed); frames whose slot
+            # passes meanwhile are dropped there.
+            self._rx_pump_active = False
+            return
+        arrival = self.mac_rx.next_arrival_ps()
+        if arrival > now:
+            self.sim.schedule_at(arrival, self._rx_pump)
+            return
+        self._rx_space -= frame_size
+        wire = self.mac_rx.take_frame(now, frame_size)
+        self._assist_touch(self.config.assist_accesses_per_mac_frame)
+        self.sim.schedule_at(wire.wire_end_ps, lambda s=wire.seq: self._rx_store(s))
+        # Chain to the next arrival.
+        next_arrival = self.mac_rx.next_arrival_ps()
+        self.sim.schedule_at(max(now, next_arrival), self._rx_pump)
+
+    def _rx_store(self, seq: int) -> None:
+        done_ps = self.mac_rx.store(
+            self.sim.now_ps, self._rx_slot_address(seq), self.sizes.frame_bytes(seq)
+        )
+        self.sim.schedule_at(done_ps, self._rx_frame_landed)
+
+    def _rx_space_freed(self) -> None:
+        if not self._rx_pump_active:
+            self._rx_dropped += self.mac_rx.skip_backlog(self.sim.now_ps)
+            self._rx_pump_active = True
+            self._rx_pump()
+
+    def _rx_frame_landed(self) -> None:
+        self._rx_landed_at[self._rx_written] = self.sim.now_ps
+        self._rx_written += 1
+        self._queue_recv_frame_event()
+
+    def _queue_recv_frame_event(self) -> None:
+        if self._recv_event_queued:
+            return
+        if self._rx_written <= self._rx_claim_seq:
+            return
+        self._recv_event_queued = True
+        self._push_event(FrameEvent(EventKind.RECV_FRAME))
+
+    def _handle_recv_frame(self, now: int) -> float:
+        fw = self.config.firmware
+        self._recv_event_queued = False
+        available = self._rx_written - self._rx_claim_seq
+        batch = min(available, self.config.recv_batch_max, self._rx_bds_onboard)
+        cycles = self._charge("recv_dispatch_ordering", fw.dispatch_per_event)
+        if self.board_rx.requires_lock:
+            cycles += self._commit_rx(now, cycles)
+        self._maybe_fetch_recv_bds()
+        if batch <= 0:
+            self.queue.retries += 1
+            return cycles
+        # The receive-path lock: the shared host-buffer pool.  Held
+        # per-frame work is done inside, which is why the paper sees it
+        # heat up when RMW removes the ordering serialization.
+        cycles += self._acquire_lock(
+            "rxpool", now, _HOLD_RXPOOL + 2.0 * batch, "recv_locking"
+        )
+        first = self._rx_claim_seq
+        self._rx_claim_seq += batch
+        self._rx_bds_onboard -= batch
+        cycles += self._charge(
+            "recv_dispatch_ordering", fw.dispatch_per_frame.scaled(batch)
+        )
+        start_profile = IDEAL_PROFILES["recv_frame"].per_frame.plus(
+            fw.reentrancy_per_frame
+        ).scaled(batch * _START_FRACTION)
+        cycles += self._charge("recv_frame", start_profile, frames=batch)
+        checksum = self._checksum_profile(first, batch)
+        if checksum is not None:
+            cycles += self._charge("recv_frame", checksum)
+
+        issue_ps = now + self.core_clock.cycles_to_ps(cycles)
+        pending = {"left": batch}
+
+        def transfer_done(_finish_ps: int, f: int = first, b: int = batch) -> None:
+            pending["left"] -= 1
+            if pending["left"] == 0:
+                self._push_event(FrameEvent(EventKind.RECV_COMPLETE, first_seq=f, count=b))
+
+        for index in range(batch):
+            seq = first + index
+            self.dma_write.frame_transfer(
+                issue_ps,
+                self.driver.layout.rx_buffer_address(seq),
+                self._rx_slot_address(seq),
+                self.sizes.frame_bytes(seq),
+                transfer_done,
+            )
+            self._assist_touch(self.config.assist_accesses_per_dma)
+        if self._rx_written > self._rx_claim_seq:
+            self._queue_recv_frame_event()
+        return cycles
+
+    def _handle_recv_complete(self, now: int, event: FrameEvent) -> float:
+        fw = self.config.firmware
+        batch = event.count
+        cycles = self._charge("recv_dispatch_ordering", fw.dispatch_per_event)
+        finish_profile = IDEAL_PROFILES["recv_frame"].per_frame.scaled(
+            batch * _FINISH_FRACTION
+        )
+        cycles += self._charge("recv_frame", finish_profile, frames=0)
+        cycles += self._charge(
+            "recv_dispatch_ordering", fw.recv_completion_per_frame.scaled(batch)
+        )
+
+        software = self.board_rx.requires_lock
+        for seq in range(event.first_seq, event.first_seq + batch):
+            if software:
+                cycles += self._acquire_lock(
+                    "order_rx", now, 11.0, "recv_dispatch_ordering"
+                )
+            cycles += self._charge_ordering(
+                "recv_dispatch_ordering", self.board_rx.mark_done(seq)
+            )
+        cycles += self._commit_rx(now, cycles)
+        return cycles
+
+    def _commit_rx(self, now: int, cycles_so_far: float) -> float:
+        """Commit pass over the receive board, with side effects."""
+        cycles = 0.0
+        if self.board_rx.requires_lock:
+            cycles += self._acquire_lock(
+                "order_rx", now, 18.0, "recv_dispatch_ordering"
+            )
+        committed, cost = self.board_rx.commit()
+        cycles += self._charge_ordering("recv_dispatch_ordering", cost)
+        freed_bytes = 0
+        for seq in range(self.board_rx.commit_seq - committed, self.board_rx.commit_seq):
+            freed_bytes += self.sizes.frame_bytes(seq)
+            self._rx_payload_done += self.sizes.payload_bytes(seq)
+            landed = self._rx_landed_at.pop(seq, None)
+            if landed is not None:
+                self._rx_latency_sum_ps += now - landed
+                self._rx_latency_samples += 1
+                self.rx_latency_histogram.record((now - landed) / 1e6)  # us
+        if committed:
+            cycles += self._acquire_lock("notify_rx", now, _HOLD_NOTIFY, "recv_locking")
+            done_ps = now + self.core_clock.cycles_to_ps(cycles_so_far + cycles)
+            self.dma_write.descriptor_transfer(done_ps, committed * DESCRIPTOR_BYTES)
+            self._assist_touch(self.config.assist_accesses_per_dma)
+            interrupt = (
+                self.board_rx.commit_seq % self.config.interrupt_coalesce_frames
+            ) < committed
+            self.driver.complete_receives(committed, interrupt)
+            self._rx_done_frames += committed
+            self._rx_space += freed_bytes
+            self.sim.schedule(
+                self.core_clock.cycles_to_ps(cycles_so_far + cycles),
+                self._rx_space_freed,
+            )
+        return cycles
+
+    def _rx_slot_address(self, seq: int) -> int:
+        slots = max(1, self.config.rx_buffer_bytes // 2048)
+        base = self.config.tx_buffer_bytes
+        return base + (seq % slots) * 2048
+
+    def _maybe_fetch_recv_bds(self) -> None:
+        if (
+            self._rx_bds_onboard + self._rx_fetch_inflight
+            >= self.config.recv_bd_low_water
+        ):
+            return
+        self.driver.replenish_recv_ring()
+        if self.driver.recv_bds_available() < RECV_BDS_PER_FETCH:
+            return
+        self._rx_fetch_inflight += RECV_BDS_PER_FETCH
+        self.driver.consume_recv_bds(RECV_BDS_PER_FETCH)
+        self._push_event(FrameEvent(EventKind.FETCH_RECV_BD))
+
+    def _handle_fetch_recv_bd(self, now: int) -> float:
+        fw = self.config.firmware
+        frames = RECV_BDS_PER_FETCH
+        cycles = self._charge("recv_dispatch_ordering", fw.dispatch_per_event)
+        cycles += self._acquire_lock("rxpool", now, _HOLD_RXPOOL, "recv_locking")
+        profile = IDEAL_PROFILES["fetch_recv_bd"].per_frame.plus(
+            fw.reentrancy_per_frame
+        ).scaled(frames)
+        cycles += self._charge("fetch_recv_bd", profile, frames=frames)
+        transfer = self.dma_read.descriptor_transfer(
+            now + self.core_clock.cycles_to_ps(cycles),
+            RECV_BDS_PER_FETCH * DESCRIPTOR_BYTES,
+        )
+        self._assist_touch(self.config.assist_accesses_per_dma)
+        self.sim.schedule_at(transfer.complete_ps, lambda: self._recv_bds_arrived(frames))
+        return cycles
+
+    def _recv_bds_arrived(self, count: int) -> None:
+        self._rx_bds_onboard += count
+        self._rx_fetch_inflight -= count
+        self._queue_recv_frame_event()
+
+    # ==================================================================
+    # Contention feedback
+    # ==================================================================
+    def _update_contention(self) -> None:
+        now = self.sim.now_ps
+        # Sample the outstanding-frame population (Section 7: "several
+        # hundred outstanding frames in various stages of processing").
+        outstanding = (
+            (self.driver._next_send_seq - self._tx_done_frames)
+            + (self.mac_rx._next_seq - self.board_rx.commit_seq - self._rx_dropped)
+        )
+        self._inflight_sum += max(0, outstanding)
+        self._inflight_samples += 1
+        elapsed_ps = now - self._contention_window_start_ps
+        if elapsed_ps > 0:
+            cycles = elapsed_ps / self.core_clock.period_ps
+            rate = self._contention_window_accesses / cycles
+            target = self.contention.expected_wait(rate)
+            # Exponentially smooth the estimate so heavily loaded bank
+            # configurations (rho near 1) converge instead of
+            # oscillating between cheap and saturated operating points.
+            self._conflict_wait = 0.6 * self._conflict_wait + 0.4 * target
+        self._contention_window_accesses = 0.0
+        self._contention_window_start_ps = now
+        self.sim.schedule(self._contention_interval_ps, self._update_contention)
+
+    # ==================================================================
+    # Experiment driver
+    # ==================================================================
+    _contention_interval_ps = 50_000_000  # 50 us
+
+    def run(self, warmup_s: float = 0.5e-3, measure_s: float = 2.0e-3) -> ThroughputResult:
+        """Warm up, measure, and return the results."""
+        if warmup_s < 0 or measure_s <= 0:
+            raise ValueError("need non-negative warmup and positive measure window")
+        warmup_ps = round(warmup_s * 1e12)
+        measure_ps = round(measure_s * 1e12)
+
+        self.sim.schedule(0, self._maybe_fetch_send_bds)
+        self.sim.schedule(0, self._start_rx)
+        self.sim.schedule(self._contention_interval_ps, self._update_contention)
+
+        self.sim.run(until_ps=warmup_ps)
+        snap = self._snapshot()
+        self.sim.run(until_ps=warmup_ps + measure_ps)
+        return self._build_result(snap, measure_ps)
+
+    # -- snapshots so warm-up is excluded from every statistic ----------
+    def _snapshot(self) -> Dict[str, object]:
+        return {
+            "tx_done": self._tx_done_frames,
+            "rx_done": self._rx_done_frames,
+            "tx_payload": self._tx_payload_done,
+            "rx_payload": self._rx_payload_done,
+            "rx_dropped": self._rx_dropped,
+            "rx_accepted": self.mac_rx.frames_accepted,
+            "rx_next_seq": self.mac_rx._next_seq,
+            "fn": copy.deepcopy(self.fn),
+            "busy_ps": self._busy_ps,
+            "core_accesses": self._core_accesses,
+            "assist_accesses": self._assist_accesses,
+            "sdram_useful": self.sdram.useful_bytes,
+            "sdram_transferred": self.sdram.transferred_bytes,
+            "cost": copy.deepcopy(self._cost_totals),
+            "lock_waits": {
+                name: lock.total_wait_cycles for name, lock in self.locks.items()
+            },
+            "now_ps": self.sim.now_ps,
+        }
+
+    def _build_result(self, snap: Dict[str, object], measure_ps: int) -> ThroughputResult:
+        fn_stats: Dict[str, FunctionStats] = {}
+        for name, stats in self.fn.items():
+            before: FunctionStats = snap["fn"][name]  # type: ignore[index]
+            delta = FunctionStats()
+            for attr in (
+                "instructions", "loads", "stores", "cycles", "imiss_cycles",
+                "load_cycles", "conflict_cycles", "pipeline_cycles",
+                "lock_wait_cycles", "invocations", "frames",
+            ):
+                setattr(delta, attr, getattr(stats, attr) - getattr(before, attr))
+            fn_stats[name] = delta
+
+        before_cost: HandlerCost = snap["cost"]  # type: ignore[assignment]
+        cost_delta = HandlerCost(
+            instructions=self._cost_totals.instructions - before_cost.instructions,
+            execution_cycles=self._cost_totals.execution_cycles - before_cost.execution_cycles,
+            imiss_cycles=self._cost_totals.imiss_cycles - before_cost.imiss_cycles,
+            load_cycles=self._cost_totals.load_cycles - before_cost.load_cycles,
+            conflict_cycles=self._cost_totals.conflict_cycles - before_cost.conflict_cycles,
+            pipeline_cycles=self._cost_totals.pipeline_cycles - before_cost.pipeline_cycles,
+        )
+        measure_seconds = ps_to_seconds(measure_ps)
+        window_cycles = measure_ps / self.core_clock.period_ps
+        offered = self.mac_rx._next_seq - snap["rx_next_seq"]  # type: ignore[operator]
+        lock_waits = {
+            name: lock.total_wait_cycles - snap["lock_waits"][name]  # type: ignore[index]
+            for name, lock in self.locks.items()
+        }
+        return ThroughputResult(
+            config=self.config,
+            udp_payload_bytes=self.udp_payload_bytes,
+            frame_bytes=self.frame_bytes,
+            measure_seconds=measure_seconds,
+            tx_frames=self._tx_done_frames - snap["tx_done"],  # type: ignore[operator]
+            rx_frames=self._rx_done_frames - snap["rx_done"],  # type: ignore[operator]
+            tx_payload_bytes=self._tx_payload_done - snap["tx_payload"],  # type: ignore[operator]
+            rx_payload_bytes=self._rx_payload_done - snap["rx_payload"],  # type: ignore[operator]
+            line_fps_per_direction=self.line_fps_per_direction,
+            rx_offered=int(offered),
+            rx_dropped=self._rx_dropped - snap["rx_dropped"],  # type: ignore[operator]
+            function_stats=fn_stats,
+            busy_cycles=(self._busy_ps - snap["busy_ps"]) / self.core_clock.period_ps,  # type: ignore[operator]
+            total_core_cycles=window_cycles * self.config.cores,
+            cost_totals=cost_delta,
+            scratchpad_core_accesses=int(self._core_accesses - snap["core_accesses"]),  # type: ignore[operator]
+            scratchpad_assist_accesses=self._assist_accesses - snap["assist_accesses"],  # type: ignore[operator]
+            sdram_useful_bytes=self.sdram.useful_bytes - snap["sdram_useful"],  # type: ignore[operator]
+            sdram_transferred_bytes=self.sdram.transferred_bytes - snap["sdram_transferred"],  # type: ignore[operator]
+            imem_fill_bytes=(
+                cost_delta.imiss_cycles
+                / self.config.cost_model.imiss_penalty_cycles
+                * self.config.icache_line_bytes
+            ),
+            conflict_wait=self._conflict_wait,
+            lock_waits=lock_waits,
+            event_queue_high_water=self.queue.high_water,
+            retries=self.queue.retries,
+            mean_rx_commit_latency_s=(
+                ps_to_seconds(self._rx_latency_sum_ps / self._rx_latency_samples)
+                if self._rx_latency_samples
+                else 0.0
+            ),
+            mean_outstanding_frames=(
+                self._inflight_sum / self._inflight_samples
+                if self._inflight_samples
+                else 0.0
+            ),
+            p99_rx_commit_latency_s=self.rx_latency_histogram.percentile(0.99) * 1e-6,
+        )

@@ -1,0 +1,26 @@
+"""Discrete-event simulation kernel with multiple clock domains.
+
+This package plays the role of the Liberty Simulation Environment (LSE)
+in the paper: it provides the scheduling substrate on which the NIC's
+Spinach-like modules are composed.  Unlike LSE, which evaluates every
+module every cycle, the kernel here is event driven — a module is only
+activated when an event it scheduled (or a port it listens on) fires.
+That choice is what makes sustained 10 Gb/s traffic tractable in Python
+while preserving cycle-accurate ordering within each clock domain.
+"""
+
+from repro.sim.kernel import ClockDomain, Event, Simulator
+from repro.sim.module import Port, SimModule
+from repro.sim.stats import Counter, Histogram, RateMeter, StatRegistry
+
+__all__ = [
+    "ClockDomain",
+    "Counter",
+    "Event",
+    "Histogram",
+    "Port",
+    "RateMeter",
+    "SimModule",
+    "Simulator",
+    "StatRegistry",
+]

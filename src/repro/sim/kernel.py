@@ -1,0 +1,204 @@
+"""Event-driven simulation kernel.
+
+Time is a global integer picosecond counter.  Each :class:`ClockDomain`
+maps that global time base onto its own cycle counter, so modules that
+logically live in different domains (cores at 166/200 MHz, SDRAM at
+500 MHz, the Ethernet bit clock) can interact without rounding drift.
+
+Events scheduled for the same picosecond run in (priority, insertion
+order), which gives deterministic simulations — a property the test
+suite relies on heavily.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.units import cycle_time_ps
+
+
+@dataclass(frozen=True)
+class Event:
+    """Handle for a scheduled callback.
+
+    The kernel hands one back from :meth:`Simulator.schedule`; holding on
+    to it allows cancellation.  Equality is identity-based on the ticket
+    number so duplicate (time, callback) pairs stay distinct.
+    """
+
+    time_ps: int
+    priority: int
+    ticket: int
+
+
+class ClockDomain:
+    """A named clock with its own frequency.
+
+    Provides conversions between global picosecond time and local cycle
+    counts, and cycle-aligned scheduling helpers.
+    """
+
+    def __init__(self, name: str, frequency_hz: float) -> None:
+        self.name = name
+        self.frequency_hz = frequency_hz
+        self.period_ps = cycle_time_ps(frequency_hz)
+
+    def cycles_to_ps(self, cycles: float) -> int:
+        """Duration of ``cycles`` clock cycles, in picoseconds."""
+        return round(cycles * self.period_ps)
+
+    def ps_to_cycles(self, time_ps: int) -> float:
+        """Express a picosecond duration in (fractional) cycles."""
+        return time_ps / self.period_ps
+
+    def current_cycle(self, now_ps: int) -> int:
+        """Number of full cycles elapsed at global time ``now_ps``."""
+        return now_ps // self.period_ps
+
+    def next_edge(self, now_ps: int) -> int:
+        """Global time of the next rising edge at or after ``now_ps``."""
+        remainder = now_ps % self.period_ps
+        if remainder == 0:
+            return now_ps
+        return now_ps + self.period_ps - remainder
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ClockDomain({self.name!r}, {self.frequency_hz / 1e6:.1f} MHz)"
+
+
+class Simulator:
+    """The event loop.
+
+    Usage::
+
+        sim = Simulator()
+        core_clk = sim.add_clock("core", mhz(166))
+        sim.schedule(core_clk.cycles_to_ps(10), lambda: ...)
+        sim.run(until_ps=seconds_to_ps(1e-3))
+    """
+
+    def __init__(self) -> None:
+        self.now_ps: int = 0
+        self.clocks: Dict[str, ClockDomain] = {}
+        self._queue: List[tuple] = []
+        self._tickets = itertools.count()
+        self._cancelled: set = set()
+        self._stopped = False
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Clock management
+    # ------------------------------------------------------------------
+    def add_clock(self, name: str, frequency_hz: float) -> ClockDomain:
+        """Register (or fetch, if identical) a clock domain."""
+        existing = self.clocks.get(name)
+        if existing is not None:
+            if existing.frequency_hz != frequency_hz:
+                raise ValueError(
+                    f"clock {name!r} already registered at "
+                    f"{existing.frequency_hz} Hz, not {frequency_hz} Hz"
+                )
+            return existing
+        domain = ClockDomain(name, frequency_hz)
+        self.clocks[name] = domain
+        return domain
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay_ps: int,
+        callback: Callable[[], None],
+        priority: int = 0,
+    ) -> Event:
+        """Run ``callback`` after ``delay_ps`` picoseconds.
+
+        Lower ``priority`` runs first among events at the same instant.
+        """
+        if delay_ps < 0:
+            raise ValueError(f"cannot schedule in the past (delay {delay_ps})")
+        ticket = next(self._tickets)
+        when = self.now_ps + delay_ps
+        heapq.heappush(self._queue, (when, priority, ticket, callback))
+        return Event(when, priority, ticket)
+
+    def schedule_at(
+        self,
+        time_ps: int,
+        callback: Callable[[], None],
+        priority: int = 0,
+    ) -> Event:
+        """Run ``callback`` at absolute global time ``time_ps``."""
+        return self.schedule(time_ps - self.now_ps, callback, priority)
+
+    def schedule_cycles(
+        self,
+        clock: ClockDomain,
+        cycles: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+    ) -> Event:
+        """Run ``callback`` after ``cycles`` cycles of ``clock``."""
+        return self.schedule(clock.cycles_to_ps(cycles), callback, priority)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event.  Cancelling a fired event is a no-op."""
+        self._cancelled.add(event.ticket)
+
+    def stop(self) -> None:
+        """Stop the event loop after the current callback returns."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until_ps: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Drain the event queue.
+
+        Stops when the queue empties, when simulated time would pass
+        ``until_ps``, when ``max_events`` callbacks have run, or when a
+        callback calls :meth:`stop`.  Returns the number of events
+        processed during this call.
+        """
+        self._stopped = False
+        processed = 0
+        while self._queue:
+            if self._stopped:
+                break
+            if max_events is not None and processed >= max_events:
+                break
+            when, _priority, ticket, callback = self._queue[0]
+            if until_ps is not None and when > until_ps:
+                self.now_ps = until_ps
+                break
+            heapq.heappop(self._queue)
+            if ticket in self._cancelled:
+                self._cancelled.discard(ticket)
+                continue
+            self.now_ps = when
+            callback()
+            processed += 1
+            self.events_processed += 1
+        else:
+            # Queue drained completely.
+            if until_ps is not None and self.now_ps < until_ps:
+                self.now_ps = until_ps
+        return processed
+
+    def peek_next_time(self) -> Optional[int]:
+        """Global time of the next pending event, or None if idle."""
+        while self._queue and self._queue[0][2] in self._cancelled:
+            _, _, ticket, _ = heapq.heappop(self._queue)
+            self._cancelled.discard(ticket)
+        if not self._queue:
+            return None
+        return self._queue[0][0]
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ghosts)."""
+        return len(self._queue)

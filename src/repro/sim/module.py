@@ -1,0 +1,97 @@
+"""Spinach-style modules and ports.
+
+The paper composes its simulator out of LSE modules that communicate
+exclusively through ports.  We keep the same discipline: a
+:class:`SimModule` owns local state and exposes :class:`Port` objects;
+wiring two ports together is the only sanctioned way for modules to
+talk.  A port delivers a message to the peer module after a
+caller-specified latency, which is how link/bus/crossbar latencies are
+expressed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.sim.kernel import ClockDomain, Simulator
+
+
+class Port:
+    """One half of a point-to-point connection between modules.
+
+    ``send`` delivers a message to the connected peer's receive handler
+    after an optional latency.  Ports are unidirectional; make two for a
+    request/response pair.
+    """
+
+    def __init__(self, owner: "SimModule", name: str) -> None:
+        self.owner = owner
+        self.name = name
+        self.peer: Optional["Port"] = None
+        self._handler: Optional[Callable[[Any], None]] = None
+        self.messages_sent = 0
+        self.messages_received = 0
+
+    def connect(self, peer: "Port") -> None:
+        """Wire this port to ``peer`` (and vice versa)."""
+        if self.peer is not None or peer.peer is not None:
+            raise ValueError(f"port {self} or {peer} is already connected")
+        self.peer = peer
+        peer.peer = self
+
+    def on_receive(self, handler: Callable[[Any], None]) -> None:
+        """Register the callback invoked when a message arrives here."""
+        self._handler = handler
+
+    def send(self, message: Any, latency_ps: int = 0) -> None:
+        """Deliver ``message`` to the peer after ``latency_ps``."""
+        if self.peer is None:
+            raise RuntimeError(f"port {self} is not connected")
+        if self.peer._handler is None:
+            raise RuntimeError(f"peer port {self.peer} has no receive handler")
+        self.messages_sent += 1
+        peer = self.peer
+
+        def deliver() -> None:
+            peer.messages_received += 1
+            peer._handler(message)
+
+        self.owner.sim.schedule(latency_ps, deliver)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Port({self.owner.name}.{self.name})"
+
+
+class SimModule:
+    """Base class for all hardware models.
+
+    Subclasses declare ports in ``__init__`` via :meth:`add_port` and
+    use ``self.sim`` / ``self.clock`` for scheduling.
+    """
+
+    def __init__(self, sim: Simulator, name: str, clock: Optional[ClockDomain] = None) -> None:
+        self.sim = sim
+        self.name = name
+        self.clock = clock
+        self.ports: List[Port] = []
+
+    def add_port(self, name: str) -> Port:
+        """Create and register a new port on this module."""
+        port = Port(self, name)
+        self.ports.append(port)
+        return port
+
+    def schedule_cycles(self, cycles: float, callback: Callable[[], None], priority: int = 0):
+        """Schedule ``callback`` after ``cycles`` of this module's clock."""
+        if self.clock is None:
+            raise RuntimeError(f"module {self.name} has no clock domain")
+        return self.sim.schedule_cycles(self.clock, cycles, callback, priority)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        clock = f", clock={self.clock.name}" if self.clock else ""
+        return f"{type(self).__name__}({self.name!r}{clock})"
+
+
+def connect(a: Port, b: Port) -> None:
+    """Convenience wrapper for :meth:`Port.connect`."""
+    a.connect(b)

@@ -1,0 +1,147 @@
+"""Statistics primitives used by every hardware model.
+
+The evaluation section of the paper is mostly *accounting*: instructions
+per cycle broken into stall categories (Table 3), bandwidth consumed per
+memory (Table 4), cycles per packet per function (Table 6).  These
+classes centralize that accounting so the table generators read straight
+out of a :class:`StatRegistry`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.units import ps_to_seconds
+
+
+class Counter:
+    """A monotonically increasing event counter."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: cannot add {amount}")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class RateMeter:
+    """Tracks a quantity accumulated over simulated time.
+
+    ``rate_per_second`` divides by the *observed window*, so a meter can
+    be reset at the end of warm-up and read at the end of the measured
+    region — which is how all throughput numbers are produced.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.total = 0.0
+        self.window_start_ps = 0
+
+    def add(self, amount: float) -> None:
+        self.total += amount
+
+    def reset(self, now_ps: int) -> None:
+        self.total = 0.0
+        self.window_start_ps = now_ps
+
+    def rate_per_second(self, now_ps: int) -> float:
+        elapsed = ps_to_seconds(now_ps - self.window_start_ps)
+        if elapsed <= 0:
+            return 0.0
+        return self.total / elapsed
+
+
+class Histogram:
+    """Fixed-bucket histogram for latencies and batch sizes."""
+
+    def __init__(self, name: str, bucket_bounds: Iterable[float]) -> None:
+        self.name = name
+        self.bounds: List[float] = sorted(bucket_bounds)
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def record(self, value: float) -> None:
+        index = 0
+        while index < len(self.bounds) and value > self.bounds[index]:
+            index += 1
+        self.counts[index] += 1
+        self.total += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Approximate percentile using bucket upper bounds."""
+        if not 0 <= fraction <= 1:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        if self.total == 0:
+            return 0.0
+        target = math.ceil(fraction * self.total)
+        seen = 0
+        for index, count in enumerate(self.counts):
+            seen += count
+            if seen >= target:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                return self.max if self.max is not None else self.bounds[-1]
+        return self.max if self.max is not None else self.bounds[-1]
+
+
+class StatRegistry:
+    """A namespaced collection of counters/meters/histograms."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.meters: Dict[str, RateMeter] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def meter(self, name: str) -> RateMeter:
+        if name not in self.meters:
+            self.meters[name] = RateMeter(name)
+        return self.meters[name]
+
+    def histogram(self, name: str, bucket_bounds: Iterable[float]) -> Histogram:
+        if name not in self.histograms:
+            self.histograms[name] = Histogram(name, bucket_bounds)
+        return self.histograms[name]
+
+    def reset_meters(self, now_ps: int) -> None:
+        """Restart every rate meter's observation window (end of warm-up)."""
+        for meter in self.meters.values():
+            meter.reset(now_ps)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat name → value view of all counters and meter totals."""
+        values: Dict[str, float] = {}
+        for name, counter in self.counters.items():
+            values[f"counter.{name}"] = counter.value
+        for name, meter in self.meters.items():
+            values[f"meter.{name}"] = meter.total
+        return values
+
+    def items(self) -> List[Tuple[str, float]]:
+        return sorted(self.snapshot().items())

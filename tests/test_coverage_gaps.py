@@ -1,0 +1,178 @@
+"""Tests for corners the main suites don't reach."""
+
+import pytest
+
+from repro.cpu.costmodel import OpProfile
+from repro.firmware.ordering import OrderingCost, ZERO_COST
+from repro.firmware.profiles import (
+    DEFAULT_FIRMWARE_PROFILES,
+    FirmwareProfiles,
+    ideal_frame_totals,
+)
+from repro.nic import RMW_166MHZ, ThroughputSimulator
+from repro.nic.throughput import FunctionStats
+
+
+class TestFirmwareProfiles:
+    def test_ideal_totals_match_paper_arithmetic(self):
+        totals = ideal_frame_totals()
+        assert totals["send_instructions"] == pytest.approx(281.8)
+        assert totals["recv_instructions"] == pytest.approx(253.5)
+        assert totals["send_accesses"] == pytest.approx(82.0 + 18.0)
+        assert totals["recv_accesses"] == pytest.approx(70.0 + 14.6)
+
+    def test_spin_cost_scales_with_wait(self):
+        profiles = FirmwareProfiles()
+        short = profiles.spin_cost(6.0)
+        long = profiles.spin_cost(60.0)
+        assert long.instructions == pytest.approx(10 * short.instructions)
+
+    def test_spin_cost_zero_wait(self):
+        assert DEFAULT_FIRMWARE_PROFILES.spin_cost(0).instructions == 0
+
+    def test_spin_fills_its_own_cycles(self):
+        """One spin trip's cost model cycles ~= the trip's duration, so
+        charged spin profiles fill lock waits with real work."""
+        from repro.cpu.costmodel import CoreCostModel
+        profiles = FirmwareProfiles()
+        trip = profiles.spin_cost(profiles.spin_loop_cycles)
+        cycles = CoreCostModel(imiss_rate=0).cycles(trip, 0.2)
+        assert cycles == pytest.approx(profiles.spin_loop_cycles, rel=0.25)
+
+
+class TestOrderingCost:
+    def test_addition(self):
+        total = OrderingCost(1, 2, 3) + OrderingCost(10, 20, 30)
+        assert (total.instructions, total.loads, total.stores) == (11, 22, 33)
+
+    def test_zero_identity(self):
+        cost = OrderingCost(5, 1, 2)
+        summed = cost + ZERO_COST
+        assert summed.instructions == 5
+
+
+class TestFunctionStats:
+    def test_per_frame(self):
+        stats = FunctionStats(instructions=100, loads=10, stores=5, cycles=150)
+        per = stats.per_frame(10)
+        assert per["instructions"] == 10
+        assert per["accesses"] == 1.5
+        assert per["cycles"] == 15
+
+    def test_per_frame_zero_guard(self):
+        assert FunctionStats().per_frame(0)["instructions"] == 0.0
+
+    def test_accesses_property(self):
+        assert FunctionStats(loads=3, stores=4).accesses == 7
+
+
+class TestLatencyPercentiles:
+    def test_p99_at_least_mean(self):
+        result = ThroughputSimulator(RMW_166MHZ, 1472).run(0.2e-3, 0.4e-3)
+        assert result.p99_rx_commit_latency_s >= result.mean_rx_commit_latency_s * 0.8
+        assert result.p99_rx_commit_latency_s < 1e-3
+
+
+class TestFiguresHelpers:
+    def test_single_core_unreachable_returns_none(self):
+        from repro.analysis.figures import single_core_line_rate_frequency
+        found = single_core_line_rate_frequency(
+            frequencies_mhz=(100,), target_fraction=0.99
+        )
+        assert found is None
+
+    def test_figure7_ethernet_limit_value(self):
+        from repro.analysis.figures import figure7_ethernet_limit
+        assert figure7_ethernet_limit() == pytest.approx(19.14, abs=0.05)
+
+    def test_saturation_frame_rates_keys(self):
+        from repro.analysis.figures import saturation_frame_rates
+        rates = saturation_frame_rates(100, warmup_s=0.2e-3, measure_s=0.3e-3)
+        assert set(rates) == {"software_200mhz", "rmw_166mhz"}
+
+
+class TestOpProfileEdges:
+    def test_scaled_zero(self):
+        profile = OpProfile(instructions=10, loads=2, stores=2)
+        zero = profile.scaled(0)
+        assert zero.instructions == 0
+        assert zero.accesses == 0
+
+    def test_plus_preserves_totals(self):
+        a = OpProfile(instructions=100, loads=10, stores=10)
+        b = OpProfile(instructions=50, loads=5, stores=5)
+        combined = a.plus(b)
+        assert combined.instructions == 150
+        assert combined.accesses == 30
+
+
+class TestKernelBehaviour:
+    def test_bd_fetch_copies_descriptors(self):
+        """The descriptor-parsing kernel must copy address/length of
+        every descriptor into the assist command queue."""
+        from repro.firmware.kernels import BD_FETCH_KERNEL, _DATA_SEGMENT
+        from repro.isa import Machine, assemble
+
+        source = """
+        .text
+        main:
+            la $t0, ring        # fill two descriptors first
+            li $t1, 0x1000
+            sw $t1, 0($t0)      # addr
+            li $t1, 64
+            sw $t1, 4($t0)      # len
+            li $t1, 0x4         # end-of-frame flag
+            sw $t1, 8($t0)
+            jal bd_fetch
+            nop
+            halt
+        """ + BD_FETCH_KERNEL + _DATA_SEGMENT
+        machine = Machine(assemble(source))
+        machine.run()
+        outq = machine.program.address_of("outq")
+        assert machine.memory.load_word(outq) == 0x1000
+        assert machine.memory.load_word(outq + 4) == 64
+        assert machine.memory.load_word(outq + 8) == 0x1000 + 64  # end addr
+
+    def test_dispatch_kernel_builds_event(self):
+        from repro.firmware.kernels import DISPATCH_KERNEL, _DATA_SEGMENT
+        from repro.isa import Machine, assemble
+
+        source = """
+        .text
+        main:
+            la $t0, hwptr
+            li $t1, 9
+            sw $t1, 0($t0)      # hardware progress = 9
+            li $t1, 4
+            sw $t1, 4($t0)      # software progress = 4
+            jal dispatch
+            nop
+            halt
+        """ + DISPATCH_KERNEL + _DATA_SEGMENT
+        machine = Machine(assemble(source))
+        machine.run()
+        evq = machine.program.address_of("evq")
+        assert machine.memory.load_word(evq) == 4       # first sequence
+        assert machine.memory.load_word(evq + 4) == 5   # count
+        hwptr = machine.program.address_of("hwptr")
+        assert machine.memory.load_word(hwptr + 4) == 9  # swptr caught up
+
+
+class TestSensitivity:
+    def test_nominal_point_holds(self):
+        from repro.analysis.sensitivity import sensitivity_analysis
+        points = sensitivity_analysis(
+            overhead_factors=(1.0,), dma_latencies_s=(1.2e-6,)
+        )
+        assert len(points) == 1
+        assert points[0].conclusions_hold
+        assert points[0].software_needs_higher_clock
+
+    def test_labels_distinct(self):
+        from repro.analysis.sensitivity import sensitivity_analysis
+        points = sensitivity_analysis(
+            overhead_factors=(1.0,), dma_latencies_s=(0.6e-6, 1.2e-6)
+        )
+        labels = [p.label for p in points]
+        assert len(labels) == len(set(labels))

@@ -1,0 +1,242 @@
+"""Cycle-level pipelined core: stall rules and multi-core arbitration."""
+
+import pytest
+
+from repro.cpu import LockstepSystem, PipelinedCore
+from repro.isa import assemble
+from repro.mem import InstructionCache, InstructionMemory, Scratchpad
+
+
+def _core(source, banks=4, **kwargs):
+    program = assemble(source)
+    scratchpad = Scratchpad(banks=banks)
+    return PipelinedCore(program, scratchpad, **kwargs)
+
+
+class TestBasicTiming:
+    def test_alu_only_is_one_cycle_each_plus_imiss(self):
+        core = _core("li $t0, 1\nli $t1, 2\naddu $v0, $t0, $t1\nhalt")
+        stats = core.run()
+        assert stats.instructions == 4
+        # cycles = instructions + the single cold I-cache fill
+        assert stats.cycles == 4 + stats.imiss_stalls
+        assert stats.load_stalls == 0
+
+    def test_every_load_stalls_one_cycle(self):
+        core = _core(
+            """
+            .data
+            buf: .word 1, 2, 3, 4
+            .text
+            la $t0, buf
+            lw $t1, 0($t0)
+            nop
+            lw $t2, 4($t0)
+            nop
+            halt
+            """
+        )
+        stats = core.run()
+        assert stats.load_stalls == 2
+
+    def test_load_use_adds_pipeline_stall(self):
+        dependent = _core(
+            """
+            .data
+            buf: .word 7
+            .text
+            la $t0, buf
+            lw $t1, 0($t0)
+            addu $v0, $t1, $t1   # load-use
+            halt
+            """
+        )
+        independent = _core(
+            """
+            .data
+            buf: .word 7
+            .text
+            la $t0, buf
+            lw $t1, 0($t0)
+            addu $v0, $t0, $t0   # no dependence on the load
+            halt
+            """
+        )
+        dep_stats = dependent.run()
+        ind_stats = independent.run()
+        assert dep_stats.pipeline_stalls == ind_stats.pipeline_stalls + 1
+
+    def test_store_buffer_hides_single_store(self):
+        core = _core(
+            """
+            .data
+            buf: .space 8
+            .text
+            la $t0, buf
+            sw $t0, 0($t0)
+            nop
+            nop
+            halt
+            """
+        )
+        stats = core.run()
+        assert stats.load_stalls == 0
+        assert stats.conflict_stalls == 0
+
+    def test_back_to_back_stores_backpressure(self):
+        core = _core(
+            """
+            .data
+            buf: .space 16
+            .text
+            la $t0, buf
+            sw $t0, 0($t0)
+            sw $t0, 4($t0)   # buffer still draining
+            halt
+            """
+        )
+        stats = core.run()
+        assert stats.conflict_stalls >= 1
+
+    def test_taken_branch_costs_a_fetch_slot(self):
+        taken = _core(
+            """
+            li $t0, 0
+            beqz $t0, target
+            nop
+        target:
+            halt
+            """
+        )
+        not_taken = _core(
+            """
+            li $t0, 1
+            beqz $t0, target
+            nop
+        target:
+            halt
+            """
+        )
+        t = taken.run()
+        n = not_taken.run()
+        assert t.pipeline_stalls == n.pipeline_stalls + 1
+
+    def test_functional_result_matches_machine(self):
+        core = _core(
+            """
+            li $t0, 6
+            li $t1, 7
+            mul $v0, $t0, $t1
+            halt
+            """
+        )
+        core.run()
+        assert core.machine.register_by_name("v0") == 42
+
+    def test_ipc_below_one(self):
+        core = _core(
+            """
+            .data
+            buf: .word 1, 2, 3, 4, 5, 6, 7, 8
+            .text
+            la $t0, buf
+            li $t2, 8
+        loop:
+            lw $t1, 0($t0)
+            addu $v0, $v0, $t1
+            addiu $t2, $t2, -1
+            bgtz $t2, loop
+            addiu $t0, $t0, 4
+            halt
+            """
+        )
+        stats = core.run()
+        assert 0.3 < stats.ipc < 1.0
+
+    def test_breakdown_sums_to_one(self):
+        core = _core("li $t0, 1\nhalt")
+        stats = core.run()
+        assert sum(stats.breakdown().values()) == pytest.approx(1.0)
+
+
+class TestICacheTiming:
+    def test_small_cache_thrashes(self):
+        tiny = InstructionCache(capacity_bytes=64, associativity=2, line_bytes=32)
+        program = "\n".join(["nop"] * 64 + ["halt"])
+        core = _core(program, icache=tiny)
+        stats = core.run()
+        assert stats.imiss_stalls > 0
+        assert tiny.misses > 2
+
+    def test_loop_hits_after_first_pass(self):
+        core = _core(
+            """
+            li $t0, 50
+        loop:
+            addiu $t0, $t0, -1
+            bgtz $t0, loop
+            nop
+            halt
+            """
+        )
+        stats = core.run()
+        assert core.icache.hit_ratio > 0.95
+
+
+class TestMultiCoreArbitration:
+    def _shared_system(self, cores=2, banks=1):
+        # Both cores hammer the same scratchpad bank.
+        source = """
+        .data
+        buf: .word 0, 0, 0, 0
+        .text
+        main:
+            la $t0, buf
+            li $t2, 16
+        loop:
+            lw $t1, 0($t0)
+            lw $t3, 0($t0)
+            addiu $t2, $t2, -1
+            bgtz $t2, loop
+            nop
+            halt
+        """
+        program = assemble(source)
+        scratchpad = Scratchpad(banks=banks)
+        imem = InstructionMemory()
+        core_list = [
+            PipelinedCore(
+                program, scratchpad, imem=imem, core_id=i,
+                shared_memory=scratchpad.memory,
+            )
+            for i in range(cores)
+        ]
+        return LockstepSystem(core_list), scratchpad
+
+    def test_bank_conflicts_emerge_with_sharing(self):
+        single, _ = self._shared_system(cores=1)
+        shared, _ = self._shared_system(cores=2)
+        single_stats = single.run()
+        shared_stats = shared.run()
+        assert sum(s.conflict_stalls for s in shared_stats) > sum(
+            s.conflict_stalls for s in single_stats
+        )
+
+    def test_more_banks_fewer_conflicts(self):
+        one_bank, _ = self._shared_system(cores=4, banks=1)
+        four_banks, _ = self._shared_system(cores=4, banks=4)
+        one = sum(s.conflict_stalls for s in one_bank.run())
+        four = sum(s.conflict_stalls for s in four_banks.run())
+        # Note: this loop hits a single address, so interleaving cannot
+        # spread it; the conflicts should be no worse with more banks.
+        assert four <= one
+
+    def test_all_cores_complete(self):
+        system, _ = self._shared_system(cores=3)
+        stats = system.run()
+        assert len(stats) == 3
+        assert all(s.instructions > 0 for s in stats)
+
+    def test_empty_system_rejected(self):
+        with pytest.raises(ValueError):
+            LockstepSystem([])

@@ -1,0 +1,70 @@
+"""Smoke tests: every example script runs end to end.
+
+Each example is executed in-process via runpy with throttled arguments
+so the suite stays fast; assertions check the headline output rather
+than exact numbers.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv, capsys):
+    sys_argv = sys.argv
+    sys.argv = [name] + argv
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = sys_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", ["--millis", "0.3", "--cores", "4"], capsys)
+        assert "UDP throughput" in out
+        assert "per-core cycle breakdown" in out
+
+    def test_firmware_playground(self, capsys):
+        out = run_example(
+            "firmware_playground.py", ["--cores", "2", "--iterations", "1"], capsys
+        )
+        assert "ISA-level ordering ablation" in out
+        assert "reduction" in out
+
+    def test_micro_nic_end_to_end(self, capsys):
+        out = run_example("micro_nic_end_to_end.py", ["--frames", "24"], capsys)
+        assert "in order?" in out
+        assert "NO" not in out.split("in order?")[1]
+
+    def test_micro_nic_show_firmware(self, capsys):
+        out = run_example(
+            "micro_nic_end_to_end.py", ["--frames", "8", "--show-firmware"], capsys
+        )
+        assert "setb" in out and "update" in out
+
+    def test_design_space_sweep_quick(self, capsys):
+        out = run_example("design_space_sweep.py", ["--quick"], capsys)
+        assert "cheapest line-rate design" in out
+
+    def test_frame_size_study(self, capsys):
+        out = run_example(
+            "frame_size_study.py", ["--sizes", "100", "1472", "--millis", "0.3"],
+            capsys,
+        )
+        assert "peak frame rate" in out
+        assert "IMIX extension" in out
+
+    def test_reproduce_paper_fast(self, capsys, tmp_path):
+        report_path = tmp_path / "evaluation.txt"
+        out = run_example(
+            "reproduce_paper.py", ["--fast", "--output", str(report_path)], capsys
+        )
+        assert "Table 6" in out
+        assert report_path.exists()
+        assert "Figure 8" in report_path.read_text()

@@ -1,0 +1,135 @@
+"""Event mechanisms: distributed queue vs Tigon-II event register."""
+
+import pytest
+
+from repro.firmware import DistributedEventQueue, EventKind, EventRegister, FrameEvent
+
+
+class TestFrameEvent:
+    def test_fields(self):
+        event = FrameEvent(EventKind.SEND_FRAME, first_seq=10, count=5)
+        assert event.kind is EventKind.SEND_FRAME
+        assert event.first_seq == 10
+        assert event.count == 5
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            FrameEvent(EventKind.SEND_FRAME, count=-1)
+
+
+class TestDistributedEventQueue:
+    def test_fifo(self):
+        queue = DistributedEventQueue()
+        queue.push(FrameEvent(EventKind.SEND_FRAME, first_seq=1))
+        queue.push(FrameEvent(EventKind.RECV_FRAME, first_seq=2))
+        assert queue.pop().first_seq == 1
+        assert queue.pop().first_seq == 2
+
+    def test_pop_empty_returns_none(self):
+        assert DistributedEventQueue().pop() is None
+
+    def test_overflow_guard(self):
+        queue = DistributedEventQueue(max_depth=2)
+        queue.push(FrameEvent(EventKind.SEND_FRAME))
+        queue.push(FrameEvent(EventKind.SEND_FRAME))
+        with pytest.raises(OverflowError):
+            queue.push(FrameEvent(EventKind.SEND_FRAME))
+
+    def test_retry_increments_counters(self):
+        queue = DistributedEventQueue()
+        event = FrameEvent(EventKind.RECV_FRAME)
+        queue.push_retry(event)
+        assert event.retries == 1
+        assert queue.retries == 1
+
+    def test_high_water_mark(self):
+        queue = DistributedEventQueue()
+        for _ in range(5):
+            queue.push(FrameEvent(EventKind.SEND_FRAME))
+        queue.pop()
+        assert queue.high_water == 5
+
+    def test_len_and_empty(self):
+        queue = DistributedEventQueue()
+        assert queue.empty
+        queue.push(FrameEvent(EventKind.SEND_FRAME))
+        assert len(queue) == 1
+        assert not queue.empty
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            DistributedEventQueue(max_depth=0)
+
+
+class TestEventRegister:
+    def test_claim_requires_pending(self):
+        register = EventRegister()
+        assert not register.claim(EventKind.SEND_FRAME, core_id=0)
+        register.raise_event(EventKind.SEND_FRAME)
+        assert register.claim(EventKind.SEND_FRAME, core_id=0)
+
+    def test_one_core_per_event_type(self):
+        """The Section 3.2 limitation: while a core handles an event
+        type, no other core may handle that same type."""
+        register = EventRegister()
+        register.raise_event(EventKind.SEND_FRAME)
+        assert register.claim(EventKind.SEND_FRAME, core_id=0)
+        assert not register.claim(EventKind.SEND_FRAME, core_id=1)
+        assert register.blocked_claims == 1
+
+    def test_reclaim_by_holder_allowed(self):
+        register = EventRegister()
+        register.raise_event(EventKind.SEND_FRAME)
+        register.claim(EventKind.SEND_FRAME, core_id=0)
+        assert register.claim(EventKind.SEND_FRAME, core_id=0)
+
+    def test_release_enables_other_core(self):
+        register = EventRegister()
+        register.raise_event(EventKind.SEND_FRAME)
+        register.claim(EventKind.SEND_FRAME, core_id=0)
+        register.release(EventKind.SEND_FRAME, core_id=0)
+        assert register.claim(EventKind.SEND_FRAME, core_id=1)
+
+    def test_release_by_non_holder_rejected(self):
+        register = EventRegister()
+        register.raise_event(EventKind.SEND_FRAME)
+        register.claim(EventKind.SEND_FRAME, core_id=0)
+        with pytest.raises(RuntimeError):
+            register.release(EventKind.SEND_FRAME, core_id=1)
+
+    def test_distinct_types_run_concurrently(self):
+        register = EventRegister()
+        register.raise_event(EventKind.SEND_FRAME)
+        register.raise_event(EventKind.RECV_FRAME)
+        assert register.claim(EventKind.SEND_FRAME, core_id=0)
+        assert register.claim(EventKind.RECV_FRAME, core_id=1)
+
+    def test_claimable_kinds(self):
+        register = EventRegister()
+        register.raise_event(EventKind.SEND_FRAME)
+        register.raise_event(EventKind.RECV_FRAME)
+        register.claim(EventKind.SEND_FRAME, core_id=0)
+        kinds = register.claimable_kinds(core_id=1)
+        assert EventKind.RECV_FRAME in kinds
+        assert EventKind.SEND_FRAME not in kinds
+
+    def test_clear_event(self):
+        register = EventRegister()
+        register.raise_event(EventKind.SEND_FRAME)
+        register.clear_event(EventKind.SEND_FRAME)
+        assert not register.pending(EventKind.SEND_FRAME)
+
+    def test_parallelism_bounded_by_event_types(self):
+        """With every event type pending, at most one core per type can
+        work — the structural ceiling on task-level parallelism."""
+        register = EventRegister()
+        for kind in EventKind:
+            register.raise_event(kind)
+        working = 0
+        for core_id in range(32):
+            if any(
+                register.claim(kind, core_id)
+                for kind in register.claimable_kinds(core_id)
+            ):
+                working += 1
+        assert working <= len(EventKind)

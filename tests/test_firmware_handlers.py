@@ -1,0 +1,124 @@
+"""Functional firmware pipelines: in-order delivery invariants."""
+
+import random
+
+import pytest
+
+from repro.firmware.handlers import RecvPath, SendPath, SendStage
+from repro.firmware.ordering import OrderingMode
+
+SW = OrderingMode.SOFTWARE
+RMW = OrderingMode.RMW
+
+
+class TestSendPath:
+    @pytest.mark.parametrize("mode", [SW, RMW])
+    def test_commit_order_is_arrival_order(self, mode):
+        path = SendPath(mode)
+        seqs = path.post(16)
+        path.fetch_bds(seqs)
+        for seq in seqs:
+            path.issue_dma(seq)
+        rng = random.Random(7)
+        shuffled = seqs[:]
+        rng.shuffle(shuffled)
+        for seq in shuffled:
+            path.dma_complete(seq)
+            path.commit()
+        assert path.commit_order == seqs
+
+    @pytest.mark.parametrize("mode", [SW, RMW])
+    def test_no_commit_before_dma(self, mode):
+        path = SendPath(mode)
+        seqs = path.post(4)
+        path.fetch_bds(seqs)
+        for seq in seqs:
+            path.issue_dma(seq)
+        path.dma_complete(2)  # out of order; 0 and 1 still pending
+        committed = path.commit()
+        assert committed == []
+
+    def test_transmit_requires_commit(self):
+        path = SendPath(RMW)
+        seqs = path.post(1)
+        path.fetch_bds(seqs)
+        path.issue_dma(0)
+        path.dma_complete(0)
+        with pytest.raises(ValueError):
+            path.transmit(0)
+        path.commit()
+        path.transmit(0)
+
+    def test_stage_regression_rejected(self):
+        path = SendPath(RMW)
+        path.post(1)
+        with pytest.raises(ValueError):
+            path.frames[0].advance(SendStage.POSTED)
+
+    def test_transmitted_frames_leave_tracking(self):
+        path = SendPath(RMW)
+        seqs = path.post(2)
+        path.fetch_bds(seqs)
+        for seq in seqs:
+            path.issue_dma(seq)
+            path.dma_complete(seq)
+        path.commit()
+        path.transmit(0)
+        assert 0 not in path.frames
+        assert 1 in path.frames
+
+
+class TestRecvPath:
+    @pytest.mark.parametrize("mode", [SW, RMW])
+    def test_delivery_order_is_arrival_order(self, mode):
+        path = RecvPath(mode)
+        seqs = path.arrive(32)
+        for seq in seqs:
+            path.issue_dma(seq)
+        rng = random.Random(13)
+        shuffled = seqs[:]
+        rng.shuffle(shuffled)
+        for seq in shuffled:
+            path.dma_complete(seq)
+            path.commit()
+        assert path.commit_order == seqs
+
+    @pytest.mark.parametrize("mode", [SW, RMW])
+    def test_partial_progress(self, mode):
+        path = RecvPath(mode)
+        path.arrive(4)
+        for seq in (0, 1, 3):
+            path.issue_dma(seq)
+            path.dma_complete(seq)
+        committed = path.commit()
+        assert committed == [0, 1]
+        path.issue_dma(2)
+        path.dma_complete(2)
+        committed = path.commit()
+        assert committed == [2, 3]
+
+    def test_committed_frames_released(self):
+        path = RecvPath(RMW)
+        path.arrive(2)
+        for seq in (0, 1):
+            path.issue_dma(seq)
+            path.dma_complete(seq)
+        path.commit()
+        assert not path.frames
+
+
+class TestInterleavedPaths:
+    def test_send_and_recv_boards_are_independent(self):
+        send = SendPath(RMW, ring_size=64)
+        recv = RecvPath(RMW, ring_size=64)
+        send_seqs = send.post(8)
+        send.fetch_bds(send_seqs)
+        recv_seqs = recv.arrive(8)
+        for seq in send_seqs:
+            send.issue_dma(seq)
+            send.dma_complete(seq)
+        for seq in recv_seqs:
+            recv.issue_dma(seq)
+            recv.dma_complete(seq)
+        assert len(send.commit()) == 8
+        assert len(recv.commit()) == 8

@@ -1,0 +1,170 @@
+"""Frame-ordering boards: software-only vs RMW-enhanced."""
+
+import pytest
+
+from repro.firmware import OrderingBoard, OrderingMode
+
+SW = OrderingMode.SOFTWARE
+RMW = OrderingMode.RMW
+
+
+class TestBoardBasics:
+    @pytest.mark.parametrize("mode", [SW, RMW])
+    def test_in_order_completion_commits_immediately(self, mode):
+        board = OrderingBoard(64, mode)
+        board.mark_done(0)
+        board.mark_done(1)
+        count, _cost = board.commit()
+        assert count == 2
+        assert board.commit_seq == 2
+
+    @pytest.mark.parametrize("mode", [SW, RMW])
+    def test_gap_blocks_commit(self, mode):
+        board = OrderingBoard(64, mode)
+        board.mark_done(1)  # frame 0 not done yet
+        count, _cost = board.commit()
+        assert count == 0
+        assert board.commit_seq == 0
+
+    @pytest.mark.parametrize("mode", [SW, RMW])
+    def test_gap_fill_releases_run(self, mode):
+        board = OrderingBoard(64, mode)
+        for seq in (1, 2, 3):
+            board.mark_done(seq)
+        board.mark_done(0)
+        count, _cost = board.commit()
+        assert count == 4
+
+    @pytest.mark.parametrize("mode", [SW, RMW])
+    def test_out_of_order_marks_commit_in_order(self, mode):
+        board = OrderingBoard(64, mode)
+        for seq in (5, 3, 0, 1, 4, 2):
+            board.mark_done(seq)
+        count, _cost = board.commit()
+        assert count == 6
+        assert board.commit_seq == 6
+
+    @pytest.mark.parametrize("mode", [SW, RMW])
+    def test_commit_crosses_word_boundaries(self, mode):
+        board = OrderingBoard(128, mode)
+        for seq in range(70):
+            board.mark_done(seq)
+        count, _cost = board.commit()
+        assert count == 70
+
+    @pytest.mark.parametrize("mode", [SW, RMW])
+    def test_ring_wraparound(self, mode):
+        board = OrderingBoard(32, mode)
+        for wrap in range(4):
+            for offset in range(32):
+                board.mark_done(wrap * 32 + offset)
+            count, _cost = board.commit()
+            assert count == 32
+        assert board.commit_seq == 128
+
+    @pytest.mark.parametrize("mode", [SW, RMW])
+    def test_double_commit_idempotent(self, mode):
+        board = OrderingBoard(64, mode)
+        board.mark_done(0)
+        board.commit()
+        count, _cost = board.commit()
+        assert count == 0
+
+    def test_lap_protection(self):
+        board = OrderingBoard(32, RMW)
+        with pytest.raises(ValueError):
+            board.mark_done(32)  # would alias bit 0 while seq 0 pending
+
+    def test_already_committed_rejected(self):
+        board = OrderingBoard(32, RMW)
+        board.mark_done(0)
+        board.commit()
+        with pytest.raises(ValueError):
+            board.mark_done(0)
+
+    def test_ring_size_validation(self):
+        with pytest.raises(ValueError):
+            OrderingBoard(33, RMW)
+        with pytest.raises(ValueError):
+            OrderingBoard(0, RMW)
+
+    def test_requires_lock_flag(self):
+        assert OrderingBoard(32, SW).requires_lock
+        assert not OrderingBoard(32, RMW).requires_lock
+
+    def test_pending_counts_consecutive(self):
+        board = OrderingBoard(64, RMW)
+        board.mark_done(0)
+        board.mark_done(1)
+        board.mark_done(3)
+        assert board.pending == 2
+
+
+class TestModeEquivalence:
+    """Both implementations must express identical ordering semantics."""
+
+    def test_same_commit_sequence_for_any_interleaving(self):
+        import random
+        rng = random.Random(42)
+        for _trial in range(20):
+            order = list(range(48))
+            rng.shuffle(order)
+            boards = {mode: OrderingBoard(64, mode) for mode in (SW, RMW)}
+            commits = {mode: [] for mode in (SW, RMW)}
+            for seq in order:
+                for mode, board in boards.items():
+                    board.mark_done(seq)
+                    count, _ = board.commit()
+                    commits[mode].append(count)
+            assert commits[SW] == commits[RMW]
+            assert boards[SW].commit_seq == boards[RMW].commit_seq == 48
+
+
+class TestCostAsymmetry:
+    """The RMW instructions exist to make ordering cheap."""
+
+    def _total_cost(self, mode, frames=64):
+        board = OrderingBoard(128, mode)
+        instructions = 0.0
+        accesses = 0.0
+        for seq in range(frames):
+            cost = board.mark_done(seq)
+            instructions += cost.instructions
+            accesses += cost.loads + cost.stores
+        _count, cost = board.commit()
+        instructions += cost.instructions
+        accesses += cost.loads + cost.stores
+        return instructions, accesses
+
+    def test_rmw_marks_cheaper(self):
+        sw_mark = OrderingBoard(64, SW).mark_done(0)
+        rmw_mark = OrderingBoard(64, RMW).mark_done(0)
+        assert rmw_mark.instructions < sw_mark.instructions
+        assert (rmw_mark.loads + rmw_mark.stores) < (sw_mark.loads + sw_mark.stores)
+
+    def test_rmw_commit_scales_per_word_not_per_frame(self):
+        sw_board = OrderingBoard(128, SW)
+        rmw_board = OrderingBoard(128, RMW)
+        for seq in range(64):
+            sw_board.mark_done(seq)
+            rmw_board.mark_done(seq)
+        _c, sw_cost = sw_board.commit()
+        _c, rmw_cost = rmw_board.commit()
+        # 64 frames: software pays ~64 loop trips, RMW pays ~3 updates.
+        assert rmw_cost.instructions < sw_cost.instructions / 5
+
+    def test_overall_reduction_exceeds_half(self):
+        sw_instructions, sw_accesses = self._total_cost(SW)
+        rmw_instructions, rmw_accesses = self._total_cost(RMW)
+        assert rmw_instructions < 0.5 * sw_instructions
+        assert rmw_accesses < 0.5 * sw_accesses
+
+    def test_hw_pointer_board_costs_more_in_software(self):
+        plain = OrderingBoard(64, SW)
+        hw = OrderingBoard(64, SW, hw_pointer=True)
+        for seq in range(8):
+            plain.mark_done(seq)
+            hw.mark_done(seq)
+        _c, plain_cost = plain.commit()
+        _c, hw_cost = hw.commit()
+        assert hw_cost.instructions > plain_cost.instructions

@@ -1,0 +1,32 @@
+"""The one-shot evaluation report."""
+
+import pytest
+
+from repro.analysis.full_report import generate_full_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    return generate_full_report(fast=True)
+
+
+class TestFullReport:
+    def test_contains_every_section(self, report):
+        for section in (
+            "Headline",
+            "Table 1", "Table 2", "Table 3", "Table 4", "Table 5", "Table 6",
+            "Figure 3", "Figure 7", "Figure 8",
+        ):
+            assert section in report
+
+    def test_reports_paper_reference_values(self, report):
+        for reference in ("435", "4.8", "39.5", "51.5", "30.8", "2.2 M/s"):
+            assert reference in report
+
+    def test_mentions_both_configurations(self, report):
+        assert "software-only 6x200 MHz" in report
+        assert "RMW-enhanced 6x166 MHz" in report
+
+    def test_plain_text(self, report):
+        assert isinstance(report, str)
+        assert len(report.splitlines()) > 60

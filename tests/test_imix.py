@@ -1,0 +1,114 @@
+"""Mixed frame sizes (IMIX extension)."""
+
+import pytest
+
+from repro.net.ethernet import EthernetTiming
+from repro.net.workload import ConstantSize, ImixSize
+from repro.nic import RMW_166MHZ, ThroughputSimulator
+
+
+class TestConstantSize:
+    def test_payload_constant(self):
+        model = ConstantSize(800)
+        assert model.payload_bytes(0) == model.payload_bytes(999) == 800
+
+    def test_frame_bytes(self):
+        assert ConstantSize(1472).frame_bytes(5) == 1518
+
+    def test_means(self):
+        model = ConstantSize(1472)
+        assert model.mean_payload_bytes == 1472
+        assert model.mean_frame_bytes == 1518
+        assert model.max_frame_bytes == 1518
+
+    def test_line_rate_matches_ethernet_timing(self):
+        model = ConstantSize(1472)
+        timing = EthernetTiming()
+        assert model.line_rate_fps(timing) == pytest.approx(
+            timing.frames_per_second(1518)
+        )
+
+    def test_invalid_payload_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantSize(5000)
+
+
+class TestImixSize:
+    def test_pattern_repeats(self):
+        model = ImixSize()
+        n = model.pattern_length
+        assert model.payload_bytes(0) == model.payload_bytes(n)
+
+    def test_classic_ratio(self):
+        model = ImixSize()
+        sizes = [model.payload_bytes(i) for i in range(model.pattern_length)]
+        assert sizes.count(18) == 7
+        assert sizes.count(548) == 4
+        assert sizes.count(1472) == 1
+
+    def test_pattern_is_permutation_of_multiset(self):
+        model = ImixSize()
+        sizes = sorted(model.payload_bytes(i) for i in range(model.pattern_length))
+        assert sizes == sorted([18] * 7 + [548] * 4 + [1472])
+
+    def test_large_frames_spread_out(self):
+        model = ImixSize()
+        big = [i for i in range(model.pattern_length)
+               if model.payload_bytes(i) == 1472]
+        assert len(big) == 1  # one per pattern; the stride walk spreads repeats
+
+    def test_mean_frame_bytes(self):
+        model = ImixSize()
+        # (7*64 + 4*594 + 1*1518) / 12
+        assert model.mean_frame_bytes == pytest.approx((7 * 64 + 4 * 594 + 1518) / 12)
+
+    def test_max_frame(self):
+        assert ImixSize().max_frame_bytes == 1518
+
+    def test_line_rate_above_max_size_rate(self):
+        timing = EthernetTiming()
+        assert ImixSize().line_rate_fps(timing) > timing.frames_per_second(1518)
+
+    def test_custom_pattern(self):
+        model = ImixSize(pattern=((100, 1), (1000, 1)))
+        sizes = {model.payload_bytes(0), model.payload_bytes(1)}
+        assert sizes == {100, 1000}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ImixSize(pattern=())
+        with pytest.raises(ValueError):
+            ImixSize(pattern=((100, 0),))
+
+
+class TestImixSimulation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        simulator = ThroughputSimulator(RMW_166MHZ, size_model=ImixSize())
+        return simulator.run(warmup_s=0.3e-3, measure_s=0.5e-3)
+
+    def test_processing_bound(self, result):
+        # The IMIX line rate is ~3.3 M fps/direction; the 6-core NIC
+        # saturates near 2 M total — far below the link.
+        assert result.line_rate_fraction() < 0.6
+        assert result.core_utilization > 0.95
+
+    def test_frame_rate_matches_saturation(self, result):
+        assert 1.2e6 < result.total_fps < 3.0e6
+
+    def test_goodput_accounts_real_payloads(self, result):
+        # Goodput must equal delivered payload bytes / time, which for
+        # the 362 B mean mix is far below the max-frame 19 Gb/s.
+        assert 2.0 < result.udp_throughput_gbps < 9.0
+
+    def test_mean_sizes_reported(self, result):
+        assert result.frame_bytes == pytest.approx(362, abs=2)
+
+    def test_drops_occur_under_overload(self, result):
+        assert result.rx_dropped > 0
+
+    def test_conservation_of_payload(self, result):
+        # Delivered payload per frame must average to the mix's mean.
+        mean = result.rx_payload_bytes / max(1, result.rx_frames)
+        model = ImixSize()
+        assert mean == pytest.approx(model.mean_payload_bytes, rel=0.25)

@@ -1,0 +1,208 @@
+"""Two-pass assembler: labels, directives, pseudo-instructions, errors."""
+
+import pytest
+
+from repro.isa import AssemblerError, assemble
+
+
+class TestBasics:
+    def test_empty_text(self):
+        program = assemble(".text\n")
+        assert program.instructions == []
+
+    def test_single_instruction(self):
+        program = assemble("addu $t0, $t1, $t2")
+        assert len(program.instructions) == 1
+        assert program.instructions[0].mnemonic == "addu"
+
+    def test_comments_stripped(self):
+        program = assemble("addu $t0, $t1, $t2  # comment\n# full line\n")
+        assert len(program.instructions) == 1
+
+    def test_numeric_registers(self):
+        program = assemble("addu $8, $9, $10")
+        ins = program.instructions[0]
+        assert (ins.rd, ins.rs, ins.rt) == (8, 9, 10)
+
+    def test_register_out_of_range(self):
+        with pytest.raises(AssemblerError):
+            assemble("addu $32, $0, $0")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError):
+            assemble("bogus $t0, $t1")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError):
+            assemble("addu $t0, $t1")
+
+
+class TestLabels:
+    def test_text_label_address(self):
+        program = assemble("start: nop\nsecond: nop")
+        assert program.address_of("start") == 0
+        assert program.address_of("second") == 4
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("a: nop\na: nop")
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("b missing\nnop")
+
+    def test_address_of_missing_symbol(self):
+        program = assemble("nop")
+        with pytest.raises(KeyError):
+            program.address_of("nowhere")
+
+    def test_label_on_own_line(self):
+        program = assemble("alone:\n    nop")
+        assert program.address_of("alone") == 0
+
+    def test_forward_branch(self):
+        program = assemble("beq $0, $0, end\nnop\nend: nop")
+        # offset from the delay slot: end is 1 word past it
+        assert program.instructions[0].imm == 1
+
+    def test_backward_branch(self):
+        program = assemble("top: nop\nbeq $0, $0, top\nnop")
+        assert program.instructions[1].imm == -2
+
+
+class TestDirectives:
+    def test_word_data(self):
+        program = assemble(".data\nvals: .word 1, 2, 3\n.text\nnop")
+        assert program.data == (1).to_bytes(4, "little") + (2).to_bytes(4, "little") + (3).to_bytes(4, "little")
+
+    def test_space(self):
+        program = assemble(".data\nbuf: .space 16\n.text\nnop")
+        assert program.data == b"\x00" * 16
+
+    def test_byte_and_half(self):
+        program = assemble(".data\n.byte 0xAB\n.half 0x1234\n.text\nnop")
+        assert program.data == b"\xab\x34\x12"
+
+    def test_align(self):
+        program = assemble(".data\n.byte 1\n.align 2\nw: .word 5\n.text\nnop")
+        assert program.address_of("w") == program.data_base + 4
+
+    def test_word_with_label_value(self):
+        program = assemble(".data\na: .word 7\nptr: .word a\n.text\nnop")
+        stored = int.from_bytes(program.data[4:8], "little")
+        assert stored == program.address_of("a")
+
+    def test_data_label_addresses(self):
+        program = assemble(".data\nx: .word 1\ny: .word 2\n.text\nnop")
+        assert program.address_of("y") == program.address_of("x") + 4
+
+    def test_instruction_in_data_section_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".data\naddu $t0, $t1, $t2")
+
+    def test_unknown_directive(self):
+        with pytest.raises(AssemblerError):
+            assemble(".data\n.bogus 1")
+
+
+class TestPseudoInstructions:
+    def test_nop_is_sll_zero(self):
+        ins = assemble("nop").instructions[0]
+        assert (ins.mnemonic, ins.rd, ins.rt, ins.shamt) == ("sll", 0, 0, 0)
+
+    def test_move(self):
+        ins = assemble("move $t0, $t1").instructions[0]
+        assert (ins.mnemonic, ins.rd, ins.rs, ins.rt) == ("addu", 8, 9, 0)
+
+    def test_li_small(self):
+        program = assemble("li $t0, 100")
+        assert len(program.instructions) == 1
+        assert program.instructions[0].mnemonic == "addiu"
+
+    def test_li_negative(self):
+        program = assemble("li $t0, -5")
+        assert program.instructions[0].imm == -5
+
+    def test_li_unsigned_16bit(self):
+        program = assemble("li $t0, 0xBEEF")
+        assert len(program.instructions) == 1
+        assert program.instructions[0].mnemonic == "ori"
+
+    def test_li_large_expands_to_two(self):
+        program = assemble("li $t0, 0x12345678")
+        assert [i.mnemonic for i in program.instructions] == ["lui", "ori"]
+
+    def test_la(self):
+        program = assemble(".data\nbuf: .word 0\n.text\nla $t0, buf")
+        assert [i.mnemonic for i in program.instructions] == ["lui", "ori"]
+
+    def test_lw_label_expands(self):
+        program = assemble(".data\nv: .word 9\n.text\nlw $t0, v")
+        assert [i.mnemonic for i in program.instructions] == ["lui", "lw"]
+
+    def test_beqz(self):
+        ins = assemble("beqz $t0, out\nnop\nout: nop").instructions[0]
+        assert (ins.mnemonic, ins.rs, ins.rt) == ("beq", 8, 0)
+
+    def test_bnez(self):
+        ins = assemble("bnez $t0, out\nnop\nout: nop").instructions[0]
+        assert ins.mnemonic == "bne"
+
+    def test_blt_expands_to_slt_bne(self):
+        program = assemble("blt $t0, $t1, out\nnop\nout: nop")
+        assert [i.mnemonic for i in program.instructions[:2]] == ["slt", "bne"]
+
+    def test_bge_expands_to_slt_beq(self):
+        program = assemble("bge $t0, $t1, out\nnop\nout: nop")
+        assert [i.mnemonic for i in program.instructions[:2]] == ["slt", "beq"]
+
+    def test_bltu_uses_sltu(self):
+        program = assemble("bltu $t0, $t1, out\nnop\nout: nop")
+        assert program.instructions[0].mnemonic == "sltu"
+
+    def test_pseudo_sizes_match_first_pass(self):
+        # A label *after* multi-instruction pseudos must land correctly.
+        program = assemble(
+            """
+            li $t0, 0x12345678
+            la $t1, target
+            blt $t0, $t1, target
+            nop
+        target: nop
+        """
+        )
+        # li(2) + la(2) + blt(2) + nop(1) = 7 instructions
+        assert program.address_of("target") == 7 * 4
+
+
+class TestJumps:
+    def test_j_to_label(self):
+        program = assemble("main: j main\nnop")
+        assert program.instructions[0].target == 0
+
+    def test_jalr_default_ra(self):
+        ins = assemble("jalr $t0").instructions[0]
+        assert (ins.rd, ins.rs) == (31, 8)
+
+    def test_jalr_explicit(self):
+        ins = assemble("jalr $s0, $t0").instructions[0]
+        assert (ins.rd, ins.rs) == (16, 8)
+
+
+class TestProgramHelpers:
+    def test_instruction_at(self):
+        program = assemble("nop\nhalt")
+        assert program.instruction_at(4).mnemonic == "halt"
+
+    def test_instruction_at_out_of_range(self):
+        program = assemble("nop")
+        with pytest.raises(IndexError):
+            program.instruction_at(100)
+
+    def test_text_bytes(self):
+        program = assemble("nop\nnop\nnop")
+        assert program.text_bytes == 12
+
+    def test_source_lines_recorded(self):
+        program = assemble("addu $t0, $t1, $t2   # trailing")
+        assert "addu" in program.source_lines[0]

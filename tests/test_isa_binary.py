@@ -1,0 +1,117 @@
+"""Binary firmware images and listings."""
+
+import pytest
+
+from repro.firmware.kernels import assemble_firmware
+from repro.isa import Machine, assemble
+from repro.isa.binary import (
+    ImageError,
+    decode_image,
+    encode_program,
+    listing,
+)
+
+SOURCE = """
+        .data
+out:    .word 0
+        .text
+main:
+        li $t0, 21
+        addu $t0, $t0, $t0
+        la $t1, out
+        sw $t0, 0($t1)
+        halt
+"""
+
+
+class TestImageRoundtrip:
+    def test_roundtrip_preserves_instructions(self):
+        program = assemble(SOURCE)
+        image = decode_image(encode_program(program))
+        assert len(image.instructions) == len(program.instructions)
+        for original, loaded in zip(program.instructions, image.instructions):
+            assert loaded.mnemonic == original.mnemonic
+
+    def test_roundtrip_preserves_sections(self):
+        program = assemble(SOURCE)
+        image = decode_image(encode_program(program))
+        assert image.text_base == program.text_base
+        assert image.data_base == program.data_base
+        assert image.data == program.data
+
+    def test_loaded_image_runs_identically(self):
+        program = assemble(SOURCE)
+        reloaded = decode_image(encode_program(program)).to_program()
+        original_machine = Machine(program)
+        original_machine.run()
+        reloaded_machine = Machine(reloaded)
+        reloaded_machine.run()
+        out = program.address_of("out")
+        assert (
+            original_machine.memory.load_word(out)
+            == reloaded_machine.memory.load_word(out)
+            == 42
+        )
+
+    def test_full_firmware_roundtrips(self):
+        program = assemble_firmware("order_rmw", iterations=1)
+        image = decode_image(encode_program(program))
+        assert len(image.instructions) == len(program.instructions)
+        # The RMW extension instructions survive the binary roundtrip.
+        mnemonics = {i.mnemonic for i in image.instructions}
+        assert "setb" in mnemonics and "update" in mnemonics
+
+
+class TestImageValidation:
+    def test_bad_magic(self):
+        blob = encode_program(assemble(SOURCE))
+        with pytest.raises(ImageError):
+            decode_image(b"WRONGMAG" + blob[8:])
+
+    def test_truncated_header(self):
+        with pytest.raises(ImageError):
+            decode_image(b"short")
+
+    def test_truncated_body(self):
+        blob = encode_program(assemble(SOURCE))
+        with pytest.raises(ImageError):
+            decode_image(blob[:-1])
+
+    def test_bad_version(self):
+        blob = bytearray(encode_program(assemble(SOURCE)))
+        blob[8] = 99
+        with pytest.raises(ImageError):
+            decode_image(bytes(blob))
+
+
+class TestListing:
+    def test_listing_has_labels_and_addresses(self):
+        program = assemble(SOURCE)
+        text = listing(program)
+        assert "main:" in text
+        assert "0x000000:" in text
+        assert "halt" in text
+
+    def test_listing_shows_encodings(self):
+        program = assemble(SOURCE)
+        text = listing(program)
+        # Every instruction line (before the data dump) carries an
+        # 8-hex-digit encoding.
+        text_section = text.split(".data")[0]
+        body = [line for line in text_section.splitlines() if line.startswith("  0x")]
+        assert body
+        assert all(len(line.split()[1]) == 8 for line in body)
+
+    def test_listing_without_encoding(self):
+        text = listing(assemble(SOURCE), with_encoding=False)
+        assert "main:" in text
+
+    def test_data_section_dumped(self):
+        program = assemble(SOURCE)
+        text = listing(program)
+        assert ".data @" in text
+
+    def test_large_data_truncated(self):
+        program = assemble(".data\nbig: .space 256\n.text\nnop\nhalt")
+        text = listing(program)
+        assert "more bytes" in text

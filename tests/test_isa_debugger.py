@@ -1,0 +1,130 @@
+"""Firmware debugger: breakpoints, watchpoints, inspection."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.isa.debugger import Debugger
+
+SOURCE = """
+        .data
+counter: .word 0
+        .text
+main:
+        li $t0, 3
+        la $t1, counter
+loop:
+        lw $t2, 0($t1)
+        addiu $t2, $t2, 1
+        sw $t2, 0($t1)
+        addiu $t0, $t0, -1
+        bgtz $t0, loop
+        nop
+done:
+        halt
+"""
+
+
+def make() -> Debugger:
+    return Debugger(assemble(SOURCE))
+
+
+class TestBreakpoints:
+    def test_break_at_label(self):
+        debugger = make()
+        debugger.add_breakpoint("done")
+        reason = debugger.run()
+        assert reason.kind == "breakpoint"
+        assert reason.pc == debugger.program.address_of("done")
+        # The loop body ran three times before reaching done.
+        counter = debugger.program.address_of("counter")
+        assert debugger.machine.memory.load_word(counter) == 3
+
+    def test_break_midloop_hits_each_iteration(self):
+        debugger = make()
+        debugger.add_breakpoint("loop")
+        hits = 0
+        while debugger.run().kind == "breakpoint":
+            hits += 1
+        assert hits == 3
+
+    def test_remove_breakpoint(self):
+        debugger = make()
+        debugger.add_breakpoint("done")
+        debugger.remove_breakpoint("done")
+        assert debugger.run().kind == "halted"
+
+    def test_unaligned_rejected(self):
+        with pytest.raises(ValueError):
+            make().add_breakpoint(2)
+
+    def test_breakpoints_listed(self):
+        debugger = make()
+        debugger.add_breakpoint("loop")
+        debugger.add_breakpoint("done")
+        assert len(debugger.breakpoints) == 2
+
+
+class TestWatchpoints:
+    def test_fires_on_store(self):
+        debugger = make()
+        debugger.add_watchpoint("counter")
+        reason = debugger.run()
+        assert reason.kind == "watchpoint"
+        assert "0x0 -> 0x1" in reason.detail
+
+    def test_fires_once_per_change(self):
+        debugger = make()
+        debugger.add_watchpoint("counter")
+        changes = 0
+        while debugger.run().kind == "watchpoint":
+            changes += 1
+        assert changes == 3
+
+
+class TestExecution:
+    def test_run_to_halt(self):
+        debugger = make()
+        assert debugger.run().kind == "halted"
+
+    def test_step_limit(self):
+        debugger = Debugger(assemble("loop: b loop\nnop"))
+        assert debugger.run(max_steps=50).kind == "step-limit"
+
+    def test_step_returns_none_midstream(self):
+        debugger = make()
+        assert debugger.step() is None
+
+    def test_stepping_after_halt_reports_halted(self):
+        debugger = make()
+        debugger.run()
+        assert debugger.step().kind == "halted"
+
+    def test_history_records_disassembly(self):
+        debugger = make()
+        debugger.run()
+        assert any("addiu" in text for _pc, text in debugger.history)
+
+
+class TestInspection:
+    def test_register_dump(self):
+        debugger = make()
+        debugger.run()
+        dump = debugger.dump_registers()
+        assert "$t2" in dump
+
+    def test_memory_dump(self):
+        debugger = make()
+        debugger.run()
+        dump = debugger.dump_memory("counter", words=1)
+        assert "0x00000003" in dump
+
+    def test_where_shows_label_offset(self):
+        debugger = make()
+        debugger.add_breakpoint("loop")
+        debugger.run()
+        assert debugger.where().startswith("loop+0x0:")
+
+    def test_where_after_halt(self):
+        debugger = make()
+        debugger.run()
+        assert "<halted>" in debugger.where()

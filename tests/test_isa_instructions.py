@@ -1,0 +1,169 @@
+"""Instruction encodings, decodings, and dependence metadata."""
+
+import pytest
+
+from repro.isa.instructions import (
+    Instruction,
+    REGISTER_NAMES,
+    REGISTER_NUMBERS,
+    SPECS,
+    decode,
+    disassemble,
+    encode,
+    spec_for,
+)
+
+
+class TestRegisters:
+    def test_thirty_two_names(self):
+        assert len(REGISTER_NAMES) == 32
+
+    def test_zero_is_register_0(self):
+        assert REGISTER_NUMBERS["zero"] == 0
+
+    def test_ra_is_register_31(self):
+        assert REGISTER_NUMBERS["ra"] == 31
+
+
+class TestSpecs:
+    def test_spec_lookup(self):
+        assert spec_for("addu").mnemonic == "addu"
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(KeyError):
+            spec_for("frobnicate")
+
+    def test_loads_flagged(self):
+        for mnemonic in ("lw", "lb", "lbu", "lh", "lhu", "ll"):
+            assert spec_for(mnemonic).is_load
+
+    def test_stores_flagged(self):
+        for mnemonic in ("sw", "sb", "sh", "sc"):
+            assert spec_for(mnemonic).is_store
+
+    def test_rmw_flags(self):
+        assert spec_for("setb").is_rmw
+        assert spec_for("update").is_rmw
+
+    def test_branches_flagged(self):
+        for mnemonic in ("beq", "bne", "blez", "bgtz", "bltz", "bgez"):
+            assert spec_for(mnemonic).is_branch
+
+    def test_jumps_flagged(self):
+        for mnemonic in ("j", "jal", "jr", "jalr"):
+            assert spec_for(mnemonic).is_jump
+
+
+class TestEncodeDecode:
+    def test_rtype_roundtrip(self):
+        ins = Instruction("addu", rd=3, rs=4, rt=5)
+        decoded = decode(encode(ins))
+        assert (decoded.mnemonic, decoded.rd, decoded.rs, decoded.rt) == ("addu", 3, 4, 5)
+
+    def test_shift_roundtrip(self):
+        ins = Instruction("sll", rd=2, rt=7, shamt=12)
+        decoded = decode(encode(ins))
+        assert (decoded.mnemonic, decoded.rd, decoded.rt, decoded.shamt) == ("sll", 2, 7, 12)
+
+    def test_itype_negative_immediate(self):
+        ins = Instruction("addiu", rt=8, rs=9, imm=-4)
+        decoded = decode(encode(ins))
+        assert decoded.imm == -4
+
+    def test_logical_immediates_zero_extended(self):
+        ins = Instruction("ori", rt=8, rs=9, imm=0xFFFF)
+        decoded = decode(encode(ins))
+        assert decoded.imm == 0xFFFF
+
+    def test_memory_roundtrip(self):
+        ins = Instruction("lw", rt=10, rs=29, imm=-8)
+        decoded = decode(encode(ins))
+        assert (decoded.mnemonic, decoded.rt, decoded.rs, decoded.imm) == ("lw", 10, 29, -8)
+
+    def test_branch_roundtrip(self):
+        ins = Instruction("bne", rs=4, rt=5, imm=-10)
+        decoded = decode(encode(ins))
+        assert decoded.imm == -10
+
+    def test_regimm_branches(self):
+        for mnemonic in ("bltz", "bgez"):
+            ins = Instruction(mnemonic, rs=6, imm=3)
+            decoded = decode(encode(ins))
+            assert decoded.mnemonic == mnemonic
+            assert decoded.imm == 3
+
+    def test_jump_roundtrip(self):
+        ins = Instruction("jal", target=0x12345)
+        decoded = decode(encode(ins))
+        assert (decoded.mnemonic, decoded.target) == ("jal", 0x12345)
+
+    def test_setb_roundtrip(self):
+        ins = Instruction("setb", rs=8, rt=9)
+        decoded = decode(encode(ins))
+        assert (decoded.mnemonic, decoded.rs, decoded.rt) == ("setb", 8, 9)
+
+    def test_update_roundtrip(self):
+        ins = Instruction("update", rd=2, rs=8, rt=9)
+        decoded = decode(encode(ins))
+        assert (decoded.mnemonic, decoded.rd, decoded.rs, decoded.rt) == ("update", 2, 8, 9)
+
+    def test_halt_roundtrip(self):
+        assert decode(encode(Instruction("halt"))).mnemonic == "halt"
+
+    def test_every_mnemonic_roundtrips(self):
+        for mnemonic, spec in SPECS.items():
+            ins = Instruction(mnemonic, rd=1, rs=2, rt=3, imm=4, shamt=5, target=6)
+            assert decode(encode(ins)).mnemonic == mnemonic
+
+    def test_bad_word_rejected(self):
+        with pytest.raises(ValueError):
+            decode(0xFFFFFFFF)
+
+    def test_immediate_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            encode(Instruction("addiu", rt=1, rs=2, imm=1 << 16))
+
+
+class TestDependenceMetadata:
+    def test_rtype_sources(self):
+        ins = Instruction("addu", rd=3, rs=4, rt=5)
+        assert set(ins.source_registers()) == {4, 5}
+        assert ins.destination_register() == 3
+
+    def test_store_sources_include_data(self):
+        ins = Instruction("sw", rt=10, rs=29, imm=0)
+        assert set(ins.source_registers()) == {29, 10}
+        assert ins.destination_register() is None
+
+    def test_load_destination(self):
+        ins = Instruction("lw", rt=10, rs=29, imm=0)
+        assert ins.source_registers() == (29,)
+        assert ins.destination_register() == 10
+
+    def test_lui_no_sources(self):
+        assert Instruction("lui", rt=5, imm=1).source_registers() == ()
+
+    def test_jal_writes_ra(self):
+        assert Instruction("jal", target=0).destination_register() == 31
+
+    def test_jr_reads_rs(self):
+        assert Instruction("jr", rs=31).source_registers() == (31,)
+
+    def test_update_reads_base_and_last(self):
+        ins = Instruction("update", rd=2, rs=8, rt=9)
+        assert set(ins.source_registers()) == {8, 9}
+        assert ins.destination_register() == 2
+
+
+class TestDisassembly:
+    def test_rtype(self):
+        assert disassemble(Instruction("addu", rd=2, rs=4, rt=5)) == "addu $v0, $a0, $a1"
+
+    def test_memory(self):
+        assert disassemble(Instruction("lw", rt=8, rs=29, imm=4)) == "lw $t0, 4($sp)"
+
+    def test_setb(self):
+        assert disassemble(Instruction("setb", rs=8, rt=9)) == "setb $t0, $t1"
+
+    def test_str_dunder(self):
+        assert str(Instruction("halt")) == "halt"

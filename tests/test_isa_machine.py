@@ -1,0 +1,394 @@
+"""Functional interpreter: ALU semantics, memory, control flow, ll/sc."""
+
+import pytest
+
+from repro.isa import Machine, MachineError, Memory, MultiCoreMachine, assemble
+
+
+def run(source: str) -> Machine:
+    machine = Machine(assemble(source))
+    machine.run()
+    return machine
+
+
+class TestAlu:
+    def test_addu_wraps(self):
+        m = run("li $t0, -1\nli $t1, 2\naddu $v0, $t0, $t1\nhalt")
+        assert m.register_by_name("v0") == 1
+
+    def test_subu(self):
+        m = run("li $t0, 5\nli $t1, 7\nsubu $v0, $t0, $t1\nhalt")
+        assert m.register_by_name("v0") == 0xFFFFFFFE
+
+    def test_logic_ops(self):
+        m = run(
+            """
+            li $t0, 0xF0F0
+            li $t1, 0x0FF0
+            and $v0, $t0, $t1
+            or  $v1, $t0, $t1
+            xor $a0, $t0, $t1
+            nor $a1, $t0, $t1
+            halt
+            """
+        )
+        assert m.register_by_name("v0") == 0x00F0
+        assert m.register_by_name("v1") == 0xFFF0
+        assert m.register_by_name("a0") == 0xFF00
+        assert m.register_by_name("a1") == 0xFFFF000F
+
+    def test_slt_signed(self):
+        m = run("li $t0, -1\nli $t1, 1\nslt $v0, $t0, $t1\nsltu $v1, $t0, $t1\nhalt")
+        assert m.register_by_name("v0") == 1   # -1 < 1 signed
+        assert m.register_by_name("v1") == 0   # 0xFFFFFFFF > 1 unsigned
+
+    def test_slti(self):
+        m = run("li $t0, -3\nslti $v0, $t0, -2\nsltiu $v1, $t0, -2\nhalt")
+        assert m.register_by_name("v0") == 1
+
+    def test_shifts(self):
+        m = run(
+            """
+            li $t0, 0x80000000
+            srl $v0, $t0, 4
+            sra $v1, $t0, 4
+            li $t1, 1
+            sll $a0, $t1, 31
+            halt
+            """
+        )
+        assert m.register_by_name("v0") == 0x08000000
+        assert m.register_by_name("v1") == 0xF8000000
+        assert m.register_by_name("a0") == 0x80000000
+
+    def test_variable_shifts(self):
+        m = run("li $t0, 3\nli $t1, 1\nsllv $v0, $t0, $t1\nhalt")
+        assert m.register_by_name("v0") == 8
+
+    def test_lui(self):
+        m = run("lui $v0, 0x1234\nhalt")
+        assert m.register_by_name("v0") == 0x12340000
+
+    def test_mul(self):
+        m = run("li $t0, -3\nli $t1, 7\nmul $v0, $t0, $t1\nhalt")
+        assert m.register_by_name("v0") == (-21) & 0xFFFFFFFF
+
+    def test_register_zero_never_written(self):
+        m = run("li $zero, 99\nhalt")
+        assert m.read_register(0) == 0
+
+
+class TestMemoryOps:
+    def test_word_roundtrip(self):
+        m = run(
+            """
+            .data
+            buf: .space 8
+            .text
+            la $t0, buf
+            li $t1, 0xDEAD
+            sw $t1, 4($t0)
+            lw $v0, 4($t0)
+            halt
+            """
+        )
+        assert m.register_by_name("v0") == 0xDEAD
+
+    def test_byte_sign_extension(self):
+        m = run(
+            """
+            .data
+            b: .byte 0x80
+            .text
+            la $t0, b
+            lb $v0, 0($t0)
+            lbu $v1, 0($t0)
+            halt
+            """
+        )
+        assert m.register_by_name("v0") == 0xFFFFFF80
+        assert m.register_by_name("v1") == 0x80
+
+    def test_half_sign_extension(self):
+        m = run(
+            """
+            .data
+            .align 1
+            h: .half 0x8001
+            .text
+            la $t0, h
+            lh $v0, 0($t0)
+            lhu $v1, 0($t0)
+            halt
+            """
+        )
+        assert m.register_by_name("v0") == 0xFFFF8001
+        assert m.register_by_name("v1") == 0x8001
+
+    def test_unaligned_word_faults(self):
+        memory = Memory(1024)
+        with pytest.raises(MachineError):
+            memory.load_word(2)
+
+    def test_out_of_bounds_faults(self):
+        memory = Memory(1024)
+        with pytest.raises(MachineError):
+            memory.load_word(1024)
+
+    def test_counters(self):
+        m = run(
+            """
+            .data
+            buf: .space 4
+            .text
+            la $t0, buf
+            sw $0, 0($t0)
+            lw $v0, 0($t0)
+            halt
+            """
+        )
+        assert m.loads == 1
+        assert m.stores == 1
+
+
+class TestControlFlow:
+    def test_delay_slot_always_executes(self):
+        m = run(
+            """
+            li $v0, 0
+            beq $0, $0, skip
+            addiu $v0, $v0, 1    # delay slot: must run
+            addiu $v0, $v0, 100  # skipped
+        skip:
+            halt
+            """
+        )
+        assert m.register_by_name("v0") == 1
+
+    def test_not_taken_branch_falls_through(self):
+        m = run(
+            """
+            li $t0, 1
+            beqz $t0, skip
+            nop
+            li $v0, 42
+        skip:
+            halt
+            """
+        )
+        assert m.register_by_name("v0") == 42
+
+    def test_loop_countdown(self):
+        m = run(
+            """
+            li $t0, 5
+            li $v0, 0
+        loop:
+            addiu $v0, $v0, 2
+            addiu $t0, $t0, -1
+            bgtz $t0, loop
+            nop
+            halt
+            """
+        )
+        assert m.register_by_name("v0") == 10
+
+    def test_jal_jr_roundtrip(self):
+        m = run(
+            """
+            jal func
+            nop
+            li $v1, 7
+            halt
+        func:
+            li $v0, 3
+            jr $ra
+            nop
+            """
+        )
+        assert m.register_by_name("v0") == 3
+        assert m.register_by_name("v1") == 7
+
+    def test_jal_return_address_past_delay_slot(self):
+        m = run(
+            """
+            jal func
+            nop
+            halt
+        func:
+            move $v0, $ra
+            jr $ra
+            nop
+            """
+        )
+        assert m.register_by_name("v0") == 8  # jal at 0, delay at 4, return to 8
+
+    def test_branch_counters(self):
+        m = run(
+            """
+            li $t0, 2
+        loop:
+            addiu $t0, $t0, -1
+            bgtz $t0, loop
+            nop
+            halt
+            """
+        )
+        assert m.branches == 2
+        assert m.taken_branches == 1
+
+    def test_bltz_bgez(self):
+        m = run(
+            """
+            li $t0, -1
+            li $v0, 0
+            bltz $t0, neg
+            nop
+            b done
+            nop
+        neg:
+            li $v0, 1
+        done:
+            halt
+            """
+        )
+        assert m.register_by_name("v0") == 1
+
+    def test_run_guard_against_infinite_loops(self):
+        program = assemble("loop: b loop\nnop")
+        machine = Machine(program)
+        with pytest.raises(MachineError):
+            machine.run(max_instructions=100)
+
+
+class TestLlSc:
+    def test_uncontended_sc_succeeds(self):
+        m = run(
+            """
+            .data
+            lock: .word 0
+            .text
+            la $t0, lock
+            ll $t1, 0($t0)
+            li $t1, 1
+            sc $t1, 0($t0)
+            move $v0, $t1
+            halt
+            """
+        )
+        assert m.register_by_name("v0") == 1
+
+    def test_sc_fails_after_intervening_store(self):
+        program = assemble(
+            """
+            .data
+            lock: .word 0
+            .text
+            la $t0, lock
+            ll $t1, 0($t0)
+            sw $0, 0($t0)       # our own store kills the reservation
+            li $t1, 1
+            sc $t1, 0($t0)
+            move $v0, $t1
+            halt
+            """
+        )
+        machine = Machine(program)
+        machine.run()
+        assert machine.register_by_name("v0") == 0
+
+    def test_cross_core_invalidation(self):
+        memory = Memory(1024)
+        memory.load_linked(0, 16)
+        memory.store_word(16, 5)  # any store to the word
+        assert not memory.store_conditional(0, 16, 7)
+
+    def test_sc_wrong_address_fails(self):
+        memory = Memory(1024)
+        memory.load_linked(0, 16)
+        assert not memory.store_conditional(0, 20, 7)
+
+
+class TestMultiCore:
+    def test_shared_memory_visible(self):
+        program = assemble(
+            """
+            .data
+            flag: .word 0
+            .text
+        main:
+            la $t0, flag
+            li $t1, 1
+            sw $t1, 0($t0)
+            halt
+            """
+        )
+        system = MultiCoreMachine(program, core_count=2)
+        system.run()
+        address = program.address_of("flag")
+        assert system.memory.load_word(address) == 1
+
+    def test_entries_per_core(self):
+        program = assemble(
+            """
+            .data
+            out: .word 0, 0
+            .text
+        core0:
+            la $t0, out
+            li $t1, 10
+            sw $t1, 0($t0)
+            halt
+        core1:
+            la $t0, out
+            li $t1, 20
+            sw $t1, 4($t0)
+            halt
+            """
+        )
+        system = MultiCoreMachine(program, core_count=2, entries=["core0", "core1"])
+        system.run()
+        base = program.address_of("out")
+        assert system.memory.load_word(base) == 10
+        assert system.memory.load_word(base + 4) == 20
+
+    def test_spinlock_mutual_exclusion(self):
+        # Two cores increment a shared counter 50 times each under an
+        # ll/sc spinlock; the total must be exactly 100.
+        program = assemble(
+            """
+            .data
+            lock:    .word 0
+            counter: .word 0
+            .text
+        main:
+            li $s0, 50
+        again:
+            la $t0, lock
+        spin:
+            ll $t1, 0($t0)
+            bnez $t1, spin
+            nop
+            li $t1, 1
+            sc $t1, 0($t0)
+            beqz $t1, spin
+            nop
+            la $t2, counter
+            lw $t3, 0($t2)
+            addiu $t3, $t3, 1
+            sw $t3, 0($t2)
+            sw $zero, 0($t0)
+            addiu $s0, $s0, -1
+            bgtz $s0, again
+            nop
+            halt
+            """
+        )
+        system = MultiCoreMachine(program, core_count=2)
+        system.run()
+        assert system.memory.load_word(program.address_of("counter")) == 100
+
+    def test_needs_at_least_one_core(self):
+        program = assemble("halt")
+        with pytest.raises(ValueError):
+            MultiCoreMachine(program, core_count=0)

@@ -1,0 +1,117 @@
+"""The HI/LO multiply-divide unit."""
+
+import pytest
+
+from repro.isa import Machine, assemble, decode, encode
+from repro.isa.instructions import Instruction
+
+
+def run(source):
+    machine = Machine(assemble(source))
+    machine.run()
+    return machine
+
+
+class TestMultiply:
+    def test_mult_signed(self):
+        m = run("li $t0, -3\nli $t1, 1000\nmult $t0, $t1\nmflo $v0\nmfhi $v1\nhalt")
+        assert m.register_by_name("v0") == (-3000) & 0xFFFFFFFF
+        assert m.register_by_name("v1") == 0xFFFFFFFF  # sign extension
+
+    def test_mult_large_fills_hi(self):
+        m = run(
+            """
+            li $t0, 0x10000
+            li $t1, 0x10000
+            mult $t0, $t1
+            mfhi $v0
+            mflo $v1
+            halt
+            """
+        )
+        assert m.register_by_name("v0") == 1
+        assert m.register_by_name("v1") == 0
+
+    def test_multu_unsigned(self):
+        m = run(
+            """
+            li $t0, 0xFFFFFFFF
+            li $t1, 2
+            multu $t0, $t1
+            mfhi $v0
+            mflo $v1
+            halt
+            """
+        )
+        assert m.register_by_name("v0") == 1
+        assert m.register_by_name("v1") == 0xFFFFFFFE
+
+
+class TestDivide:
+    def test_div_quotient_and_remainder(self):
+        m = run("li $t0, 17\nli $t1, 5\ndiv $t0, $t1\nmflo $v0\nmfhi $v1\nhalt")
+        assert m.register_by_name("v0") == 3
+        assert m.register_by_name("v1") == 2
+
+    def test_div_truncates_toward_zero(self):
+        m = run("li $t0, -17\nli $t1, 5\ndiv $t0, $t1\nmflo $v0\nmfhi $v1\nhalt")
+        assert m.register_by_name("v0") == (-3) & 0xFFFFFFFF
+        assert m.register_by_name("v1") == (-2) & 0xFFFFFFFF
+
+    def test_divu(self):
+        m = run(
+            """
+            li $t0, 0xFFFFFFFE
+            li $t1, 3
+            divu $t0, $t1
+            mflo $v0
+            mfhi $v1
+            halt
+            """
+        )
+        assert m.register_by_name("v0") == 0xFFFFFFFE // 3
+        assert m.register_by_name("v1") == 0xFFFFFFFE % 3
+
+    def test_divide_by_zero_pinned(self):
+        m = run("li $t0, 5\ndiv $t0, $zero\nmflo $v0\nmfhi $v1\nhalt")
+        assert m.register_by_name("v0") == 0
+        assert m.register_by_name("v1") == 0
+
+
+class TestDependences:
+    def test_hilo_pseudo_register(self):
+        mult = Instruction("mult", rs=8, rt=9)
+        mflo = Instruction("mflo", rd=2)
+        assert mult.destination_register() == Instruction.HILO
+        assert mflo.source_registers() == (Instruction.HILO,)
+        assert mflo.destination_register() == 2
+
+    def test_encode_decode_roundtrip(self):
+        for mnemonic in ("mult", "multu", "div", "divu"):
+            decoded = decode(encode(Instruction(mnemonic, rs=4, rt=5)))
+            assert (decoded.mnemonic, decoded.rs, decoded.rt) == (mnemonic, 4, 5)
+        for mnemonic in ("mfhi", "mflo"):
+            decoded = decode(encode(Instruction(mnemonic, rd=7)))
+            assert (decoded.mnemonic, decoded.rd) == (mnemonic, 7)
+
+    def test_ilp_sees_hilo_dependence(self):
+        from repro.ilp import BranchModel, IlpConfig, IssueOrder, PipelineModel, analyze_trace
+        trace = []
+        machine = Machine(
+            assemble("li $t0, 6\nli $t1, 7\nmult $t0, $t1\nmflo $v0\nhalt"),
+            trace=trace,
+        )
+        machine.run()
+        config = IlpConfig(
+            IssueOrder.OUT_OF_ORDER, 4, PipelineModel.PERFECT, BranchModel.PBP
+        )
+        # mflo depends on mult through HI/LO: the 5 instructions cannot
+        # all collapse; mult then mflo serialize.
+        assert analyze_trace(trace, config) < 4.0
+
+    def test_operand_count_validation(self):
+        from repro.isa import AssemblerError
+        with pytest.raises(AssemblerError):
+            assemble("mult $t0, $t1, $t2")
+        with pytest.raises(AssemblerError):
+            assemble("mfhi $t0, $t1")

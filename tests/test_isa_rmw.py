@@ -1,0 +1,178 @@
+"""The paper's atomic setb/update instructions, at word-semantics and
+ISA level."""
+
+import pytest
+
+from repro.isa import Machine, MultiCoreMachine, assemble
+from repro.isa.machine import Memory, apply_setb, apply_update
+
+
+class TestApplySetb:
+    def test_sets_single_bit(self):
+        memory = Memory(64)
+        apply_setb(memory, 0, 5)
+        assert memory.load_word(0) == 1 << 5
+
+    def test_bit_in_second_word(self):
+        memory = Memory(64)
+        apply_setb(memory, 0, 37)
+        assert memory.load_word(0) == 0
+        assert memory.load_word(4) == 1 << 5
+
+    def test_base_offset(self):
+        memory = Memory(64)
+        apply_setb(memory, 16, 0)
+        assert memory.load_word(16) == 1
+
+    def test_idempotent(self):
+        memory = Memory(64)
+        apply_setb(memory, 0, 3)
+        apply_setb(memory, 0, 3)
+        assert memory.load_word(0) == 1 << 3
+
+    def test_preserves_other_bits(self):
+        memory = Memory(64)
+        memory.store_word(0, 0xF0)
+        apply_setb(memory, 0, 0)
+        assert memory.load_word(0) == 0xF1
+
+    def test_negative_index_rejected(self):
+        from repro.isa.machine import MachineError
+        with pytest.raises(MachineError):
+            apply_setb(Memory(64), 0, -1)
+
+
+class TestApplyUpdate:
+    def test_empty_returns_last(self):
+        memory = Memory(64)
+        assert apply_update(memory, 0, -1) == -1
+
+    def test_consecutive_run_cleared(self):
+        memory = Memory(64)
+        for index in (0, 1, 2):
+            apply_setb(memory, 0, index)
+        result = apply_update(memory, 0, -1)
+        assert result == 2
+        assert memory.load_word(0) == 0
+
+    def test_stops_at_gap(self):
+        memory = Memory(64)
+        for index in (0, 1, 3):
+            apply_setb(memory, 0, index)
+        result = apply_update(memory, 0, -1)
+        assert result == 1
+        assert memory.load_word(0) == 1 << 3  # bit 3 untouched
+
+    def test_gap_at_start_no_progress(self):
+        memory = Memory(64)
+        apply_setb(memory, 0, 2)
+        assert apply_update(memory, 0, -1) == -1
+        assert memory.load_word(0) == 1 << 2
+
+    def test_resumes_from_last(self):
+        memory = Memory(64)
+        for index in range(6):
+            apply_setb(memory, 0, index)
+        assert apply_update(memory, 0, 2) == 5
+
+    def test_examines_at_most_one_word(self):
+        # Bits 30..35 set; starting after 29 must stop at the word
+        # boundary (bit 31), leaving 32..35 for the next call.
+        memory = Memory(64)
+        for index in range(30, 36):
+            apply_setb(memory, 0, index)
+        first = apply_update(memory, 0, 29)
+        assert first == 31
+        second = apply_update(memory, 0, first)
+        assert second == 35
+        assert memory.load_word(0) == 0
+        assert memory.load_word(4) == 0
+
+    def test_word_aligned_start(self):
+        memory = Memory(64)
+        for index in range(32, 34):
+            apply_setb(memory, 0, index)
+        assert apply_update(memory, 0, 31) == 33
+
+
+class TestIsaLevel:
+    def test_update_loop_commits_across_words(self):
+        source = """
+        .data
+        bitmap: .word 0, 0, 0
+        .text
+        main:
+            la $t0, bitmap
+            li $t8, 0
+            li $t9, 40          # mark bits 0..39
+        mark:
+            setb $t0, $t8
+            addiu $t9, $t9, -1
+            bgtz $t9, mark
+            addiu $t8, $t8, 1
+            li $t3, -1
+        harvest:
+            update $t4, $t0, $t3
+            subu $t5, $t4, $t3
+            bgtz $t5, harvest
+            move $t3, $t4
+            move $v0, $t3
+            halt
+        """
+        machine = Machine(assemble(source))
+        machine.run()
+        assert machine.register_by_name("v0") == 39
+        base = machine.program.address_of("bitmap")
+        assert machine.memory.load_word(base) == 0
+        assert machine.memory.load_word(base + 4) == 0
+
+    def test_setb_atomic_under_interleaving(self):
+        # Two cores set disjoint bits of the same word with `setb`;
+        # no update is lost regardless of the interleaving.  (The same
+        # pattern with lw/or/sw races.)
+        source = """
+        .data
+        bitmap: .word 0
+        .text
+        core0:
+            la $t0, bitmap
+            li $s0, 0
+            li $s1, 16
+        l0: setb $t0, $s0
+            addiu $s0, $s0, 2   # even bits 0..30
+            blt $s0, $s1, l0
+            nop
+            halt
+        core1:
+            la $t0, bitmap
+            li $s0, 1
+            li $s1, 17
+        l1: setb $t0, $s0
+            addiu $s0, $s0, 2   # odd bits 1..31
+            blt $s0, $s1, l1
+            nop
+            halt
+        """
+        # blt expands to slt+branch; $s1 bound of 16/17 covers bits 0..15.
+        program = assemble(source)
+        system = MultiCoreMachine(program, core_count=2, entries=["core0", "core1"])
+        system.run()
+        word = system.memory.load_word(program.address_of("bitmap"))
+        assert word == 0xFFFF
+
+    def test_rmw_instruction_counts_tracked(self):
+        source = """
+        .data
+        bitmap: .word 0
+        .text
+        main:
+            la $t0, bitmap
+            li $t1, 0
+            setb $t0, $t1
+            li $t2, -1
+            update $v0, $t0, $t2
+            halt
+        """
+        machine = Machine(assemble(source))
+        machine.run()
+        assert machine.rmw_ops == 2

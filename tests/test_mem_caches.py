@@ -1,0 +1,216 @@
+"""Instruction cache, instruction memory, and the MESI coherence sim."""
+
+import pytest
+
+from repro.mem import (
+    CoherentCacheSystem,
+    InstructionCache,
+    InstructionMemory,
+    MesiState,
+    TraceAccess,
+    sweep_cache_sizes,
+)
+from repro.units import KIB, mhz
+
+
+class TestInstructionCache:
+    def test_cold_miss_then_hit(self):
+        cache = InstructionCache()
+        assert not cache.lookup(0x100)
+        assert cache.lookup(0x100)
+
+    def test_same_line_hits(self):
+        cache = InstructionCache(line_bytes=32)
+        cache.lookup(0x100)
+        assert cache.lookup(0x11C)  # same 32 B line
+
+    def test_next_line_misses(self):
+        cache = InstructionCache(line_bytes=32)
+        cache.lookup(0x100)
+        assert not cache.lookup(0x120)
+
+    def test_two_way_conflict_keeps_both(self):
+        cache = InstructionCache(capacity_bytes=8 * KIB, associativity=2, line_bytes=32)
+        sets = cache.set_count
+        a, b = 0, sets * 32  # same set, different tags
+        cache.lookup(a)
+        cache.lookup(b)
+        assert cache.lookup(a)
+        assert cache.lookup(b)
+
+    def test_lru_eviction(self):
+        cache = InstructionCache(capacity_bytes=8 * KIB, associativity=2, line_bytes=32)
+        sets = cache.set_count
+        a, b, c = 0, sets * 32, 2 * sets * 32
+        cache.lookup(a)
+        cache.lookup(b)
+        cache.lookup(c)           # evicts a (LRU)
+        assert not cache.lookup(a)
+        assert cache.lookup(c)
+
+    def test_lru_refresh_on_hit(self):
+        cache = InstructionCache(capacity_bytes=8 * KIB, associativity=2, line_bytes=32)
+        sets = cache.set_count
+        a, b, c = 0, sets * 32, 2 * sets * 32
+        cache.lookup(a)
+        cache.lookup(b)
+        cache.lookup(a)           # refresh a
+        cache.lookup(c)           # evicts b now
+        assert cache.lookup(a)
+        assert not cache.lookup(b)
+
+    def test_hit_ratio(self):
+        cache = InstructionCache()
+        cache.lookup(0)
+        cache.lookup(0)
+        cache.lookup(0)
+        assert cache.hit_ratio == pytest.approx(2 / 3)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            InstructionCache(capacity_bytes=100, associativity=3, line_bytes=32)
+
+    def test_invalidate_all(self):
+        cache = InstructionCache()
+        cache.lookup(0)
+        cache.invalidate_all()
+        assert not cache.lookup(0)
+
+    def test_paper_geometry(self):
+        cache = InstructionCache(capacity_bytes=8 * KIB, associativity=2, line_bytes=32)
+        assert cache.set_count == 128
+
+
+class TestInstructionMemory:
+    def test_fill_latency(self):
+        imem = InstructionMemory(fill_latency_cycles=6)
+        done = imem.fill(32, cycle=10)
+        # 32 B over a 128-bit port = 2 transfers
+        assert done == 10 + 6 + 1
+
+    def test_back_to_back_fills_serialize(self):
+        imem = InstructionMemory(fill_latency_cycles=6)
+        imem.fill(32, cycle=0)
+        second = imem.fill(32, cycle=0)
+        assert second == 2 + 6 + 1
+
+    def test_port_utilization_low_for_firmware(self):
+        imem = InstructionMemory()
+        for _ in range(10):
+            imem.fill(32, 0)
+        # 20 busy transfers over a million cycles: ~0.002%
+        assert imem.port_utilization(1_000_000) < 0.001
+
+    def test_peak_bandwidth(self):
+        imem = InstructionMemory()
+        assert imem.peak_bandwidth_bps(mhz(200)) == pytest.approx(25.6e9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InstructionMemory(capacity_bytes=0)
+        with pytest.raises(ValueError):
+            InstructionMemory(fill_latency_cycles=0)
+        with pytest.raises(ValueError):
+            InstructionMemory().fill(0, 0)
+
+
+class TestMesiProtocol:
+    def _system(self, caches=2, size=256):
+        return CoherentCacheSystem(caches, size, line_bytes=16)
+
+    def test_read_miss_installs_exclusive(self):
+        system = self._system()
+        assert not system.access(TraceAccess(0, 0x100, False))
+        assert system.caches[0].lines[0x10] is MesiState.EXCLUSIVE
+
+    def test_second_reader_shares(self):
+        system = self._system()
+        system.access(TraceAccess(0, 0x100, False))
+        system.access(TraceAccess(1, 0x100, False))
+        assert system.caches[0].lines[0x10] is MesiState.SHARED
+        assert system.caches[1].lines[0x10] is MesiState.SHARED
+
+    def test_write_hit_on_exclusive_silent(self):
+        system = self._system()
+        system.access(TraceAccess(0, 0x100, False))
+        assert system.access(TraceAccess(0, 0x100, True))
+        assert system.caches[0].lines[0x10] is MesiState.MODIFIED
+        assert system.stats.invalidations_caused_by_writes == 0
+
+    def test_write_upgrade_invalidates_sharers(self):
+        system = self._system()
+        system.access(TraceAccess(0, 0x100, False))
+        system.access(TraceAccess(1, 0x100, False))
+        system.access(TraceAccess(0, 0x100, True))
+        assert 0x10 not in system.caches[1].lines
+        assert system.stats.write_accesses_causing_invalidation == 1
+
+    def test_read_from_modified_forces_writeback(self):
+        system = self._system()
+        system.access(TraceAccess(0, 0x100, True))   # M in cache 0
+        system.access(TraceAccess(1, 0x100, False))  # read by cache 1
+        assert system.stats.writebacks == 1
+        assert system.caches[0].lines[0x10] is MesiState.SHARED
+
+    def test_write_miss_steals_modified(self):
+        system = self._system()
+        system.access(TraceAccess(0, 0x100, True))
+        system.access(TraceAccess(1, 0x100, True))
+        assert 0x10 not in system.caches[0].lines
+        assert system.caches[1].lines[0x10] is MesiState.MODIFIED
+
+    def test_single_writer_invariant(self):
+        system = self._system(caches=4)
+        for cache_id in range(4):
+            system.access(TraceAccess(cache_id, 0x200, True))
+        holders = [
+            c for c in system.caches
+            if c.lines.get(0x20, MesiState.INVALID) is not MesiState.INVALID
+        ]
+        assert len(holders) == 1
+        assert holders[0].lines[0x20] is MesiState.MODIFIED
+
+    def test_lru_capacity_eviction(self):
+        system = self._system(caches=1, size=32)  # 2 lines
+        system.access(TraceAccess(0, 0x000, False))
+        system.access(TraceAccess(0, 0x010, False))
+        system.access(TraceAccess(0, 0x020, False))  # evicts 0x000
+        assert not system.access(TraceAccess(0, 0x000, False))
+
+    def test_dirty_eviction_counts_writeback(self):
+        system = self._system(caches=1, size=32)
+        system.access(TraceAccess(0, 0x000, True))
+        system.access(TraceAccess(0, 0x010, False))
+        system.access(TraceAccess(0, 0x020, False))  # evicts dirty 0x000
+        assert system.stats.writebacks == 1
+
+    def test_smpcache_cache_limit(self):
+        with pytest.raises(ValueError):
+            CoherentCacheSystem(9, 1024)
+
+    def test_bad_cache_id(self):
+        system = self._system()
+        with pytest.raises(ValueError):
+            system.access(TraceAccess(5, 0, False))
+
+    def test_hit_ratio_accounting(self):
+        system = self._system()
+        system.access(TraceAccess(0, 0, False))
+        system.access(TraceAccess(0, 0, False))
+        assert system.stats.hit_ratio == pytest.approx(0.5)
+
+
+class TestSweep:
+    def test_hit_ratio_monotonic_in_size(self):
+        trace = []
+        for round_index in range(4):
+            for line in range(32):
+                trace.append(TraceAccess(0, line * 16, False))
+        results = sweep_cache_sizes(trace, 1, [64, 256, 1024], line_bytes=16)
+        ratios = [results[size].hit_ratio for size in (64, 256, 1024)]
+        assert ratios == sorted(ratios)
+
+    def test_sweep_returns_all_sizes(self):
+        trace = [TraceAccess(0, 0, False)]
+        results = sweep_cache_sizes(trace, 1, [16, 32])
+        assert set(results) == {16, 32}

@@ -1,0 +1,140 @@
+"""Banked scratchpad + crossbar timing."""
+
+import pytest
+
+from repro.mem import Crossbar, Scratchpad
+from repro.mem.crossbar import TOTAL_ACCESS_LATENCY
+from repro.units import KIB, mhz
+
+
+class TestCrossbar:
+    def test_grant_immediately_when_free(self):
+        xbar = Crossbar(4)
+        assert xbar.request(0, requester=1, cycle=10) == 10
+
+    def test_same_cycle_conflict_serializes(self):
+        xbar = Crossbar(4)
+        assert xbar.request(2, requester=0, cycle=5) == 5
+        assert xbar.request(2, requester=1, cycle=5) == 6
+        assert xbar.conflict_cycles == 1
+
+    def test_different_banks_no_conflict(self):
+        xbar = Crossbar(4)
+        assert xbar.request(0, requester=0, cycle=5) == 5
+        assert xbar.request(1, requester=1, cycle=5) == 5
+
+    def test_completion_latency(self):
+        xbar = Crossbar(4)
+        grant = xbar.request(0, 0, 0)
+        assert xbar.completion_cycle(grant) == TOTAL_ACCESS_LATENCY
+
+    def test_bad_resource(self):
+        with pytest.raises(ValueError):
+            Crossbar(2).request(5, 0, 0)
+
+    def test_negative_cycle(self):
+        with pytest.raises(ValueError):
+            Crossbar(2).request(0, 0, -1)
+
+    def test_needs_resources(self):
+        with pytest.raises(ValueError):
+            Crossbar(0)
+
+    def test_busy_until(self):
+        xbar = Crossbar(2)
+        xbar.request(0, 0, 3)
+        assert xbar.busy_until(0) == 4
+
+
+class TestScratchpadAddressing:
+    def test_word_interleaving(self):
+        pad = Scratchpad(banks=4)
+        assert pad.bank_of(0) == 0
+        assert pad.bank_of(4) == 1
+        assert pad.bank_of(8) == 2
+        assert pad.bank_of(12) == 3
+        assert pad.bank_of(16) == 0
+
+    def test_base_address_window(self):
+        pad = Scratchpad(banks=2, capacity_bytes=1024, base_address=0x1000)
+        assert pad.bank_of(0x1000) == 0
+        with pytest.raises(ValueError):
+            pad.bank_of(0x0FFC)
+        with pytest.raises(ValueError):
+            pad.bank_of(0x1400)
+
+    def test_capacity_must_divide(self):
+        with pytest.raises(ValueError):
+            Scratchpad(banks=3, capacity_bytes=1000)
+
+
+class TestScratchpadTiming:
+    def test_minimum_two_cycle_latency(self):
+        pad = Scratchpad(banks=4)
+        access = pad.access(0, requester=0, cycle=100)
+        assert access.latency == 2
+        assert access.conflict_wait == 0
+
+    def test_bank_conflict_waits(self):
+        pad = Scratchpad(banks=4)
+        first = pad.access(0, requester=0, cycle=100)
+        second = pad.access(16, requester=1, cycle=100)  # same bank 0
+        assert first.conflict_wait == 0
+        assert second.conflict_wait == 1
+        assert second.latency == 3
+
+    def test_parallel_banks_no_wait(self):
+        pad = Scratchpad(banks=4)
+        for word in range(4):
+            access = pad.access(word * 4, requester=word, cycle=50)
+            assert access.conflict_wait == 0
+
+    def test_conflict_accounting(self):
+        pad = Scratchpad(banks=1)
+        for _ in range(3):
+            pad.access(0, 0, 10)
+        assert pad.accesses == 3
+        assert pad.conflict_cycles == 0 + 1 + 2
+
+
+class TestScratchpadData:
+    def test_store_load_roundtrip(self):
+        pad = Scratchpad(banks=4)
+        pad.store_word(64, 0xCAFE)
+        assert pad.load_word(64) == 0xCAFE
+
+    def test_rmw_setb_update(self):
+        pad = Scratchpad(banks=4)
+        pad.setb(0, 0)
+        pad.setb(0, 1)
+        assert pad.update(0, -1) == 1
+        assert pad.load_word(0) == 0
+        assert pad.rmw_ops == 3
+
+    def test_out_of_window_rejected(self):
+        pad = Scratchpad(banks=4, capacity_bytes=1024)
+        with pytest.raises(ValueError):
+            pad.load_word(2048)
+
+
+class TestScratchpadBandwidth:
+    def test_peak_bandwidth(self):
+        pad = Scratchpad(banks=4)
+        # 4 banks x 32 bits x 200 MHz = 25.6 Gb/s
+        assert pad.peak_bandwidth_bps(mhz(200)) == pytest.approx(25.6e9)
+
+    def test_consumed_bandwidth(self):
+        pad = Scratchpad(banks=4)
+        for word in range(100):
+            pad.access((word * 4) % pad.capacity_bytes, 0, word)
+        consumed = pad.consumed_bandwidth_bps(mhz(200), cycles=100)
+        assert consumed == pytest.approx(100 * 32 * mhz(200) / 100)
+
+    def test_consumed_zero_cycles(self):
+        assert Scratchpad(banks=2).consumed_bandwidth_bps(mhz(200), 0) == 0.0
+
+    def test_paper_scratchpad_sizing(self):
+        # Section 2.3: a single 200 MHz 32-bit port gives 6.4 Gb/s,
+        # "slightly more than the required 4.8 Gb/s".
+        pad = Scratchpad(banks=1)
+        assert pad.peak_bandwidth_bps(mhz(200)) == pytest.approx(6.4e9)

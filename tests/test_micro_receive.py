@@ -1,0 +1,318 @@
+"""Memory-mapped assists + end-to-end receive firmware (micro tier)."""
+
+import pytest
+
+from repro.firmware.micro import (
+    assemble_micro_receive,
+    micro_receive_firmware,
+    run_micro_receive,
+)
+from repro.isa.machine import MachineError
+from repro.nic.microdev import (
+    DEVICE_BASE,
+    DMA_CMD_ADDR,
+    DMA_PROD_ADDR,
+    RX_CONS_ADDR,
+    RX_PROD_ADDR,
+    DeviceMemory,
+)
+
+
+class TestDeviceMemory:
+    def test_rx_producer_follows_time(self):
+        device = DeviceMemory(total_rx_frames=10, rx_interarrival_cycles=100)
+        device.cycle = 0
+        assert device.load_word(RX_PROD_ADDR) == 0
+        device.cycle = 250
+        assert device.load_word(RX_PROD_ADDR) == 2
+        device.cycle = 10_000
+        assert device.load_word(RX_PROD_ADDR) == 10  # capped at total
+
+    def test_dma_completion_latency(self):
+        device = DeviceMemory(dma_latency_cycles=40)
+        device.cycle = 100
+        device.store_word(DMA_CMD_ADDR, 0)
+        device.cycle = 139
+        assert device.load_word(DMA_PROD_ADDR) == 0
+        device.cycle = 140
+        assert device.load_word(DMA_PROD_ADDR) == 1
+
+    def test_dma_pipelines(self):
+        device = DeviceMemory(dma_latency_cycles=40)
+        device.cycle = 100
+        for _ in range(5):
+            device.store_word(DMA_CMD_ADDR, 0)
+        device.cycle = 140
+        assert device.load_word(DMA_PROD_ADDR) == 5
+
+    def test_cmd_readback_is_issue_count(self):
+        device = DeviceMemory()
+        device.store_word(DMA_CMD_ADDR, 7)
+        device.store_word(DMA_CMD_ADDR, 9)
+        assert device.load_word(DMA_CMD_ADDR) == 2
+
+    def test_consumer_pointers_are_plain_storage(self):
+        device = DeviceMemory()
+        device.store_word(RX_CONS_ADDR, 17)
+        assert device.load_word(RX_CONS_ADDR) == 17
+
+    def test_read_only_registers(self):
+        device = DeviceMemory()
+        with pytest.raises(MachineError):
+            device.store_word(RX_PROD_ADDR, 1)
+        with pytest.raises(MachineError):
+            device.store_word(DMA_PROD_ADDR, 1)
+
+    def test_unmapped_register(self):
+        device = DeviceMemory()
+        with pytest.raises(MachineError):
+            device.load_word(DEVICE_BASE + 0x30)
+
+    def test_normal_memory_unaffected(self):
+        device = DeviceMemory()
+        device.store_word(0x1000, 0xABCD)
+        assert device.load_word(0x1000) == 0xABCD
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceMemory(total_rx_frames=-1)
+        with pytest.raises(ValueError):
+            DeviceMemory(rx_interarrival_cycles=0)
+
+
+class TestMicroReceiveFirmware:
+    def test_source_assembles(self):
+        program = assemble_micro_receive(64)
+        mnemonics = {ins.mnemonic for ins in program.instructions}
+        assert "setb" in mnemonics
+        assert "update" in mnemonics
+        assert "ll" in mnemonics and "sc" in mnemonics
+
+    def test_frame_count_validation(self):
+        with pytest.raises(ValueError):
+            micro_receive_firmware(0)
+
+    @pytest.mark.parametrize("cores", [1, 2, 4, 6])
+    def test_all_frames_committed_in_order(self, cores):
+        result = run_micro_receive(cores=cores, total_frames=64)
+        assert result.completed_in_order
+        assert result.dma_commands == 64
+
+    def test_multicore_speedup(self):
+        one = run_micro_receive(cores=1, total_frames=64)
+        four = run_micro_receive(cores=4, total_frames=64)
+        assert four.total_cycles < 0.5 * one.total_cycles
+
+    def test_speedup_saturates_at_hardware_limits(self):
+        """With fast arrivals the bottleneck becomes the DMA latency and
+        claim serialization, not core count."""
+        four = run_micro_receive(cores=4, total_frames=64,
+                                 rx_interarrival_cycles=5)
+        eight = run_micro_receive(cores=8, total_frames=64,
+                                  rx_interarrival_cycles=5)
+        assert eight.total_cycles > 0.5 * four.total_cycles
+
+    def test_arrival_rate_bounds_completion(self):
+        """The run can never finish before the last frame arrives."""
+        result = run_micro_receive(cores=6, total_frames=32,
+                                   rx_interarrival_cycles=50)
+        assert result.total_cycles >= 32 * 50
+
+    def test_dma_latency_visible_single_core(self):
+        fast = run_micro_receive(cores=1, total_frames=16, dma_latency_cycles=5)
+        slow = run_micro_receive(cores=1, total_frames=16, dma_latency_cycles=200)
+        assert slow.total_cycles > fast.total_cycles + 15 * 150
+
+    def test_non_divisible_frame_count(self):
+        result = run_micro_receive(cores=3, total_frames=50)
+        assert result.completed_in_order
+
+
+class TestMicroDuplex:
+    def test_both_directions_complete_in_order(self):
+        from repro.firmware.micro import run_micro_duplex
+        result = run_micro_duplex(cores=4, tx_frames=32, rx_frames=32)
+        assert result.completed_in_order
+
+    def test_more_cores_faster(self):
+        from repro.firmware.micro import run_micro_duplex
+        two = run_micro_duplex(cores=2, tx_frames=32, rx_frames=32)
+        six = run_micro_duplex(cores=6, tx_frames=32, rx_frames=32)
+        assert six.total_cycles < 0.7 * two.total_cycles
+
+    def test_wire_serialization_floor(self):
+        """The MAC serializes the transmit wire: completion can never
+        beat tx_frames x wire_cycles."""
+        from repro.firmware.micro import run_micro_duplex
+        result = run_micro_duplex(cores=6, tx_frames=32, rx_frames=4,
+                                  wire_cycles=60)
+        assert result.total_cycles >= 32 * 60
+
+    def test_asymmetric_traffic(self):
+        from repro.firmware.micro import run_micro_duplex
+        result = run_micro_duplex(cores=4, tx_frames=48, rx_frames=16)
+        assert result.completed_in_order
+
+    def test_needs_two_cores(self):
+        import pytest as _pytest
+        from repro.firmware.micro import run_micro_duplex
+        with _pytest.raises(ValueError):
+            run_micro_duplex(cores=1)
+
+    def test_firmware_validation(self):
+        import pytest as _pytest
+        from repro.firmware.micro import micro_duplex_firmware
+        with _pytest.raises(ValueError):
+            micro_duplex_firmware(0, 8)
+
+
+class TestTxDeviceRegisters:
+    def test_txbd_fetch_capped_at_two_outstanding(self):
+        from repro.nic.microdev import DeviceMemory, TXBD_CMD_ADDR, TXBD_PROD_ADDR
+        device = DeviceMemory(total_tx_frames=64, dma_latency_cycles=40)
+        device.cycle = 0
+        for _ in range(10):
+            device.store_word(TXBD_CMD_ADDR, 0)
+        device.cycle = 40
+        assert device.load_word(TXBD_PROD_ADDR) == 32  # only 2 accepted
+
+    def test_txbd_never_fetches_past_traffic(self):
+        from repro.nic.microdev import DeviceMemory, TXBD_CMD_ADDR, TXBD_PROD_ADDR
+        device = DeviceMemory(total_tx_frames=20, dma_latency_cycles=1)
+        for round_index in range(10):
+            device.cycle = round_index * 10
+            device.store_word(TXBD_CMD_ADDR, 0)
+        device.cycle = 1000
+        assert device.load_word(TXBD_PROD_ADDR) == 20
+
+    def test_tx_ready_releases_wire_in_order(self):
+        from repro.nic.microdev import (
+            DeviceMemory, TX_READY_ADDR, TX_DONE_ADDR,
+        )
+        device = DeviceMemory(total_tx_frames=8, tx_wire_cycles=30)
+        device.cycle = 100
+        device.store_word(TX_READY_ADDR, 3)
+        device.cycle = 129
+        assert device.load_word(TX_DONE_ADDR) == 0
+        device.cycle = 130
+        assert device.load_word(TX_DONE_ADDR) == 1
+        device.cycle = 190
+        assert device.load_word(TX_DONE_ADDR) == 3
+
+    def test_stale_ready_publish_ignored(self):
+        from repro.nic.microdev import DeviceMemory, TX_READY_ADDR
+        device = DeviceMemory(total_tx_frames=8)
+        device.store_word(TX_READY_ADDR, 4)
+        device.store_word(TX_READY_ADDR, 2)  # racing core with old value
+        assert device._tx_ready == 4
+
+    def test_ready_capped_at_traffic(self):
+        from repro.nic.microdev import DeviceMemory, TX_READY_ADDR
+        device = DeviceMemory(total_tx_frames=8)
+        device.store_word(TX_READY_ADDR, 100)
+        assert device._tx_ready == 8
+
+
+class TestMicroOrderingVariants:
+    def test_sw_ordering_also_correct(self):
+        from repro.firmware.micro import run_micro_receive
+        result = run_micro_receive(cores=4, total_frames=64, ordering="sw")
+        assert result.completed_in_order
+
+    def test_rmw_fewer_instructions(self):
+        from repro.firmware.micro import run_micro_receive
+        kwargs = dict(cores=1, total_frames=64,
+                      rx_interarrival_cycles=5, dma_latency_cycles=20)
+        sw = run_micro_receive(ordering="sw", **kwargs)
+        rmw = run_micro_receive(ordering="rmw", **kwargs)
+        assert rmw.total_instructions < 0.7 * sw.total_instructions
+
+    def test_rmw_scales_where_locks_do_not(self):
+        """At 4 cores the ordering lock serializes the software variant
+        (cores burn instructions spinning); the RMW variant keeps
+        scaling — the paper's firmware story at full ISA fidelity."""
+        from repro.firmware.micro import run_micro_receive
+        kwargs = dict(cores=4, total_frames=64,
+                      rx_interarrival_cycles=5, dma_latency_cycles=20)
+        sw = run_micro_receive(ordering="sw", **kwargs)
+        rmw = run_micro_receive(ordering="rmw", **kwargs)
+        assert rmw.total_cycles < 0.6 * sw.total_cycles
+        assert sw.total_instructions > 2 * rmw.total_instructions  # spin waste
+
+    def test_invalid_ordering_rejected(self):
+        import pytest as _pytest
+        from repro.firmware.micro import micro_receive_firmware
+        with _pytest.raises(ValueError):
+            micro_receive_firmware(16, ordering="maybe")
+
+
+class TestHeaderFilterService:
+    """The Section 8 'intrusion detection'-style service at ISA level."""
+
+    def test_matches_counted_exactly(self):
+        from repro.firmware.micro import run_micro_filter
+        from repro.nic.microdev import header_word
+        blocklist = tuple(header_word(seq) for seq in (0, 10, 20, 30))
+        result = run_micro_filter(cores=4, total_frames=48, blocklist=blocklist)
+        assert result.correct
+        assert result.matches == 4
+
+    def test_no_matches_when_blocklist_misses(self):
+        from repro.firmware.micro import run_micro_filter
+        result = run_micro_filter(cores=2, total_frames=32,
+                                  blocklist=(0xDEADBEEF,))
+        assert result.correct
+        assert result.matches == 0
+
+    def test_filtering_still_commits_in_order(self):
+        from repro.firmware.micro import run_micro_filter
+        result = run_micro_filter(cores=6, total_frames=64)
+        assert result.committed == 64
+
+    def test_service_costs_instructions(self):
+        from repro.firmware.micro import run_micro_filter, run_micro_receive
+        plain = run_micro_receive(cores=1, total_frames=32)
+        filtered = run_micro_filter(cores=1, total_frames=32)
+        assert filtered.total_instructions > plain.total_instructions + 32 * 5
+
+    def test_race_free_under_many_cores(self):
+        """The seqlock on the shared header-select register must never
+        miscount, whatever the interleaving."""
+        from repro.firmware.micro import run_micro_filter
+        from repro.nic.microdev import header_word
+        blocklist = tuple(header_word(seq) for seq in range(0, 64, 4))[:8]
+        for cores in (2, 4, 8):
+            result = run_micro_filter(cores=cores, total_frames=64,
+                                      blocklist=blocklist,
+                                      rx_interarrival_cycles=5)
+            assert result.correct, cores
+
+    def test_blocklist_validation(self):
+        import pytest as _pytest
+        from repro.firmware.micro import micro_filter_firmware
+        with _pytest.raises(ValueError):
+            micro_filter_firmware(16, ())
+        with _pytest.raises(ValueError):
+            micro_filter_firmware(0, (1,))
+
+
+class TestHeaderWindow:
+    def test_header_word_deterministic(self):
+        from repro.nic.microdev import header_word
+        assert header_word(5) == header_word(5)
+        assert header_word(5) != header_word(6)
+
+    def test_select_and_read(self):
+        from repro.nic.microdev import (
+            DeviceMemory, HDR_SEL_ADDR, HDR_VAL_ADDR, header_word,
+        )
+        device = DeviceMemory()
+        device.store_word(HDR_SEL_ADDR, 9)
+        assert device.load_word(HDR_VAL_ADDR) == header_word(9)
+        assert device.load_word(HDR_SEL_ADDR) == 9
+
+    def test_value_register_read_only(self):
+        from repro.isa.machine import MachineError
+        from repro.nic.microdev import DeviceMemory, HDR_VAL_ADDR
+        with pytest.raises(MachineError):
+            DeviceMemory().store_word(HDR_VAL_ADDR, 1)

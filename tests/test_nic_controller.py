@@ -1,0 +1,76 @@
+"""Micro-tier NIC: real firmware kernels on the cycle-level system."""
+
+import pytest
+
+from repro.firmware.kernels import assemble_firmware
+from repro.nic import MicroNic, NicConfig
+from repro.units import mhz
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = NicConfig(cores=4, core_frequency_hz=mhz(166))
+    nic = MicroNic(config, assemble_firmware("order_rmw", iterations=1))
+    stats = nic.run()
+    return config, nic, stats
+
+
+class TestMicroNic:
+    def test_all_cores_run_to_halt(self, result):
+        _config, nic, stats = result
+        assert len(stats) == 4
+        assert all(s.instructions > 500 for s in stats)
+
+    def test_shared_scratchpad_sees_all_accesses(self, result):
+        _config, nic, _stats = result
+        assert nic.scratchpad_accesses > 0
+
+    def test_combined_stats_aggregate(self, result):
+        _config, nic, stats = result
+        combined = nic.combined_stats()
+        assert combined.instructions == sum(s.instructions for s in stats)
+        assert combined.cycles == sum(s.cycles for s in stats)
+
+    def test_multicore_contention_visible(self):
+        def conflicts(cores):
+            config = NicConfig(cores=cores, core_frequency_hz=mhz(166),
+                               scratchpad_banks=1)
+            nic = MicroNic(config, assemble_firmware("order_rmw", iterations=1))
+            nic.run()
+            return nic.combined_stats().conflict_stalls / max(
+                1, nic.combined_stats().instructions
+            )
+        assert conflicts(4) > conflicts(1)
+
+    def test_entry_count_validation(self):
+        config = NicConfig(cores=2, core_frequency_hz=mhz(166))
+        with pytest.raises(ValueError):
+            MicroNic(config, assemble_firmware(), entries=["main"])
+
+    def test_ipc_in_plausible_band(self, result):
+        _config, nic, _stats = result
+        ipc = nic.combined_stats().ipc
+        assert 0.4 < ipc < 1.0
+
+
+class TestCrossTierValidation:
+    """The macro-tier cost model and the micro tier must broadly agree
+    on the cycle cost of the same instruction stream."""
+
+    def test_cost_model_within_25_percent_of_pipeline(self):
+        from repro.cpu.costmodel import CoreCostModel, OpProfile
+        config = NicConfig(cores=1, core_frequency_hz=mhz(166))
+        nic = MicroNic(config, assemble_firmware("order_sw", iterations=2))
+        stats = nic.run()[0]
+
+        machine = nic.cores[0].machine
+        profile = OpProfile(
+            instructions=stats.instructions,
+            loads=machine.loads,
+            stores=machine.stores,
+            taken_branch_fraction=machine.taken_branches / stats.instructions,
+            load_use_fraction=0.5,
+        )
+        model = CoreCostModel()
+        predicted = model.cycles(profile, conflict_wait_per_access=0.0)
+        assert predicted == pytest.approx(stats.cycles, rel=0.25)

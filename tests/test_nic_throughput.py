@@ -1,0 +1,260 @@
+"""Full-system throughput simulator: the paper's headline behaviours.
+
+These tests use short simulation windows (hundreds of microseconds), so
+thresholds carry slack relative to the benchmark runs.
+"""
+
+import pytest
+
+from repro.firmware.ordering import OrderingMode
+from repro.net.ethernet import EthernetTiming
+from repro.nic import NicConfig, RMW_166MHZ, SOFTWARE_200MHZ, ThroughputSimulator
+from repro.units import mhz
+
+WARMUP = 0.3e-3
+MEASURE = 0.5e-3
+
+
+def run(config, payload=1472, offered=1.0):
+    sim = ThroughputSimulator(config, payload, offered_fraction=offered)
+    return sim.run(warmup_s=WARMUP, measure_s=MEASURE)
+
+
+@pytest.fixture(scope="module")
+def rmw_result():
+    return run(RMW_166MHZ)
+
+
+@pytest.fixture(scope="module")
+def software_result():
+    return run(SOFTWARE_200MHZ)
+
+
+class TestHeadlineConfigs:
+    def test_rmw_166_reaches_line_rate(self, rmw_result):
+        assert rmw_result.line_rate_fraction() > 0.97
+
+    def test_software_200_reaches_line_rate(self, software_result):
+        assert software_result.line_rate_fraction() > 0.97
+
+    def test_software_166_falls_short(self):
+        config = NicConfig(
+            cores=6, core_frequency_hz=mhz(166), ordering_mode=OrderingMode.SOFTWARE
+        )
+        result = run(config)
+        assert result.line_rate_fraction() < 0.99
+
+    def test_duplex_throughput_near_19_gbps(self, rmw_result):
+        assert rmw_result.udp_throughput_gbps > 18.5
+
+    def test_both_directions_carried(self, rmw_result):
+        per_direction = EthernetTiming().frames_per_second(1518)
+        assert rmw_result.tx_fps > 0.95 * per_direction
+        assert rmw_result.rx_fps > 0.95 * per_direction
+
+
+class TestScaling:
+    def test_throughput_increases_with_cores(self):
+        fractions = []
+        for cores in (1, 2, 4):
+            config = NicConfig(
+                cores=cores, core_frequency_hz=mhz(166),
+                ordering_mode=OrderingMode.RMW,
+            )
+            fractions.append(run(config).line_rate_fraction())
+        assert fractions[0] < fractions[1] < fractions[2] + 0.02
+
+    def test_one_core_is_processing_bound(self):
+        config = NicConfig(
+            cores=1, core_frequency_hz=mhz(200), ordering_mode=OrderingMode.RMW
+        )
+        result = run(config)
+        assert result.line_rate_fraction() < 0.5
+        assert result.core_utilization > 0.95
+
+    def test_throughput_increases_with_frequency(self):
+        slow = run(NicConfig(cores=2, core_frequency_hz=mhz(100),
+                             ordering_mode=OrderingMode.RMW))
+        fast = run(NicConfig(cores=2, core_frequency_hz=mhz(200),
+                             ordering_mode=OrderingMode.RMW))
+        assert fast.line_rate_fraction() > slow.line_rate_fraction()
+
+    def test_excess_capacity_idles_cores(self):
+        config = NicConfig(
+            cores=8, core_frequency_hz=mhz(200), ordering_mode=OrderingMode.RMW
+        )
+        result = run(config)
+        assert result.line_rate_fraction() > 0.97
+        assert result.core_utilization < 0.9
+
+
+class TestSmallFrames:
+    def test_processing_bound_at_small_frames(self):
+        result = run(RMW_166MHZ, payload=100)
+        limit = 2 * EthernetTiming().frames_per_second(146)
+        assert result.total_fps < 0.5 * limit
+
+    def test_saturation_rate_order_of_2m_fps(self):
+        result = run(RMW_166MHZ, payload=100)
+        assert 1.2e6 < result.total_fps < 3.0e6
+
+    def test_drops_accounted_when_overloaded(self):
+        result = run(RMW_166MHZ, payload=100)
+        assert result.rx_dropped > 0
+        accepted = result.rx_offered - result.rx_dropped
+        # accepted arrivals either commit or stay in flight
+        assert accepted >= result.rx_frames - 64
+
+
+class TestConservation:
+    def test_no_frame_loss_on_tx_path(self, rmw_result):
+        # Everything committed to the MAC eventually leaves; tx wire
+        # count can lag claims only by the in-flight population.
+        assert rmw_result.tx_frames > 0
+
+    def test_function_stats_cover_all_functions(self, rmw_result):
+        from repro.nic.throughput import FUNCTION_NAMES
+        for name in FUNCTION_NAMES:
+            assert name in rmw_result.function_stats
+
+    def test_frames_counted_once_per_function(self, rmw_result):
+        send = rmw_result.function_stats["send_frame"]
+        assert send.frames == pytest.approx(rmw_result.tx_frames, rel=0.15)
+
+    def test_ipc_breakdown_sums_to_one(self, rmw_result):
+        assert sum(rmw_result.ipc_breakdown().values()) == pytest.approx(1.0, abs=0.01)
+
+    def test_busy_never_exceeds_capacity(self, rmw_result):
+        assert rmw_result.busy_cycles <= rmw_result.total_core_cycles * 1.02
+
+
+class TestBandwidthAccounting:
+    def test_frame_memory_consumption_near_40_gbps(self, rmw_result):
+        report = rmw_result.bandwidth_report()
+        assert 36 < report["frame_memory_consumed_gbps"] < 44
+
+    def test_misalignment_overhead_positive_but_small(self, rmw_result):
+        report = rmw_result.bandwidth_report()
+        overhead = (
+            report["frame_memory_consumed_gbps"] - report["frame_memory_useful_gbps"]
+        )
+        assert 0 < overhead < 1.5
+
+    def test_scratchpad_consumption_under_peak(self, rmw_result):
+        report = rmw_result.bandwidth_report()
+        assert report["scratchpad_consumed_gbps"] < report["scratchpad_peak_gbps"]
+
+    def test_imem_nearly_idle(self, rmw_result):
+        report = rmw_result.bandwidth_report()
+        assert report["imem_consumed_gbps"] < 0.05 * report["imem_peak_gbps"]
+
+
+class TestRmwVsSoftware:
+    def test_ordering_cheaper_with_rmw(self, rmw_result, software_result):
+        rmw = rmw_result.function_stats["send_dispatch_ordering"]
+        software = software_result.function_stats["send_dispatch_ordering"]
+        rmw_per_frame = rmw.instructions / max(1, rmw_result.tx_frames)
+        sw_per_frame = software.instructions / max(1, software_result.tx_frames)
+        assert rmw_per_frame < 0.7 * sw_per_frame
+
+    def test_send_cycles_reduced_more_than_recv(self, rmw_result, software_result):
+        def totals(result, functions):
+            return sum(result.function_stats[f].cycles for f in functions)
+
+        send_fns = ("fetch_send_bd", "send_frame", "send_dispatch_ordering", "send_locking")
+        recv_fns = ("fetch_recv_bd", "recv_frame", "recv_dispatch_ordering", "recv_locking")
+        sw_send = totals(software_result, send_fns) / software_result.tx_frames
+        rmw_send = totals(rmw_result, send_fns) / rmw_result.tx_frames
+        sw_recv = totals(software_result, recv_fns) / software_result.rx_frames
+        rmw_recv = totals(rmw_result, recv_fns) / rmw_result.rx_frames
+        send_reduction = 1 - rmw_send / sw_send
+        recv_reduction = 1 - rmw_recv / sw_recv
+        assert send_reduction > recv_reduction
+        assert send_reduction > 0.1
+
+    def test_remaining_lock_contention_increases_with_rmw(
+        self, rmw_result, software_result
+    ):
+        """Paper: 'contention among the remaining firmware locks
+        increases', particularly in the receive path."""
+        rmw = rmw_result.function_stats["recv_locking"]
+        software = software_result.function_stats["recv_locking"]
+        rmw_per_frame = rmw.instructions / max(1, rmw_result.rx_frames)
+        sw_per_frame = software.instructions / max(1, software_result.rx_frames)
+        assert rmw_per_frame > sw_per_frame * 0.95
+
+
+class TestOfferedLoadControl:
+    def test_half_load_halves_rx(self):
+        result = run(RMW_166MHZ, offered=0.5)
+        per_direction = EthernetTiming().frames_per_second(1518)
+        assert result.rx_fps == pytest.approx(0.5 * per_direction, rel=0.1)
+
+    def test_offered_load_validation(self):
+        from repro.net.workload import WorkloadShaper, UdpStreamWorkload
+        with pytest.raises(ValueError):
+            WorkloadShaper(UdpStreamWorkload(1472, "rx"), offered_fraction_of_line_rate=1.5)
+
+
+class TestTaskLevelBaseline:
+    def test_event_register_firmware_scales_worse(self):
+        frame = NicConfig(cores=6, core_frequency_hz=mhz(133),
+                          ordering_mode=OrderingMode.RMW)
+        task = NicConfig(cores=6, core_frequency_hz=mhz(133),
+                         ordering_mode=OrderingMode.RMW, task_level_firmware=True)
+        frame_result = run(frame)
+        task_result = run(task)
+        assert task_result.total_fps <= frame_result.total_fps * 1.02
+
+
+class TestTaskLevelDispatchInternals:
+    """Unit-level checks of the event-register dispatch restriction."""
+
+    def _sim(self):
+        from dataclasses import replace
+        config = replace(RMW_166MHZ, task_level_firmware=True)
+        return ThroughputSimulator(config, 1472)
+
+    def test_same_kind_never_runs_twice_concurrently(self):
+        from repro.firmware.events import EventKind
+        sim = self._sim()
+        concurrent = {kind: 0 for kind in EventKind}
+        peak = {kind: 0 for kind in EventKind}
+        original_run = sim._run_handler
+        original_done = sim._handler_done
+
+        def spy_run(event):
+            concurrent[event.kind] += 1
+            peak[event.kind] = max(peak[event.kind], concurrent[event.kind])
+            return original_run(event)
+
+        def spy_done(kind):
+            concurrent[kind] -= 1
+            return original_done(kind)
+
+        sim._run_handler = spy_run
+        sim._handler_done = spy_done
+        sim.run(warmup_s=0.05e-3, measure_s=0.1e-3)
+        assert all(count <= 1 for count in peak.values())
+
+    def test_frame_level_allows_concurrency(self):
+        from repro.firmware.events import EventKind
+        sim = ThroughputSimulator(RMW_166MHZ, 1472)
+        concurrent = {kind: 0 for kind in EventKind}
+        peak = {kind: 0 for kind in EventKind}
+        original_run = sim._run_handler
+        original_done = sim._handler_done
+
+        def spy_run(event):
+            concurrent[event.kind] += 1
+            peak[event.kind] = max(peak[event.kind], concurrent[event.kind])
+            return original_run(event)
+
+        def spy_done(kind):
+            concurrent[kind] -= 1
+            return original_done(kind)
+
+        sim._run_handler = spy_run
+        sim._handler_done = spy_done
+        sim.run(warmup_s=0.1e-3, measure_s=0.3e-3)
+        assert max(peak.values()) >= 2  # some handler type ran in parallel

@@ -1,0 +1,112 @@
+"""Property-based tests for the device models and conservation laws."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.nic.microdev import (
+    DMA_CMD_ADDR,
+    DMA_PROD_ADDR,
+    RX_PROD_ADDR,
+    TXBD_CMD_ADDR,
+    TXBD_PROD_ADDR,
+    TX_DONE_ADDR,
+    TX_READY_ADDR,
+    DeviceMemory,
+)
+
+
+class TestDeviceMonotonicity:
+    @given(st.lists(st.integers(min_value=0, max_value=100_000), min_size=2,
+                    max_size=30))
+    @settings(max_examples=100)
+    def test_rx_producer_monotone_in_time(self, cycles):
+        device = DeviceMemory(total_rx_frames=1000, rx_interarrival_cycles=37)
+        previous = -1
+        for cycle in sorted(cycles):
+            device.cycle = cycle
+            value = device.load_word(RX_PROD_ADDR)
+            assert value >= previous
+            previous = value
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10_000),   # issue cycle delta
+                st.booleans(),                                # issue a command?
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=100)
+    def test_dma_completions_never_exceed_commands(self, steps):
+        device = DeviceMemory(dma_latency_cycles=50)
+        cycle = 0
+        for delta, issue in steps:
+            cycle += delta
+            device.cycle = cycle
+            if issue:
+                device.store_word(DMA_CMD_ADDR, 0)
+            completed = device.load_word(DMA_PROD_ADDR)
+            assert 0 <= completed <= device.dma_commands_issued
+
+    @given(st.lists(st.integers(min_value=0, max_value=64), min_size=1,
+                    max_size=20))
+    @settings(max_examples=100)
+    def test_tx_ready_monotone_and_capped(self, publishes):
+        device = DeviceMemory(total_tx_frames=32, tx_wire_cycles=10)
+        high_water = 0
+        for value in publishes:
+            device.store_word(TX_READY_ADDR, value)
+            assert device._tx_ready >= high_water
+            assert device._tx_ready <= 32
+            high_water = device._tx_ready
+
+    @given(
+        st.integers(min_value=1, max_value=32),
+        st.integers(min_value=1, max_value=100),
+    )
+    @settings(max_examples=60)
+    def test_wire_completions_bounded_by_serialization(self, frames, wire_cycles):
+        device = DeviceMemory(total_tx_frames=frames, tx_wire_cycles=wire_cycles)
+        device.cycle = 0
+        device.store_word(TX_READY_ADDR, frames)
+        # Just before the last frame's wire slot ends, it cannot be done.
+        device.cycle = frames * wire_cycles - 1
+        assert device.load_word(TX_DONE_ADDR) == frames - 1
+        device.cycle = frames * wire_cycles
+        assert device.load_word(TX_DONE_ADDR) == frames
+
+    @given(st.integers(min_value=1, max_value=10))
+    @settings(max_examples=20)
+    def test_txbd_outstanding_never_exceeds_two(self, bursts):
+        device = DeviceMemory(total_tx_frames=1000, dma_latency_cycles=100)
+        for _ in range(bursts * 5):
+            device.store_word(TXBD_CMD_ADDR, 0)
+            assert device._txbd_outstanding() <= 2
+
+
+class TestThroughputConservation:
+    def test_frames_never_created_from_nothing(self):
+        """Over random light configurations: commits <= offered, busy
+        <= capacity, SDRAM useful bytes consistent with frames moved."""
+        import random
+
+        from repro.firmware.ordering import OrderingMode
+        from repro.nic import NicConfig, ThroughputSimulator
+        from repro.units import mhz
+
+        rng = random.Random(2005)
+        for _trial in range(4):
+            config = NicConfig(
+                cores=rng.choice([1, 2, 4, 6]),
+                core_frequency_hz=mhz(rng.choice([100, 133, 166])),
+                scratchpad_banks=rng.choice([2, 4]),
+                ordering_mode=rng.choice(list(OrderingMode)),
+            )
+            payload = rng.choice([46, 200, 800, 1472])
+            result = ThroughputSimulator(config, payload).run(0.15e-3, 0.25e-3)
+            assert result.rx_frames <= result.rx_offered + 128
+            assert result.busy_cycles <= result.total_core_cycles * 1.05
+            frames = result.tx_frames + result.rx_frames
+            assert result.sdram_useful_bytes >= frames * result.frame_bytes

@@ -1,0 +1,123 @@
+"""Property-based tests on the ISA: interpreter vs Python reference,
+encode/decode, and the ILP analyzer's bounds."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.ilp import BranchModel, IlpConfig, IssueOrder, PipelineModel, analyze_trace
+from repro.isa import Machine, assemble, decode, encode
+from repro.isa.instructions import Instruction
+
+WORD = 0xFFFFFFFF
+
+_ALU_OPS = ("addu", "subu", "and", "or", "xor", "nor")
+
+# Registers $t0..$t7 as a playground.
+_REGS = tuple(range(8, 16))
+
+
+@st.composite
+def straight_line_programs(draw):
+    """A random straight-line ALU program plus its Python evaluation."""
+    count = draw(st.integers(min_value=1, max_value=30))
+    seeds = {
+        reg: draw(st.integers(min_value=0, max_value=WORD)) for reg in _REGS
+    }
+    operations = []
+    for _ in range(count):
+        op = draw(st.sampled_from(_ALU_OPS))
+        rd = draw(st.sampled_from(_REGS))
+        rs = draw(st.sampled_from(_REGS))
+        rt = draw(st.sampled_from(_REGS))
+        operations.append((op, rd, rs, rt))
+    return seeds, operations
+
+
+def _python_eval(seeds, operations):
+    regs = dict(seeds)
+    for op, rd, rs, rt in operations:
+        a, b = regs[rs], regs[rt]
+        if op == "addu":
+            value = a + b
+        elif op == "subu":
+            value = a - b
+        elif op == "and":
+            value = a & b
+        elif op == "or":
+            value = a | b
+        elif op == "xor":
+            value = a ^ b
+        else:  # nor
+            value = ~(a | b)
+        regs[rd] = value & WORD
+    return regs
+
+
+class TestInterpreterAgainstReference:
+    @given(straight_line_programs())
+    @settings(max_examples=150, deadline=None)
+    def test_alu_matches_python(self, case):
+        seeds, operations = case
+        lines = []
+        for reg, value in seeds.items():
+            lines.append(f"li ${reg}, {value & 0xFFFF}")
+            lines.append(f"lui $1, {value >> 16}")
+            lines.append(f"ori $1, $1, {value & 0xFFFF}")
+            lines.append(f"move ${reg}, $1")
+        for op, rd, rs, rt in operations:
+            lines.append(f"{op} ${rd}, ${rs}, ${rt}")
+        lines.append("halt")
+        machine = Machine(assemble("\n".join(lines)))
+        machine.run()
+        expected = _python_eval(seeds, operations)
+        for reg in _REGS:
+            assert machine.read_register(reg) == expected[reg]
+
+
+class TestEncodingProperties:
+    @given(
+        st.sampled_from(_ALU_OPS),
+        st.integers(min_value=0, max_value=31),
+        st.integers(min_value=0, max_value=31),
+        st.integers(min_value=0, max_value=31),
+    )
+    def test_rtype_roundtrip(self, op, rd, rs, rt):
+        ins = Instruction(op, rd=rd, rs=rs, rt=rt)
+        decoded = decode(encode(ins))
+        assert (decoded.mnemonic, decoded.rd, decoded.rs, decoded.rt) == (op, rd, rs, rt)
+
+    @given(
+        st.integers(min_value=0, max_value=31),
+        st.integers(min_value=0, max_value=31),
+        st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1),
+    )
+    def test_lw_roundtrip(self, rt, rs, imm):
+        decoded = decode(encode(Instruction("lw", rt=rt, rs=rs, imm=imm)))
+        assert (decoded.rt, decoded.rs, decoded.imm) == (rt, rs, imm)
+
+    @given(st.integers(min_value=0, max_value=(1 << 26) - 1))
+    def test_jump_roundtrip(self, target):
+        decoded = decode(encode(Instruction("j", target=target)))
+        assert decoded.target == target
+
+
+class TestIlpBounds:
+    @given(straight_line_programs())
+    @settings(max_examples=30, deadline=None)
+    def test_ipc_bounded_by_width_and_positive(self, case):
+        seeds, operations = case
+        lines = []
+        for reg, value in seeds.items():
+            lines.append(f"li ${reg}, {value & 0x7FFF}")
+        for op, rd, rs, rt in operations:
+            lines.append(f"{op} ${rd}, ${rs}, ${rt}")
+        lines.append("halt")
+        trace = []
+        machine = Machine(assemble("\n".join(lines)), trace=trace)
+        machine.run()
+        for width in (1, 2, 4):
+            config = IlpConfig(
+                IssueOrder.OUT_OF_ORDER, width, PipelineModel.PERFECT, BranchModel.PBP
+            )
+            ipc = analyze_trace(trace, config)
+            assert 0 < ipc <= width + 1e-9

@@ -1,0 +1,63 @@
+"""Public-API integrity: every ``__all__`` name resolves and the
+package surface documented in the README exists."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.sim",
+    "repro.isa",
+    "repro.ilp",
+    "repro.cpu",
+    "repro.mem",
+    "repro.assists",
+    "repro.host",
+    "repro.net",
+    "repro.firmware",
+    "repro.nic",
+    "repro.analysis",
+]
+
+
+class TestPublicApi:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_exports_resolve(self, package):
+        module = importlib.import_module(package)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{package}.{name} missing"
+
+    def test_readme_entry_points_exist(self):
+        import repro
+
+        assert callable(repro.ThroughputSimulator)
+        assert callable(repro.MicroNic)
+        assert callable(repro.NicConfig)
+        assert repro.RMW_166MHZ.cores == 6
+        assert repro.SOFTWARE_200MHZ.core_frequency_hz == 200e6
+
+    def test_version_is_semver(self):
+        import repro
+
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    def test_cli_entry_point_importable(self):
+        from repro.cli import main
+
+        assert callable(main)
+
+    def test_py_typed_marker_present(self):
+        from pathlib import Path
+
+        import repro
+
+        package_dir = Path(repro.__file__).parent
+        assert (package_dir / "py.typed").exists()
+
+    def test_no_package_requires_missing_dependencies(self):
+        """Everything imports with only the declared dependency set."""
+        for package in PACKAGES:
+            importlib.import_module(package)

@@ -1,0 +1,190 @@
+"""Event kernel: scheduling order, clock domains, cancellation."""
+
+import pytest
+
+from repro.sim import ClockDomain, Simulator
+from repro.units import mhz
+
+
+class TestClockDomain:
+    def test_period(self):
+        clock = ClockDomain("core", mhz(200))
+        assert clock.period_ps == 5000
+
+    def test_cycles_to_ps(self):
+        clock = ClockDomain("core", mhz(200))
+        assert clock.cycles_to_ps(3) == 15000
+
+    def test_fractional_cycles(self):
+        clock = ClockDomain("core", mhz(200))
+        assert clock.cycles_to_ps(2.5) == 12500
+
+    def test_ps_to_cycles(self):
+        clock = ClockDomain("core", mhz(200))
+        assert clock.ps_to_cycles(15000) == pytest.approx(3.0)
+
+    def test_current_cycle(self):
+        clock = ClockDomain("core", mhz(200))
+        assert clock.current_cycle(14999) == 2
+        assert clock.current_cycle(15000) == 3
+
+    def test_next_edge_on_edge(self):
+        clock = ClockDomain("core", mhz(200))
+        assert clock.next_edge(10000) == 10000
+
+    def test_next_edge_between(self):
+        clock = ClockDomain("core", mhz(200))
+        assert clock.next_edge(10001) == 15000
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(30, lambda: order.append("c"))
+        sim.schedule(10, lambda: order.append("a"))
+        sim.schedule(20, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_respects_priority(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(10, lambda: order.append("late"), priority=5)
+        sim.schedule(10, lambda: order.append("early"), priority=0)
+        sim.run()
+        assert order == ["early", "late"]
+
+    def test_same_time_same_priority_fifo(self):
+        sim = Simulator()
+        order = []
+        for index in range(5):
+            sim.schedule(10, lambda i=index: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(100, lambda: times.append(sim.now_ps))
+        sim.schedule(250, lambda: times.append(sim.now_ps))
+        sim.run()
+        assert times == [100, 250]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_from_callback(self):
+        sim = Simulator()
+        seen = []
+        def first():
+            sim.schedule(5, lambda: seen.append(sim.now_ps))
+        sim.schedule(10, first)
+        sim.run()
+        assert seen == [15]
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(10, lambda: sim.schedule_at(50, lambda: seen.append(sim.now_ps)))
+        sim.run()
+        assert seen == [50]
+
+    def test_run_until_stops_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(10, lambda: seen.append(1))
+        sim.schedule(100, lambda: seen.append(2))
+        sim.run(until_ps=50)
+        assert seen == [1]
+        assert sim.now_ps == 50
+        sim.run()
+        assert seen == [1, 2]
+
+    def test_cancel(self):
+        sim = Simulator()
+        seen = []
+        event = sim.schedule(10, lambda: seen.append("cancelled"))
+        sim.schedule(20, lambda: seen.append("kept"))
+        sim.cancel(event)
+        sim.run()
+        assert seen == ["kept"]
+
+    def test_stop_from_callback(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(10, lambda: (seen.append(1), sim.stop()))
+        sim.schedule(20, lambda: seen.append(2))
+        sim.run()
+        assert seen == [1]
+        sim.run()
+        assert seen == [1, 2]
+
+    def test_max_events(self):
+        sim = Simulator()
+        seen = []
+        for index in range(10):
+            sim.schedule(index + 1, lambda i=index: seen.append(i))
+        sim.run(max_events=3)
+        assert seen == [0, 1, 2]
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for index in range(7):
+            sim.schedule(index, lambda: None)
+        sim.run()
+        assert sim.events_processed == 7
+
+    def test_peek_next_time(self):
+        sim = Simulator()
+        sim.schedule(42, lambda: None)
+        assert sim.peek_next_time() == 42
+
+    def test_peek_skips_cancelled(self):
+        sim = Simulator()
+        event = sim.schedule(10, lambda: None)
+        sim.schedule(20, lambda: None)
+        sim.cancel(event)
+        assert sim.peek_next_time() == 20
+
+    def test_peek_empty(self):
+        assert Simulator().peek_next_time() is None
+
+
+class TestClocks:
+    def test_add_clock_registers(self):
+        sim = Simulator()
+        clock = sim.add_clock("core", mhz(166))
+        assert sim.clocks["core"] is clock
+
+    def test_add_clock_idempotent(self):
+        sim = Simulator()
+        first = sim.add_clock("core", mhz(166))
+        second = sim.add_clock("core", mhz(166))
+        assert first is second
+
+    def test_add_clock_conflict_raises(self):
+        sim = Simulator()
+        sim.add_clock("core", mhz(166))
+        with pytest.raises(ValueError):
+            sim.add_clock("core", mhz(200))
+
+    def test_schedule_cycles(self):
+        sim = Simulator()
+        clock = sim.add_clock("core", mhz(200))
+        seen = []
+        sim.schedule_cycles(clock, 4, lambda: seen.append(sim.now_ps))
+        sim.run()
+        assert seen == [20000]
+
+    def test_multi_clock_interleaving(self):
+        sim = Simulator()
+        core = sim.add_clock("core", mhz(200))    # 5000 ps
+        sdram = sim.add_clock("sdram", mhz(500))  # 2000 ps
+        order = []
+        sim.schedule_cycles(core, 1, lambda: order.append("core"))
+        sim.schedule_cycles(sdram, 2, lambda: order.append("sdram"))
+        sim.run()
+        assert order == ["sdram", "core"]  # 4000 ps before 5000 ps

@@ -1,0 +1,100 @@
+"""Spinach-style modules and ports."""
+
+import pytest
+
+from repro.sim import Port, SimModule, Simulator
+from repro.sim.module import connect
+from repro.units import mhz
+
+
+def _make_pair():
+    sim = Simulator()
+    a = SimModule(sim, "a", sim.add_clock("core", mhz(200)))
+    b = SimModule(sim, "b", sim.add_clock("core", mhz(200)))
+    out = a.add_port("out")
+    inp = b.add_port("in")
+    connect(out, inp)
+    return sim, a, b, out, inp
+
+
+class TestPorts:
+    def test_message_delivery(self):
+        sim, a, b, out, inp = _make_pair()
+        received = []
+        inp.on_receive(received.append)
+        out.send({"kind": "hello"})
+        sim.run()
+        assert received == [{"kind": "hello"}]
+
+    def test_latency(self):
+        sim, a, b, out, inp = _make_pair()
+        times = []
+        inp.on_receive(lambda _msg: times.append(sim.now_ps))
+        out.send("x", latency_ps=7000)
+        sim.run()
+        assert times == [7000]
+
+    def test_counters(self):
+        sim, a, b, out, inp = _make_pair()
+        inp.on_receive(lambda _msg: None)
+        out.send("x")
+        out.send("y")
+        sim.run()
+        assert out.messages_sent == 2
+        assert inp.messages_received == 2
+
+    def test_unconnected_send_raises(self):
+        sim = Simulator()
+        module = SimModule(sim, "m")
+        port = module.add_port("p")
+        with pytest.raises(RuntimeError):
+            port.send("x")
+
+    def test_no_handler_raises(self):
+        sim, a, b, out, inp = _make_pair()
+        with pytest.raises(RuntimeError):
+            out.send("x")
+
+    def test_double_connect_raises(self):
+        sim, a, b, out, inp = _make_pair()
+        other = a.add_port("other")
+        with pytest.raises(ValueError):
+            other.connect(inp)
+
+    def test_bidirectional_pair(self):
+        sim = Simulator()
+        a = SimModule(sim, "a")
+        b = SimModule(sim, "b")
+        req, rsp = a.add_port("req"), a.add_port("rsp")
+        breq, brsp = b.add_port("req"), b.add_port("rsp")
+        connect(req, breq)
+        connect(brsp, rsp)
+        log = []
+        breq.on_receive(lambda msg: (log.append(("b", msg)), brsp.send(msg + 1)))
+        rsp.on_receive(lambda msg: log.append(("a", msg)))
+        req.send(1)
+        sim.run()
+        assert log == [("b", 1), ("a", 2)]
+
+
+class TestSimModule:
+    def test_schedule_cycles_requires_clock(self):
+        sim = Simulator()
+        module = SimModule(sim, "m")
+        with pytest.raises(RuntimeError):
+            module.schedule_cycles(1, lambda: None)
+
+    def test_schedule_cycles(self):
+        sim = Simulator()
+        clock = sim.add_clock("core", mhz(200))
+        module = SimModule(sim, "m", clock)
+        seen = []
+        module.schedule_cycles(2, lambda: seen.append(sim.now_ps))
+        sim.run()
+        assert seen == [10000]
+
+    def test_ports_registered(self):
+        sim = Simulator()
+        module = SimModule(sim, "m")
+        p1, p2 = module.add_port("p1"), module.add_port("p2")
+        assert module.ports == [p1, p2]

@@ -1,0 +1,107 @@
+"""Statistics primitives."""
+
+import pytest
+
+from repro.sim import Counter, Histogram, RateMeter, StatRegistry
+from repro.units import seconds_to_ps
+
+
+class TestCounter:
+    def test_add(self):
+        counter = Counter("x")
+        counter.add()
+        counter.add(4)
+        assert counter.value == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x").add(-1)
+
+    def test_reset(self):
+        counter = Counter("x")
+        counter.add(3)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestRateMeter:
+    def test_rate(self):
+        meter = RateMeter("fps")
+        meter.add(1000)
+        assert meter.rate_per_second(seconds_to_ps(0.5)) == pytest.approx(2000)
+
+    def test_reset_moves_window(self):
+        meter = RateMeter("fps")
+        meter.add(1000)
+        meter.reset(seconds_to_ps(1.0))
+        meter.add(100)
+        rate = meter.rate_per_second(seconds_to_ps(1.5))
+        assert rate == pytest.approx(200)
+
+    def test_zero_window(self):
+        meter = RateMeter("fps")
+        meter.add(10)
+        assert meter.rate_per_second(0) == 0.0
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        hist = Histogram("lat", [10, 100, 1000])
+        for value in (5, 50, 500, 5000):
+            hist.record(value)
+        assert hist.counts == [1, 1, 1, 1]
+
+    def test_mean_min_max(self):
+        hist = Histogram("lat", [10])
+        hist.record(4)
+        hist.record(8)
+        assert hist.mean == pytest.approx(6)
+        assert hist.min == 4
+        assert hist.max == 8
+
+    def test_percentile(self):
+        hist = Histogram("lat", [1, 2, 3, 4, 5])
+        for value in (1, 2, 3, 4, 5):
+            hist.record(value)
+        assert hist.percentile(0.5) == 3
+        assert hist.percentile(1.0) == 5
+
+    def test_percentile_bounds(self):
+        hist = Histogram("lat", [10])
+        with pytest.raises(ValueError):
+            hist.percentile(1.5)
+
+    def test_empty_percentile(self):
+        assert Histogram("lat", [10]).percentile(0.5) == 0.0
+
+    def test_needs_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", [])
+
+
+class TestStatRegistry:
+    def test_counter_identity(self):
+        registry = StatRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_snapshot(self):
+        registry = StatRegistry()
+        registry.counter("a").add(2)
+        registry.meter("b").add(3.5)
+        snap = registry.snapshot()
+        assert snap["counter.a"] == 2
+        assert snap["meter.b"] == 3.5
+
+    def test_reset_meters(self):
+        registry = StatRegistry()
+        registry.meter("b").add(5)
+        registry.reset_meters(seconds_to_ps(1.0))
+        assert registry.meter("b").total == 0.0
+        assert registry.meter("b").window_start_ps == seconds_to_ps(1.0)
+
+    def test_items_sorted(self):
+        registry = StatRegistry()
+        registry.counter("z").add(1)
+        registry.counter("a").add(1)
+        names = [name for name, _ in registry.items()]
+        assert names == sorted(names)
