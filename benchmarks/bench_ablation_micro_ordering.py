@@ -13,7 +13,6 @@ lock-based variant collapses — cores burn their cycles spinning on the
 ordering lock — while the RMW variant keeps scaling.  This is the
 paper's Section 3.3/6.3 story, reproduced end to end."""
 
-import pytest
 
 from benchmarks._helpers import emit, run_once
 from repro.analysis import format_table

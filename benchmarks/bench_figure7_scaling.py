@@ -5,7 +5,6 @@ Paper anchors: 6 cores reach ~96% of line rate at 175 MHz and within 1%
 at 200 MHz; 8 cores are at line rate from 175 MHz; a single core needs
 roughly 800 MHz (our model measures the equivalent crossover)."""
 
-import pytest
 
 from benchmarks._helpers import emit, run_once
 from repro.analysis import figure7_scaling, render_series

@@ -7,7 +7,6 @@ cycle-level pipeline, and the cost model predicts their cycle counts
 from their operation mixes.  Prediction error within ~25% on every
 kernel/configuration is the accuracy budget DESIGN.md §5 claims."""
 
-import pytest
 
 from benchmarks._helpers import emit, run_once
 from repro.analysis import format_table

@@ -5,11 +5,10 @@ Paper: both achieve full-duplex line rate; the RMW variant cuts send
 cycles by 28.4% and receive cycles by 4.7%, which is what allows the
 17% clock reduction (200 -> 166 MHz)."""
 
-import pytest
 
 from benchmarks._helpers import MEASURE_S, WARMUP_S, emit, run_once
 from repro.analysis import format_table, table6_cycles
-from repro.analysis.tables import FUNCTION_LABELS, RECV_FUNCTIONS, SEND_FUNCTIONS
+from repro.analysis.tables import FUNCTION_LABELS
 from repro.nic import NicConfig, RMW_166MHZ, SOFTWARE_200MHZ, ThroughputSimulator
 from repro.firmware.ordering import OrderingMode
 from repro.units import mhz

@@ -32,7 +32,6 @@ from typing import Dict, Iterator, List, Sequence
 
 from repro.mem.coherence import (
     CoherenceStats,
-    CoherentCacheSystem,
     TraceAccess,
     sweep_cache_sizes,
 )

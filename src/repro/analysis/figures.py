@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.firmware.ordering import OrderingMode
-from repro.net.ethernet import EthernetTiming, frame_bytes_for_udp_payload
+from repro.net.ethernet import EthernetTiming
 from repro.nic.config import NicConfig, RMW_166MHZ, SOFTWARE_200MHZ
 from repro.nic.throughput import ThroughputSimulator
 from repro.units import mhz, to_gbps

@@ -22,8 +22,6 @@ from repro.analysis.figures import (
 from repro.analysis.report import format_table
 from repro.analysis.tables import (
     FUNCTION_LABELS,
-    RECV_FUNCTIONS,
-    SEND_FUNCTIONS,
     _run,
     rmw_reductions,
     table1_ideal_profile,

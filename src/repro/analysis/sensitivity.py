@@ -16,10 +16,10 @@ artifact; all three should survive ±20-30% parameter noise.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
-from repro.cpu.costmodel import CoreCostModel, OpProfile
+from repro.cpu.costmodel import OpProfile
 from repro.firmware.ordering import OrderingMode
 from repro.firmware.profiles import FirmwareProfiles
 from repro.nic.config import NicConfig

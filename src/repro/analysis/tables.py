@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.firmware.kernels import capture_trace
-from repro.firmware.ordering import OrderingMode
 from repro.firmware.profiles import IDEAL_PROFILES, ideal_frame_totals
 from repro.ilp import (
     BranchModel,

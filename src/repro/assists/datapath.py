@@ -22,8 +22,8 @@ describes for the shared 128-bit bus.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
 from collections import deque
 
 from repro.mem.sdram import GddrSdram

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Optional, Tuple
+from typing import Callable, Deque, Tuple
 
 from repro.assists.pci import PciInterface
 from repro.mem.sdram import GddrSdram

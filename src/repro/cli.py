@@ -36,6 +36,24 @@ def _add_run_parser(subparsers) -> None:
                         help="offered receive load as a fraction of line rate")
     parser.add_argument("--json", action="store_true",
                         help="emit the full result as JSON")
+    # -- observability ---------------------------------------------------
+    parser.add_argument("--trace", type=str, default="", metavar="OUT.json",
+                        help="record frame-lifecycle spans and write a "
+                             "Chrome trace-event / Perfetto JSON file")
+    parser.add_argument("--metrics-out", type=str, default="", metavar="PATH",
+                        help="write a periodic metrics time series "
+                             "(see --metrics-format / --sample-interval)")
+    parser.add_argument("--metrics-format", choices=["json", "csv", "prom"],
+                        default="json",
+                        help="time-series format; 'prom' writes the final "
+                             "snapshot in Prometheus text format")
+    parser.add_argument("--sample-interval", type=float, default=50.0,
+                        metavar="US",
+                        help="metrics sampling interval in simulated "
+                             "microseconds (default: 50)")
+    parser.add_argument("--profile-sim", action="store_true",
+                        help="profile the simulator itself: per-callback "
+                             "wall-time attribution, top-N report")
 
 
 def _add_sweep_parser(subparsers) -> None:
@@ -107,8 +125,40 @@ def _cmd_run(args) -> int:
         scratchpad_banks=args.banks,
         ordering_mode=_ordering(args.ordering),
     )
-    simulator = ThroughputSimulator(config, args.payload, offered_fraction=args.offered)
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+    simulator = ThroughputSimulator(
+        config, args.payload, offered_fraction=args.offered, tracer=tracer
+    )
+    sampler = None
+    if args.metrics_out:
+        if args.sample_interval <= 0:
+            print("--sample-interval must be positive", file=sys.stderr)
+            return 2
+        sampler = simulator.sample_metrics_every(round(args.sample_interval * 1e6))
+    profiler = None
+    if args.profile_sim:
+        from repro.obs import SimProfiler
+
+        profiler = SimProfiler()
+        simulator.sim.attach_profiler(profiler)
     result = simulator.run(warmup_s=0.4e-3, measure_s=args.millis * 1e-3)
+    if tracer is not None:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(tracer, args.trace, process_name=config.label)
+        print(f"trace written to {args.trace} ({len(tracer.events)} events; "
+              f"open in chrome://tracing or ui.perfetto.dev)", file=sys.stderr)
+    if sampler is not None:
+        sampler.sample_now()
+        sampler.write(args.metrics_out, fmt=args.metrics_format)
+        print(f"{len(sampler.samples)} metric samples written to "
+              f"{args.metrics_out} ({args.metrics_format})", file=sys.stderr)
+    if profiler is not None:
+        print(profiler.report(), file=sys.stderr)
     if args.json:
         import json
 
@@ -216,7 +266,7 @@ def _cmd_asm(args) -> int:
 
 def _cmd_ilp(args) -> int:
     from repro.analysis import format_table
-    from repro.ilp import TABLE2_CONFIGS, ipc_table
+    from repro.ilp import ipc_table
 
     if args.file:
         from repro.isa import Machine, assemble

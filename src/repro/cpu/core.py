@@ -30,7 +30,7 @@ one issue slot each instead of a lock + scan loop.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.isa.assembler import Program

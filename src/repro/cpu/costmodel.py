@@ -13,7 +13,7 @@ simulator's IPC breakdown is directly comparable to the paper's.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict
 
 

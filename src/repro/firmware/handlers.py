@@ -15,8 +15,8 @@ time.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from dataclasses import dataclass
+from typing import Dict, List
 
 from repro.firmware.ordering import OrderingBoard, OrderingMode
 

@@ -10,7 +10,7 @@ region + payload region); receive buffers use one descriptor each.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 # Flag bits (Tigon-style).

@@ -17,7 +17,7 @@ Section 2.1:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.host.descriptors import (

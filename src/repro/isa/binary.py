@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from repro.isa.assembler import Program
 from repro.isa.instructions import Instruction, decode, disassemble, encode

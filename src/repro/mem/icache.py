@@ -9,7 +9,7 @@ from core to core".
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List
 
 from repro.units import KIB
 

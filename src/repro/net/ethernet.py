@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.units import GIGA, gbps, transfer_time_ps
+from repro.units import gbps, transfer_time_ps
 
 PREAMBLE_BYTES = 8  # preamble (7) + start-of-frame delimiter (1)
 INTERFRAME_GAP_BYTES = 12

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.cpu.costmodel import CoreCostModel
 from repro.firmware.ordering import OrderingMode
-from repro.firmware.profiles import DEFAULT_FIRMWARE_PROFILES, FirmwareProfiles
+from repro.firmware.profiles import FirmwareProfiles
 from repro.units import KIB, mhz, seconds_to_ps
 
 

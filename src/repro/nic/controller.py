@@ -34,10 +34,19 @@ class MicroNic:
         program: Program,
         entries: Optional[List[str]] = None,
         shared_memory=None,
+        tracer=None,
     ) -> None:
         """``shared_memory`` lets callers substitute a device-mapped
         memory (:class:`~repro.nic.microdev.DeviceMemory`) so firmware
-        can drive the memory-mapped hardware assists."""
+        can drive the memory-mapped hardware assists.
+
+        ``tracer`` (a :class:`repro.obs.Tracer`) records one span per
+        core on ``micro-core<N>`` tracks when :meth:`run` finishes,
+        timestamped in core cycles, carrying the per-core stall
+        breakdown as span arguments."""
+        from repro.obs.tracer import NULL_TRACER
+
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         if entries is not None and len(entries) != config.cores:
             raise ValueError(
                 f"need one entry point per core ({config.cores}), got {len(entries)}"
@@ -72,7 +81,21 @@ class MicroNic:
 
     def run(self, max_steps: int = 20_000_000) -> List[CoreStats]:
         """Run every core to its halt; returns per-core statistics."""
-        return self.system.run(max_steps=max_steps)
+        stats = self.system.run(max_steps=max_steps)
+        if self.tracer.enabled:
+            for core_id, core_stats in enumerate(stats):
+                self.tracer.complete(
+                    f"micro-core{core_id}",
+                    "run",
+                    0,
+                    int(core_stats.cycles),
+                    instructions=core_stats.instructions,
+                    imiss_stalls=core_stats.imiss_stalls,
+                    load_stalls=core_stats.load_stalls,
+                    conflict_stalls=core_stats.conflict_stalls,
+                    pipeline_stalls=core_stats.pipeline_stalls,
+                )
+        return stats
 
     # -- aggregate views --------------------------------------------------
     def combined_stats(self) -> CoreStats:

@@ -37,7 +37,7 @@ share one definition of the map.
 from __future__ import annotations
 
 import bisect
-from typing import List, Optional
+from typing import List
 
 from repro.isa.machine import MachineError, Memory
 
@@ -80,6 +80,23 @@ HDR_VAL_ADDR = DEVICE_BASE + HDR_VAL_OFFSET
 
 TX_BDS_PER_FETCH = 16
 
+#: Register address → mnemonic, for trace events and debugging dumps.
+REGISTER_NAMES = {
+    RX_PROD_ADDR: "RX_PROD",
+    RX_CONS_ADDR: "RX_CONS",
+    DMA_CMD_ADDR: "DMA_CMD",
+    DMA_PROD_ADDR: "DMA_PROD",
+    DMA_CONS_ADDR: "DMA_CONS",
+    TXBD_CMD_ADDR: "TXBD_CMD",
+    TXBD_PROD_ADDR: "TXBD_PROD",
+    TXDMA_CMD_ADDR: "TXDMA_CMD",
+    TXDMA_PROD_ADDR: "TXDMA_PROD",
+    TX_READY_ADDR: "TX_READY",
+    TX_DONE_ADDR: "TX_DONE",
+    HDR_SEL_ADDR: "HDR_SEL",
+    HDR_VAL_ADDR: "HDR_VAL",
+}
+
 
 def header_word(seq: int) -> int:
     """Deterministic pseudo-header of received frame ``seq``.
@@ -110,8 +127,17 @@ class DeviceMemory(Memory):
         rx_start_cycle: int = 0,
         total_tx_frames: int = 0,
         tx_wire_cycles: int = 25,
+        tracer=None,
     ) -> None:
+        """``tracer`` (a :class:`repro.obs.Tracer`) records every device
+        register access as an instant event on the ``microdev`` track,
+        timestamped in core cycles — the micro tier's time base."""
         super().__init__(size_bytes)
+        if tracer is None:
+            from repro.obs.tracer import NULL_TRACER
+
+            tracer = NULL_TRACER
+        self.tracer = tracer
         if total_rx_frames < 0 or total_tx_frames < 0:
             raise ValueError("frame counts must be non-negative")
         if rx_interarrival_cycles < 1 or dma_latency_cycles < 0 or tx_wire_cycles < 1:
@@ -168,6 +194,9 @@ class DeviceMemory(Memory):
         if not self._is_device(address):
             return super().load_word(address)
         self.device_reads += 1
+        if self.tracer.enabled:
+            name = REGISTER_NAMES.get(address, f"{address:#x}")
+            self.tracer.instant("microdev", f"rd {name}", self.cycle, cycle=self.cycle)
         if address == RX_PROD_ADDR:
             return self._rx_landed()
         if address == DMA_PROD_ADDR:
@@ -197,6 +226,11 @@ class DeviceMemory(Memory):
             super().store_word(address, value)
             return
         self.device_writes += 1
+        if self.tracer.enabled:
+            name = REGISTER_NAMES.get(address, f"{address:#x}")
+            self.tracer.instant(
+                "microdev", f"wr {name}", self.cycle, cycle=self.cycle, value=value
+            )
         if address == DMA_CMD_ADDR:
             done = self.cycle + self.dma_latency_cycles
             bisect.insort(self._dma_completion_cycles, done)

@@ -27,7 +27,7 @@ contention estimate reach steady state.
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.assists.dma import DmaAssist
@@ -48,11 +48,12 @@ from repro.mem.sdram import GddrSdram
 from repro.net.ethernet import (
     EthernetTiming,
     TX_HEADER_REGION_BYTES,
-    frame_bytes_for_udp_payload,
 )
 from repro.nic.config import NicConfig
+from repro.obs.metrics import MetricsSampler
+from repro.obs.tracer import NULL_TRACER, FrameStage
 from repro.sim.kernel import Simulator
-from repro.sim.stats import Histogram
+from repro.sim.stats import StatRegistry
 from repro.units import ps_to_seconds, to_gbps
 
 # The split of the Send/Receive Frame task between its initiation part
@@ -269,6 +270,7 @@ class ThroughputSimulator:
         offered_fraction: float = 1.0,
         size_model=None,
         rx_burst_frames: int = 1,
+        tracer=None,
     ) -> None:
         """``size_model`` (a :class:`repro.net.workload.FrameSizeModel`)
         overrides the constant ``udp_payload_bytes`` with per-frame
@@ -278,10 +280,16 @@ class ThroughputSimulator:
         arrive back to back in groups of that size, with idle gaps
         sized so the *average* offered load still matches
         ``offered_fraction`` — an on/off traffic extension for buffer
-        stress studies."""
+        stress studies.
+
+        ``tracer`` (a :class:`repro.obs.Tracer`) records per-frame
+        lifecycle spans and assist timelines; left ``None``, the null
+        tracer is used and the run is bit-identical to an
+        uninstrumented one."""
         from repro.net.workload import ConstantSize
 
         self.config = config
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.sizes = size_model if size_model is not None else ConstantSize(
             udp_payload_bytes
         )
@@ -358,6 +366,12 @@ class ThroughputSimulator:
 
         # -- firmware-visible state ---------------------------------------
         self._idle_cores = config.cores
+        # Deterministic core identities for handler dispatch: pop()
+        # yields the lowest-numbered free core, so trace tracks are
+        # stable run to run.  Maintained whether or not tracing is on —
+        # the list never influences timing.
+        self._free_core_ids: List[int] = list(range(config.cores - 1, -1, -1))
+        self._current_core = 0  # core running the handler being laid out
         self._busy_ps = 0.0
         self._tx_fetch_inflight = 0    # frames' worth of BD fetches in flight
         self._tx_bd_onboard = 0        # frames with descriptors on NIC
@@ -384,9 +398,12 @@ class ThroughputSimulator:
         self._rx_landed_at: Dict[int, int] = {}   # seq -> SDRAM-landed time
         self._rx_latency_sum_ps = 0.0
         self._rx_latency_samples = 0
+        # Registry feeding the metrics sampler / Prometheus exporter;
+        # histogram summaries ride along in its snapshot.
+        self.stats = StatRegistry()
         # Microsecond buckets up to 1 ms for the latency distribution.
-        self.rx_latency_histogram = Histogram(
-            "rx-commit-latency-us",
+        self.rx_latency_histogram = self.stats.histogram(
+            "rx_commit_latency_us",
             [1, 2, 4, 6, 8, 10, 15, 20, 30, 50, 100, 200, 500, 1000],
         )
         self._inflight_sum = 0.0
@@ -497,6 +514,10 @@ class ThroughputSimulator:
     # ==================================================================
     def _push_event(self, event: FrameEvent) -> None:
         self.queue.push(event)
+        if self.tracer.enabled:
+            self.tracer.counter(
+                "event-queue", "depth", self.sim.now_ps, len(self.queue)
+            )
         self._dispatch()
 
     def _dispatch(self) -> None:
@@ -513,13 +534,28 @@ class ThroughputSimulator:
                 continue
             self._task_claims[event.kind] = True
             self._idle_cores -= 1
+            core_id = self._free_core_ids.pop()
+            self._current_core = core_id
             cycles = self._run_handler(event)
             duration_ps = self.core_clock.cycles_to_ps(max(1.0, cycles))
             self._busy_ps += duration_ps
-            self.sim.schedule(duration_ps, lambda k=event.kind: self._handler_done(k))
+            if self.tracer.enabled:
+                self.tracer.complete(
+                    f"core{core_id}",
+                    event.kind.value,
+                    self.sim.now_ps,
+                    duration_ps,
+                    first_seq=event.first_seq,
+                    count=event.count,
+                )
+            self.sim.schedule(
+                duration_ps,
+                lambda k=event.kind, c=core_id: self._handler_done(k, c),
+            )
 
-    def _handler_done(self, kind: EventKind) -> None:
+    def _handler_done(self, kind: EventKind, core_id: int) -> None:
         self._idle_cores += 1
+        self._free_core_ids.append(core_id)
         self._task_claims[kind] = False
         self._dispatch()
 
@@ -587,6 +623,14 @@ class ThroughputSimulator:
             SEND_BDS_PER_FETCH * DESCRIPTOR_BYTES,
         )
         self._assist_touch(self.config.assist_accesses_per_dma)
+        if self.tracer.enabled:
+            self.tracer.complete(
+                "dma-read",
+                "fetch-send-bds",
+                transfer.issue_ps,
+                transfer.latency_ps,
+                nbytes=transfer.nbytes,
+            )
         self.sim.schedule_at(transfer.complete_ps, lambda: self._send_bds_arrived(frames))
         return cycles
 
@@ -646,10 +690,34 @@ class ThroughputSimulator:
 
         issue_ps = now + self.core_clock.cycles_to_ps(cycles)
         pending = {"left": 2 * batch}
+        if self.tracer.enabled:
+            core_track = f"core{self._current_core}"
+            for seq in range(first, first + batch):
+                self.tracer.frame_stage("tx", seq, FrameStage.EVENT_DISPATCHED, now)
+                self.tracer.frame_stage(
+                    "tx", seq, FrameStage.HANDLER_RUN, now, track=core_track
+                )
+                self.tracer.frame_stage(
+                    "tx", seq, FrameStage.DMA_ISSUED, issue_ps, track="dma-read"
+                )
 
         def transfer_done(_finish_ps: int, f: int = first, b: int = batch) -> None:
             pending["left"] -= 1
             if pending["left"] == 0:
+                if self.tracer.enabled:
+                    done_ps = self.sim.now_ps
+                    for seq in range(f, f + b):
+                        self.tracer.frame_stage(
+                            "tx", seq, FrameStage.DMA_COMPLETE, done_ps, track="dma-read"
+                        )
+                    self.tracer.complete(
+                        "dma-read",
+                        f"tx-frames {f}+{b}",
+                        issue_ps,
+                        max(0, done_ps - issue_ps),
+                        first_seq=f,
+                        count=b,
+                    )
                 self._push_event(FrameEvent(EventKind.SEND_COMPLETE, first_seq=f, count=b))
 
         for index in range(batch):
@@ -718,8 +786,12 @@ class ThroughputSimulator:
             cycles += self._acquire_lock(
                 "order_tx", now, 26.0, "send_dispatch_ordering"
             )
+        first_committed = self.board_tx_mac.commit_seq
         committed, cost = self.board_tx_mac.commit()
         cycles += self._charge_ordering("send_dispatch_ordering", cost)
+        if committed and self.tracer.enabled:
+            for seq in range(first_committed, first_committed + committed):
+                self.tracer.frame_stage("tx", seq, FrameStage.COMMITTED, now)
         notified, notify_cost = self.board_tx_notify.commit()
         cycles += self._charge_ordering("send_dispatch_ordering", notify_cost)
         if notified:
@@ -753,6 +825,17 @@ class ThroughputSimulator:
                 self.sizes.frame_bytes(seq),
             )
             self._assist_touch(self.config.assist_accesses_per_mac_frame)
+            if self.tracer.enabled:
+                self.tracer.complete(
+                    "mac-tx",
+                    f"tx {seq}",
+                    wire.wire_start_ps,
+                    wire.wire_end_ps - wire.wire_start_ps,
+                    seq=seq,
+                )
+                self.tracer.frame_stage(
+                    "tx", seq, FrameStage.WIRE, wire.wire_end_ps, track="mac-tx"
+                )
             self.sim.schedule_at(
                 wire.wire_end_ps, lambda s=seq: self._tx_wire_done(s)
             )
@@ -792,6 +875,14 @@ class ThroughputSimulator:
         self._rx_space -= frame_size
         wire = self.mac_rx.take_frame(now, frame_size)
         self._assist_touch(self.config.assist_accesses_per_mac_frame)
+        if self.tracer.enabled:
+            self.tracer.complete(
+                "mac-rx",
+                f"rx {wire.seq}",
+                wire.wire_start_ps,
+                wire.wire_end_ps - wire.wire_start_ps,
+                seq=wire.seq,
+            )
         self.sim.schedule_at(wire.wire_end_ps, lambda s=wire.seq: self._rx_store(s))
         # Chain to the next arrival.
         next_arrival = self.mac_rx.next_arrival_ps()
@@ -805,13 +896,23 @@ class ThroughputSimulator:
 
     def _rx_space_freed(self) -> None:
         if not self._rx_pump_active:
-            self._rx_dropped += self.mac_rx.skip_backlog(self.sim.now_ps)
+            dropped = self.mac_rx.skip_backlog(self.sim.now_ps)
+            self._rx_dropped += dropped
+            if dropped and self.tracer.enabled:
+                self.tracer.instant(
+                    "mac-rx", "tail-drop", self.sim.now_ps, dropped=dropped
+                )
             self._rx_pump_active = True
             self._rx_pump()
 
     def _rx_frame_landed(self) -> None:
-        self._rx_landed_at[self._rx_written] = self.sim.now_ps
+        seq = self._rx_written
+        self._rx_landed_at[seq] = self.sim.now_ps
         self._rx_written += 1
+        if self.tracer.enabled:
+            self.tracer.frame_stage(
+                "rx", seq, FrameStage.RX_LANDED, self.sim.now_ps, track="mac-rx"
+            )
         self._queue_recv_frame_event()
 
     def _queue_recv_frame_event(self) -> None:
@@ -856,10 +957,34 @@ class ThroughputSimulator:
 
         issue_ps = now + self.core_clock.cycles_to_ps(cycles)
         pending = {"left": batch}
+        if self.tracer.enabled:
+            core_track = f"core{self._current_core}"
+            for seq in range(first, first + batch):
+                self.tracer.frame_stage("rx", seq, FrameStage.EVENT_DISPATCHED, now)
+                self.tracer.frame_stage(
+                    "rx", seq, FrameStage.HANDLER_RUN, now, track=core_track
+                )
+                self.tracer.frame_stage(
+                    "rx", seq, FrameStage.DMA_ISSUED, issue_ps, track="dma-write"
+                )
 
         def transfer_done(_finish_ps: int, f: int = first, b: int = batch) -> None:
             pending["left"] -= 1
             if pending["left"] == 0:
+                if self.tracer.enabled:
+                    done_ps = self.sim.now_ps
+                    for seq in range(f, f + b):
+                        self.tracer.frame_stage(
+                            "rx", seq, FrameStage.DMA_COMPLETE, done_ps, track="dma-write"
+                        )
+                    self.tracer.complete(
+                        "dma-write",
+                        f"rx-frames {f}+{b}",
+                        issue_ps,
+                        max(0, done_ps - issue_ps),
+                        first_seq=f,
+                        count=b,
+                    )
                 self._push_event(FrameEvent(EventKind.RECV_COMPLETE, first_seq=f, count=b))
 
         for index in range(batch):
@@ -910,9 +1035,12 @@ class ThroughputSimulator:
         committed, cost = self.board_rx.commit()
         cycles += self._charge_ordering("recv_dispatch_ordering", cost)
         freed_bytes = 0
+        trace_on = self.tracer.enabled
         for seq in range(self.board_rx.commit_seq - committed, self.board_rx.commit_seq):
             freed_bytes += self.sizes.frame_bytes(seq)
             self._rx_payload_done += self.sizes.payload_bytes(seq)
+            if trace_on:
+                self.tracer.frame_stage("rx", seq, FrameStage.COMMITTED, now)
             landed = self._rx_landed_at.pop(seq, None)
             if landed is not None:
                 self._rx_latency_sum_ps += now - landed
@@ -967,6 +1095,14 @@ class ThroughputSimulator:
             RECV_BDS_PER_FETCH * DESCRIPTOR_BYTES,
         )
         self._assist_touch(self.config.assist_accesses_per_dma)
+        if self.tracer.enabled:
+            self.tracer.complete(
+                "dma-read",
+                "fetch-recv-bds",
+                transfer.issue_ps,
+                transfer.latency_ps,
+                nbytes=transfer.nbytes,
+            )
         self.sim.schedule_at(transfer.complete_ps, lambda: self._recv_bds_arrived(frames))
         return cycles
 
@@ -999,7 +1135,64 @@ class ThroughputSimulator:
             self._conflict_wait = 0.6 * self._conflict_wait + 0.4 * target
         self._contention_window_accesses = 0.0
         self._contention_window_start_ps = now
+        if self.tracer.enabled:
+            self.tracer.counter(
+                "scratchpad", "conflict_wait_cycles", now, self._conflict_wait
+            )
+            self.tracer.counter(
+                "frames", "outstanding", now, max(0, outstanding)
+            )
         self.sim.schedule(self._contention_interval_ps, self._update_contention)
+
+    # ==================================================================
+    # Metrics export
+    # ==================================================================
+    def metrics_snapshot(self) -> Dict[str, float]:
+        """Flat machine-readable view of the run's live state.
+
+        Names follow the ``kind.name`` convention of
+        :meth:`repro.sim.stats.StatRegistry.snapshot` (histogram
+        summaries come straight from the registry), so the Prometheus
+        formatter types counters correctly.  Reading is side-effect
+        free — safe for the :class:`~repro.obs.metrics.MetricsSampler`.
+        """
+        values = self.stats.snapshot()
+        values.update(
+            {
+                "counter.tx_wire_frames": float(self._tx_done_frames),
+                "counter.rx_committed_frames": float(self._rx_done_frames),
+                "counter.rx_dropped_frames": float(self._rx_dropped),
+                "counter.rx_offered_frames": float(self.mac_rx._next_seq),
+                "counter.tx_payload_bytes": float(self._tx_payload_done),
+                "counter.rx_payload_bytes": float(self._rx_payload_done),
+                "counter.event_queue_enqueues": float(self.queue.enqueues),
+                "counter.event_retries": float(self.queue.retries),
+                "counter.sdram_transferred_bytes": float(self.sdram.transferred_bytes),
+                "counter.sdram_useful_bytes": float(self.sdram.useful_bytes),
+                "counter.scratchpad_assist_accesses": float(self._assist_accesses),
+                "counter.scratchpad_core_accesses": float(self._core_accesses),
+                "gauge.event_queue_depth": float(len(self.queue)),
+                "gauge.event_queue_high_water": float(self.queue.high_water),
+                "gauge.idle_cores": float(self._idle_cores),
+                "gauge.tx_buffer_free_bytes": float(self._tx_space),
+                "gauge.rx_buffer_free_bytes": float(self._rx_space),
+                "gauge.conflict_wait_cycles": float(self._conflict_wait),
+                "gauge.pending_sim_events": float(self.sim.pending_events),
+            }
+        )
+        for name, lock in self.locks.items():
+            values[f"counter.lock_wait_cycles.{name}"] = lock.total_wait_cycles
+        return values
+
+    def sample_metrics_every(self, interval_ps: int) -> MetricsSampler:
+        """Attach and start a periodic metrics sampler.
+
+        Call before :meth:`run`; the sampler rides the simulation's own
+        event queue, reads :meth:`metrics_snapshot`, and never perturbs
+        simulated timing.
+        """
+        sampler = MetricsSampler(self.sim, self.metrics_snapshot, interval_ps)
+        return sampler.start()
 
     # ==================================================================
     # Experiment driver

@@ -1,0 +1,51 @@
+"""Unified observability layer: tracing, metrics time series, profiling.
+
+Three opt-in instruments over the simulation tiers, all null-by-default
+so an uninstrumented run is bit-identical to the pre-observability
+code:
+
+* :class:`Tracer` / :data:`NULL_TRACER` — frame-lifecycle spans and
+  instants, exported to Chrome trace-event / Perfetto JSON by
+  :func:`write_chrome_trace`;
+* :class:`MetricsSampler` — periodic :class:`~repro.sim.stats.StatRegistry`
+  -style snapshots over simulated time, exported as JSON/CSV or the
+  Prometheus text format (:func:`prometheus_text`);
+* :class:`SimProfiler` — host wall-time attribution of the event
+  kernel's callbacks, for profiling the simulator itself.
+"""
+
+from repro.obs.metrics import (
+    MetricsSampler,
+    prometheus_metric_name,
+    prometheus_text,
+)
+from repro.obs.perfetto import chrome_trace_dict, write_chrome_trace
+from repro.obs.profiler import SimProfiler, describe_callback
+from repro.obs.tracer import (
+    NULL_TRACER,
+    FrameStage,
+    NullTracer,
+    RX_STAGE_ORDER,
+    STAGE_ORDERS,
+    TX_STAGE_ORDER,
+    TraceEvent,
+    Tracer,
+)
+
+__all__ = [
+    "FrameStage",
+    "MetricsSampler",
+    "NULL_TRACER",
+    "NullTracer",
+    "RX_STAGE_ORDER",
+    "STAGE_ORDERS",
+    "SimProfiler",
+    "TX_STAGE_ORDER",
+    "TraceEvent",
+    "Tracer",
+    "chrome_trace_dict",
+    "describe_callback",
+    "prometheus_metric_name",
+    "prometheus_text",
+    "write_chrome_trace",
+]

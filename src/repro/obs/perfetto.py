@@ -1,0 +1,123 @@
+"""Chrome trace-event / Perfetto JSON export.
+
+Converts a :class:`repro.obs.tracer.Tracer`'s event list into the JSON
+object format documented by the Chrome trace-event specification (the
+format Perfetto's legacy importer and ``chrome://tracing`` both read):
+
+* one synthetic process (``pid`` 1, named for the run) holds every
+  track;
+* each distinct tracer track becomes a thread (``tid`` assigned in
+  first-use order) with ``thread_name`` metadata, so cores, assists,
+  the MAC engines, and the lifecycle tracks appear as separate rows;
+* timestamps and durations are converted from simulated picoseconds to
+  the format's microseconds (as floats — viewers show down to the ns).
+
+Counter events keep their own track and render as Perfetto counter
+rows.  Open begin/end spans are closed at the trace's end timestamp so
+an exported file is always well-formed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, List, Union
+
+from repro.obs.tracer import Tracer
+
+_PID = 1
+
+
+def _ts_us(ts_ps: int) -> float:
+    return ts_ps / 1e6
+
+
+def chrome_trace_dict(tracer: Tracer, process_name: str = "repro-nic") -> Dict[str, object]:
+    """Render ``tracer`` as a Chrome trace-event JSON object."""
+    tids: Dict[str, int] = {}
+    trace_events: List[Dict[str, object]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+
+    def tid_for(track: str) -> int:
+        tid = tids.get(track)
+        if tid is None:
+            tid = len(tids) + 1
+            tids[track] = tid
+            trace_events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": _PID,
+                    "tid": tid,
+                    "args": {"name": track},
+                }
+            )
+            trace_events.append(
+                {
+                    "name": "thread_sort_index",
+                    "ph": "M",
+                    "pid": _PID,
+                    "tid": tid,
+                    "args": {"sort_index": tid},
+                }
+            )
+        return tid
+
+    last_ts = 0
+    for event in tracer.events:
+        last_ts = max(last_ts, event.ts_ps + event.dur_ps)
+        rendered: Dict[str, object] = {
+            "name": event.name,
+            "ph": event.phase,
+            "ts": _ts_us(event.ts_ps),
+            "pid": _PID,
+            "tid": tid_for(event.track),
+            "cat": event.track,
+        }
+        if event.phase == "X":
+            rendered["dur"] = _ts_us(event.dur_ps)
+        if event.phase == "i":
+            rendered["s"] = "t"  # thread-scoped instant
+        if event.args:
+            rendered["args"] = dict(event.args)
+        trace_events.append(rendered)
+
+    # Close any still-open begin/end spans so viewers accept the file.
+    for track, stack in tracer._open.items():
+        for _name in reversed(stack):
+            trace_events.append(
+                {
+                    "name": _name,
+                    "ph": "E",
+                    "ts": _ts_us(last_ts),
+                    "pid": _PID,
+                    "tid": tid_for(track),
+                    "cat": track,
+                }
+            )
+
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ns",
+        "otherData": {"source": "repro.obs", "time_unit_note": "1 us = 1 simulated us"},
+    }
+
+
+def write_chrome_trace(
+    tracer: Tracer,
+    destination: Union[str, IO[str]],
+    process_name: str = "repro-nic",
+) -> None:
+    """Serialize ``tracer`` to ``destination`` (path or text stream)."""
+    payload = chrome_trace_dict(tracer, process_name=process_name)
+    if hasattr(destination, "write"):
+        json.dump(payload, destination)  # type: ignore[arg-type]
+        return
+    with open(destination, "w") as handle:  # type: ignore[arg-type]
+        json.dump(payload, handle)

@@ -1,0 +1,224 @@
+"""Frame-lifecycle tracing primitives.
+
+The paper's evaluation is pure accounting — stall-cycle breakdowns,
+bandwidth totals, cycles per packet — but *diagnosing* a configuration
+that misses line rate needs the other view: where did each frame's time
+go between the MAC, the event queue, the cores, the DMA assists, and
+the wire?  The :class:`Tracer` answers that with two coordinated
+records:
+
+* a flat list of timeline events (spans, instants, counter samples) in
+  the vocabulary of the Chrome trace-event format, exported by
+  :mod:`repro.obs.perfetto` so a run opens directly in
+  ``chrome://tracing`` / Perfetto with one track per core, assist, and
+  hardware queue;
+* a per-frame lifecycle table keyed on ``(direction, seq, stage)``
+  recording the first time each frame reached each
+  :class:`FrameStage`, which is what the ordering-invariant tests and
+  latency post-processing consume.
+
+Everything is opt-in: the simulators hold a :data:`NULL_TRACER` by
+default, whose ``enabled`` flag gates every instrumentation site, so a
+run without tracing executes the exact event sequence (and produces
+bit-identical statistics) it did before this module existed.  The
+tracer never schedules simulation events and never mutates simulator
+state — it is a pure observer, which is what keeps traced and untraced
+runs on identical simulated timelines.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class FrameStage(enum.Enum):
+    """Lifecycle checkpoints of one frame through the NIC.
+
+    Transmit frames run ``EVENT_DISPATCHED → … → WIRE``; receive frames
+    run ``RX_LANDED → … → COMMITTED`` (their wire time precedes the
+    NIC's involvement).  :data:`TX_STAGE_ORDER` / :data:`RX_STAGE_ORDER`
+    give the per-direction total orders the invariant tests check.
+    """
+
+    RX_LANDED = "rx_landed"              # MAC finished storing into rx SDRAM
+    EVENT_DISPATCHED = "event_dispatched"  # frame claimed off the event queue
+    HANDLER_RUN = "handler_run"          # firmware handler charged for it
+    DMA_ISSUED = "dma_issued"            # frame-data DMA programmed
+    DMA_COMPLETE = "dma_complete"        # frame-data DMA finished
+    COMMITTED = "committed"              # in-order commit point passed
+    WIRE = "wire"                        # tx only: frame fully on the wire
+
+
+TX_STAGE_ORDER: Tuple[FrameStage, ...] = (
+    FrameStage.EVENT_DISPATCHED,
+    FrameStage.HANDLER_RUN,
+    FrameStage.DMA_ISSUED,
+    FrameStage.DMA_COMPLETE,
+    FrameStage.COMMITTED,
+    FrameStage.WIRE,
+)
+
+RX_STAGE_ORDER: Tuple[FrameStage, ...] = (
+    FrameStage.RX_LANDED,
+    FrameStage.EVENT_DISPATCHED,
+    FrameStage.HANDLER_RUN,
+    FrameStage.DMA_ISSUED,
+    FrameStage.DMA_COMPLETE,
+    FrameStage.COMMITTED,
+)
+
+STAGE_ORDERS: Dict[str, Tuple[FrameStage, ...]] = {
+    "tx": TX_STAGE_ORDER,
+    "rx": RX_STAGE_ORDER,
+}
+
+
+@dataclass
+class TraceEvent:
+    """One timeline record, phase-coded like the Chrome trace format.
+
+    ``phase`` is one of ``"X"`` (complete span), ``"B"``/``"E"``
+    (nested begin/end), ``"i"`` (instant), or ``"C"`` (counter sample).
+    Timestamps are picoseconds of simulated time (the exporter converts
+    to the trace format's microseconds).
+    """
+
+    phase: str
+    track: str
+    name: str
+    ts_ps: int
+    dur_ps: int = 0
+    args: Dict[str, object] = field(default_factory=dict)
+
+
+class NullTracer:
+    """Do-nothing stand-in: every simulator's default collaborator.
+
+    ``enabled`` is ``False`` so hot paths can skip even argument
+    construction with ``if tracer.enabled:``; the methods exist (and
+    no-op) so un-gated call sites still work.
+    """
+
+    enabled = False
+
+    def instant(self, track: str, name: str, ts_ps: int, **args: object) -> None:
+        pass
+
+    def complete(self, track: str, name: str, ts_ps: int, dur_ps: int, **args: object) -> None:
+        pass
+
+    def begin(self, track: str, name: str, ts_ps: int, **args: object) -> None:
+        pass
+
+    def end(self, track: str, ts_ps: int) -> None:
+        pass
+
+    def counter(self, track: str, name: str, ts_ps: int, value: float) -> None:
+        pass
+
+    def frame_stage(
+        self,
+        direction: str,
+        seq: int,
+        stage: FrameStage,
+        ts_ps: int,
+        track: Optional[str] = None,
+        dur_ps: int = 0,
+    ) -> None:
+        pass
+
+
+#: Shared do-nothing tracer; safe because it holds no state.
+NULL_TRACER = NullTracer()
+
+
+class Tracer(NullTracer):
+    """Recording tracer.  See the module docstring for the data model."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+        # (direction, seq) -> {stage: first timestamp}
+        self.frames: Dict[Tuple[str, int], Dict[FrameStage, int]] = {}
+        # track -> stack of open span names (begin/end nesting).
+        self._open: Dict[str, List[str]] = {}
+        self.dropped_ends = 0
+
+    # -- timeline events ------------------------------------------------
+    def instant(self, track: str, name: str, ts_ps: int, **args: object) -> None:
+        """A zero-duration marker on ``track``."""
+        self.events.append(TraceEvent("i", track, name, ts_ps, 0, args))
+
+    def complete(self, track: str, name: str, ts_ps: int, dur_ps: int, **args: object) -> None:
+        """A span with both endpoints known up front."""
+        if dur_ps < 0:
+            raise ValueError(f"span {name!r} has negative duration {dur_ps}")
+        self.events.append(TraceEvent("X", track, name, ts_ps, dur_ps, args))
+
+    def begin(self, track: str, name: str, ts_ps: int, **args: object) -> None:
+        """Open a nested span; close with :meth:`end` (LIFO per track)."""
+        self._open.setdefault(track, []).append(name)
+        self.events.append(TraceEvent("B", track, name, ts_ps, 0, args))
+
+    def end(self, track: str, ts_ps: int) -> None:
+        """Close the innermost open span on ``track``."""
+        stack = self._open.get(track)
+        if not stack:
+            # Unbalanced end: record nothing rather than corrupt nesting.
+            self.dropped_ends += 1
+            return
+        name = stack.pop()
+        self.events.append(TraceEvent("E", track, name, ts_ps, 0, {}))
+
+    def counter(self, track: str, name: str, ts_ps: int, value: float) -> None:
+        """Sample a numeric series (renders as a counter track)."""
+        self.events.append(TraceEvent("C", track, name, ts_ps, 0, {name: value}))
+
+    def open_depth(self, track: str) -> int:
+        """How many begin/end spans are currently open on ``track``."""
+        return len(self._open.get(track, ()))
+
+    # -- frame lifecycle ------------------------------------------------
+    def frame_stage(
+        self,
+        direction: str,
+        seq: int,
+        stage: FrameStage,
+        ts_ps: int,
+        track: Optional[str] = None,
+        dur_ps: int = 0,
+    ) -> None:
+        """Record frame ``(direction, seq)`` reaching ``stage``.
+
+        Only the *first* arrival at a stage is kept in the lifecycle
+        table (a retried handler may dispatch the same bundle twice);
+        every call still emits a timeline event so retries remain
+        visible on the track view.
+        """
+        record = self.frames.setdefault((direction, seq), {})
+        record.setdefault(stage, ts_ps)
+        name = f"{direction}:{stage.value}"
+        resolved = track if track is not None else f"lifecycle-{direction}"
+        if dur_ps > 0:
+            self.complete(resolved, name, ts_ps, dur_ps, seq=seq)
+        else:
+            self.instant(resolved, name, ts_ps, seq=seq)
+
+    def frame_lifecycle(self, direction: str, seq: int) -> Dict[FrameStage, int]:
+        """The recorded stage → timestamp map for one frame."""
+        return dict(self.frames.get((direction, seq), {}))
+
+    def complete_frames(self, direction: str) -> List[int]:
+        """Frames of ``direction`` that reached every stage of its order."""
+        order = STAGE_ORDERS[direction]
+        result = []
+        for (frame_dir, seq), stages in self.frames.items():
+            if frame_dir == direction and all(stage in stages for stage in order):
+                result.append(seq)
+        return sorted(result)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -14,7 +14,8 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Dict, List, Optional
 
 from repro.units import cycle_time_ps
@@ -88,6 +89,7 @@ class Simulator:
         self._cancelled: set = set()
         self._stopped = False
         self.events_processed = 0
+        self._profiler = None  # duck-typed: .record(callback, wall_seconds)
 
     # ------------------------------------------------------------------
     # Clock management
@@ -154,6 +156,19 @@ class Simulator:
         self._stopped = True
 
     # ------------------------------------------------------------------
+    # Profiling
+    # ------------------------------------------------------------------
+    def attach_profiler(self, profiler) -> None:
+        """Attribute each callback's host wall time to ``profiler``.
+
+        ``profiler`` needs one method, ``record(callback, wall_seconds)``
+        (see :class:`repro.obs.profiler.SimProfiler`).  Profiling never
+        alters simulated time or event order — only host-side cost.
+        Pass ``None`` to detach.
+        """
+        self._profiler = profiler
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def run(self, until_ps: Optional[int] = None, max_events: Optional[int] = None) -> int:
@@ -166,6 +181,7 @@ class Simulator:
         """
         self._stopped = False
         processed = 0
+        profiler = self._profiler
         while self._queue:
             if self._stopped:
                 break
@@ -180,7 +196,12 @@ class Simulator:
                 self._cancelled.discard(ticket)
                 continue
             self.now_ps = when
-            callback()
+            if profiler is None:
+                callback()
+            else:
+                started = perf_counter()
+                callback()
+                profiler.record(callback, perf_counter() - started)
             processed += 1
             self.events_processed += 1
         else:
@@ -200,5 +221,15 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (including cancelled ghosts)."""
-        return len(self._queue)
+        """Number of *live* events still queued.
+
+        Cancelled events linger in the heap as ghosts until their pop;
+        counting them would make observability reports overstate queue
+        depth, so they are excluded here.  (Tickets in ``_cancelled``
+        that are still in the heap are exactly the ghosts: a fired
+        event's ticket never re-enters the queue.)
+        """
+        if not self._cancelled:
+            return len(self._queue)
+        cancelled = self._cancelled
+        return sum(1 for entry in self._queue if entry[2] not in cancelled)

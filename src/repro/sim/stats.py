@@ -85,6 +85,14 @@ class Histogram:
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
 
+    def reset(self) -> None:
+        """Forget every recorded sample (end-of-warm-up support)."""
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+        self.min = None
+        self.max = None
+
     @property
     def mean(self) -> float:
         return self.sum / self.total if self.total else 0.0
@@ -134,13 +142,38 @@ class StatRegistry:
         for meter in self.meters.values():
             meter.reset(now_ps)
 
+    def reset_counters(self) -> None:
+        """Zero every counter (end of warm-up)."""
+        for counter in self.counters.values():
+            counter.reset()
+
+    def reset_window(self, now_ps: int, histograms: bool = False) -> None:
+        """End-of-warm-up reset: counters *and* meters restart together,
+        so measured-region accounting excludes warm-up events
+        consistently.  Pass ``histograms=True`` to also clear recorded
+        distributions (e.g. warm-up latency samples)."""
+        self.reset_counters()
+        self.reset_meters(now_ps)
+        if histograms:
+            for histogram in self.histograms.values():
+                histogram.reset()
+
     def snapshot(self) -> Dict[str, float]:
-        """Flat name → value view of all counters and meter totals."""
+        """Flat name → value view of counters, meter totals, and
+        histogram summaries (``histogram.<name>.{count,mean,p50,p99,max}``)."""
         values: Dict[str, float] = {}
         for name, counter in self.counters.items():
             values[f"counter.{name}"] = counter.value
         for name, meter in self.meters.items():
             values[f"meter.{name}"] = meter.total
+        for name, histogram in self.histograms.items():
+            values[f"histogram.{name}.count"] = histogram.total
+            values[f"histogram.{name}.mean"] = histogram.mean
+            values[f"histogram.{name}.p50"] = histogram.percentile(0.50)
+            values[f"histogram.{name}.p99"] = histogram.percentile(0.99)
+            values[f"histogram.{name}.max"] = (
+                histogram.max if histogram.max is not None else 0.0
+            )
         return values
 
     def items(self) -> List[Tuple[str, float]]:

@@ -1,7 +1,5 @@
 """Command-line interface."""
 
-import pytest
-
 from repro.cli import build_parser, main
 
 
@@ -28,6 +26,44 @@ class TestRun:
     def test_run_offered_load(self, capsys):
         code = main(["run", "--cores", "4", "--offered", "0.5", "--millis", "0.3"])
         assert code == 0
+
+    def test_run_observability_outputs(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.csv"
+        code = main([
+            "run", "--cores", "2", "--mhz", "133", "--millis", "0.3",
+            "--trace", str(trace_path),
+            "--metrics-out", str(metrics_path), "--metrics-format", "csv",
+            "--sample-interval", "50",
+            "--profile-sim",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        trace = json.loads(trace_path.read_text())
+        assert trace["traceEvents"], "trace file is empty"
+        header = metrics_path.read_text().splitlines()[0]
+        assert header.startswith("t_ps,t_us,")
+        assert "simulator profile" in captured.err
+        assert "trace written" in captured.err
+
+    def test_run_prometheus_metrics(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.prom"
+        code = main([
+            "run", "--cores", "2", "--mhz", "133", "--millis", "0.3",
+            "--metrics-out", str(metrics_path), "--metrics-format", "prom",
+        ])
+        assert code == 0
+        assert "repro_counter_tx_wire_frames" in metrics_path.read_text()
+
+    def test_run_rejects_bad_sample_interval(self, tmp_path, capsys):
+        code = main([
+            "run", "--millis", "0.1",
+            "--metrics-out", str(tmp_path / "m.json"),
+            "--sample-interval", "0",
+        ])
+        assert code == 2
 
 
 class TestSweep:

@@ -179,7 +179,7 @@ class TestICacheTiming:
             halt
             """
         )
-        stats = core.run()
+        core.run()
         assert core.icache.hit_ratio > 0.95
 
 

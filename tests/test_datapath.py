@@ -1,12 +1,8 @@
 """Port-composed frame datapath (Spinach/LSE-style composition)."""
 
-import pytest
 
 from repro.assists.datapath import (
-    BurstReply,
     BurstRequest,
-    DmaReadModule,
-    MacTxModule,
     SdramControllerModule,
     run_transmit_datapath,
 )

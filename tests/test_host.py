@@ -3,7 +3,7 @@
 import pytest
 
 from repro.host import BufferDescriptor, DescriptorRing, DriverModel, HostMemoryLayout
-from repro.host.descriptors import FLAG_END_OF_FRAME, FLAG_HEADER_REGION
+from repro.host.descriptors import FLAG_HEADER_REGION
 
 
 class TestBufferDescriptor:

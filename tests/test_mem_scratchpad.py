@@ -4,7 +4,7 @@ import pytest
 
 from repro.mem import Crossbar, Scratchpad
 from repro.mem.crossbar import TOTAL_ACCESS_LATENCY
-from repro.units import KIB, mhz
+from repro.units import mhz
 
 
 class TestCrossbar:

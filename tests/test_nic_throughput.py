@@ -228,9 +228,9 @@ class TestTaskLevelDispatchInternals:
             peak[event.kind] = max(peak[event.kind], concurrent[event.kind])
             return original_run(event)
 
-        def spy_done(kind):
+        def spy_done(kind, core_id):
             concurrent[kind] -= 1
-            return original_done(kind)
+            return original_done(kind, core_id)
 
         sim._run_handler = spy_run
         sim._handler_done = spy_done
@@ -250,9 +250,9 @@ class TestTaskLevelDispatchInternals:
             peak[event.kind] = max(peak[event.kind], concurrent[event.kind])
             return original_run(event)
 
-        def spy_done(kind):
+        def spy_done(kind, core_id):
             concurrent[kind] -= 1
-            return original_done(kind)
+            return original_done(kind, core_id)
 
         sim._run_handler = spy_run
         sim._handler_done = spy_done

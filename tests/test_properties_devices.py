@@ -8,7 +8,6 @@ from repro.nic.microdev import (
     DMA_PROD_ADDR,
     RX_PROD_ADDR,
     TXBD_CMD_ADDR,
-    TXBD_PROD_ADDR,
     TX_DONE_ADDR,
     TX_READY_ADDR,
     DeviceMemory,

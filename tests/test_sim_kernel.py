@@ -152,6 +152,68 @@ class TestScheduling:
     def test_peek_empty(self):
         assert Simulator().peek_next_time() is None
 
+    def test_pending_events_counts_live(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.schedule(20, lambda: None)
+        assert sim.pending_events == 2
+
+    def test_pending_events_excludes_cancelled_ghosts(self):
+        sim = Simulator()
+        ghost = sim.schedule(10, lambda: None)
+        sim.schedule(20, lambda: None)
+        sim.cancel(ghost)
+        # The ghost is still physically queued, but must not be counted.
+        assert len(sim._queue) == 2
+        assert sim.pending_events == 1
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_pending_events_after_cancel_of_fired_event(self):
+        sim = Simulator()
+        event = sim.schedule(10, lambda: None)
+        sim.schedule(20, lambda: None)
+        sim.run(until_ps=15)
+        sim.cancel(event)  # documented no-op: event already fired
+        assert sim.pending_events == 1
+
+
+class TestProfilerHook:
+    def test_profiler_records_every_callback(self):
+        class Recorder:
+            def __init__(self):
+                self.calls = []
+
+            def record(self, callback, wall_s):
+                self.calls.append((callback, wall_s))
+
+        sim = Simulator()
+        recorder = Recorder()
+        sim.attach_profiler(recorder)
+        for index in range(5):
+            sim.schedule(index, lambda: None)
+        sim.run()
+        assert len(recorder.calls) == 5
+        assert all(wall >= 0 for _cb, wall in recorder.calls)
+
+    def test_detach_profiler(self):
+        class Recorder:
+            def __init__(self):
+                self.calls = 0
+
+            def record(self, callback, wall_s):
+                self.calls += 1
+
+        sim = Simulator()
+        recorder = Recorder()
+        sim.attach_profiler(recorder)
+        sim.schedule(0, lambda: None)
+        sim.run()
+        sim.attach_profiler(None)
+        sim.schedule(0, lambda: None)
+        sim.run()
+        assert recorder.calls == 1
+
 
 class TestClocks:
     def test_add_clock_registers(self):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Port, SimModule, Simulator
+from repro.sim import SimModule, Simulator
 from repro.sim.module import connect
 from repro.units import mhz
 

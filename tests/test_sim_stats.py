@@ -105,3 +105,54 @@ class TestStatRegistry:
         registry.counter("a").add(1)
         names = [name for name, _ in registry.items()]
         assert names == sorted(names)
+
+    def test_snapshot_includes_histogram_summaries(self):
+        registry = StatRegistry()
+        histogram = registry.histogram("lat", [1, 10, 100])
+        for value in (0.5, 5, 50, 50):
+            histogram.record(value)
+        snap = registry.snapshot()
+        assert snap["histogram.lat.count"] == 4
+        assert snap["histogram.lat.mean"] == pytest.approx(105.5 / 4)
+        assert snap["histogram.lat.p50"] == histogram.percentile(0.50)
+        assert snap["histogram.lat.p99"] == histogram.percentile(0.99)
+        assert snap["histogram.lat.max"] == 50
+
+    def test_snapshot_empty_histogram_is_safe(self):
+        registry = StatRegistry()
+        registry.histogram("lat", [1, 10])
+        snap = registry.snapshot()
+        assert snap["histogram.lat.count"] == 0
+        assert snap["histogram.lat.max"] == 0.0
+
+    def test_reset_counters(self):
+        registry = StatRegistry()
+        registry.counter("a").add(7)
+        registry.reset_counters()
+        assert registry.counter("a").value == 0
+
+    def test_reset_window_covers_counters_and_meters(self):
+        """Warm-up reset must exclude warm-up events from *both* kinds
+        of accounting, not just the meters."""
+        registry = StatRegistry()
+        registry.counter("frames").add(10)
+        registry.meter("bytes").add(100)
+        histogram = registry.histogram("lat", [1, 10])
+        histogram.record(5)
+        registry.reset_window(seconds_to_ps(0.5))
+        assert registry.counter("frames").value == 0
+        assert registry.meter("bytes").total == 0.0
+        assert registry.meter("bytes").window_start_ps == seconds_to_ps(0.5)
+        assert histogram.total == 1  # histograms kept by default
+        registry.reset_window(seconds_to_ps(0.6), histograms=True)
+        assert histogram.total == 0 and histogram.max is None
+
+    def test_histogram_reset_clears_samples(self):
+        histogram = Histogram("lat", [1, 10])
+        histogram.record(5)
+        histogram.reset()
+        assert histogram.total == 0
+        assert histogram.mean == 0.0
+        assert histogram.percentile(0.99) == 0.0
+        histogram.record(3)
+        assert histogram.total == 1 and histogram.max == 3
