@@ -16,6 +16,18 @@ WARMUP_S = 0.4e-3
 MEASURE_S = 1.0e-3
 
 
+def sweep_kwargs() -> dict:
+    """Engine arguments for benches that sweep via :class:`repro.exp.Sweep`.
+
+    Defaults come from the environment — ``REPRO_SWEEP_JOBS`` for the
+    worker count and ``REPRO_CACHE_DIR`` for the result cache — so
+    ``REPRO_SWEEP_JOBS=4 pytest benchmarks ...`` parallelizes every
+    migrated bench without touching its code, and a CI cache directory
+    makes overlapping drivers share simulation points.
+    """
+    return {"jobs": None, "cache_dir": None}
+
+
 def run_once(benchmark, function: Callable, *args, **kwargs):
     """Run an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -6,24 +6,37 @@ latency, so the design overprovisions with multiple banks.  This sweep
 quantifies that: with few banks the conflict-stall share of the IPC
 breakdown grows and throughput drops below line rate."""
 
-from benchmarks._helpers import MEASURE_S, WARMUP_S, emit, run_once
+from benchmarks._helpers import MEASURE_S, WARMUP_S, emit, run_once, sweep_kwargs
 from repro.analysis import format_table
+from repro.exp import Sweep
 from repro.firmware.ordering import OrderingMode
-from repro.nic import NicConfig, ThroughputSimulator
+from repro.nic import NicConfig
 from repro.units import mhz
+
+BANK_COUNTS = (1, 2, 4, 8)
 
 
 def _experiment():
-    results = {}
-    for banks in (1, 2, 4, 8):
-        config = NicConfig(
-            cores=6,
-            core_frequency_hz=mhz(166),
-            scratchpad_banks=banks,
-            ordering_mode=OrderingMode.RMW,
-        )
-        results[banks] = ThroughputSimulator(config, 1472).run(WARMUP_S, MEASURE_S)
-    return results
+    # One engine sweep over the bank-count axis (parallel + cached when
+    # REPRO_SWEEP_JOBS / REPRO_CACHE_DIR are set).
+    sweep = Sweep.of_configs(
+        "ablation-banks",
+        configs=[
+            NicConfig(
+                cores=6,
+                core_frequency_hz=mhz(166),
+                scratchpad_banks=banks,
+                ordering_mode=OrderingMode.RMW,
+            )
+            for banks in BANK_COUNTS
+        ],
+        udp_payload_bytes=1472,
+        warmup_s=WARMUP_S,
+        measure_s=MEASURE_S,
+        labels=[f"{banks}banks" for banks in BANK_COUNTS],
+    )
+    outcome = sweep.run(**sweep_kwargs())
+    return dict(zip(BANK_COUNTS, outcome.results))
 
 
 def bench_ablation_scratchpad_banks(benchmark):

@@ -18,28 +18,39 @@ import pytest
 
 from dataclasses import replace
 
-from benchmarks._helpers import MEASURE_S, WARMUP_S, emit, run_once
+from benchmarks._helpers import MEASURE_S, WARMUP_S, emit, run_once, sweep_kwargs
 from repro.analysis import format_table
+from repro.exp import Sweep
 from repro.firmware.ordering import OrderingMode
-from repro.nic import NicConfig, ThroughputSimulator
+from repro.nic import NicConfig
 from repro.units import mhz
 
 BASE = NicConfig(cores=6, core_frequency_hz=mhz(166), ordering_mode=OrderingMode.RMW)
 
+# (cores, checksum mode) — the five simulation points of this ablation.
+POINTS = (
+    ("6", "none"),
+    ("6", "assist"),
+    ("6", "firmware"),
+    ("12", "firmware"),
+    ("24", "firmware"),
+)
+
 
 def _experiment():
-    results = {}
-    for mode in ("none", "assist", "firmware"):
-        config = replace(BASE, checksum_offload=mode)
-        results[("6", mode)] = ThroughputSimulator(config, 1472).run(
-            WARMUP_S, MEASURE_S
-        )
-    for cores in (12, 24):
-        config = replace(BASE, cores=cores, checksum_offload="firmware")
-        results[(str(cores), "firmware")] = ThroughputSimulator(config, 1472).run(
-            WARMUP_S, MEASURE_S
-        )
-    return results
+    sweep = Sweep.of_configs(
+        "ablation-checksum",
+        configs=[
+            replace(BASE, cores=int(cores), checksum_offload=mode)
+            for cores, mode in POINTS
+        ],
+        udp_payload_bytes=1472,
+        warmup_s=WARMUP_S,
+        measure_s=MEASURE_S,
+        labels=[f"{cores}c/{mode}" for cores, mode in POINTS],
+    )
+    outcome = sweep.run(**sweep_kwargs())
+    return dict(zip(POINTS, outcome.results))
 
 
 def bench_ablation_checksum_offload(benchmark):

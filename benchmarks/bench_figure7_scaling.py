@@ -3,7 +3,11 @@
 
 Paper anchors: 6 cores reach ~96% of line rate at 175 MHz and within 1%
 at 200 MHz; 8 cores are at line rate from 175 MHz; a single core needs
-roughly 800 MHz (our model measures the equivalent crossover)."""
+roughly 800 MHz (our model measures the equivalent crossover).
+
+The 30-point grid runs through the experiment engine (``repro.exp``):
+set ``REPRO_SWEEP_JOBS=4`` to fan it across cores and
+``REPRO_CACHE_DIR=...`` to make re-runs incremental (docs/experiments.md)."""
 
 
 from benchmarks._helpers import emit, run_once

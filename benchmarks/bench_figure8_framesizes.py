@@ -4,7 +4,11 @@ the Ethernet duplex limit as reference.
 
 Paper: both configurations track the Ethernet limit at large frames and
 saturate at roughly 2.2 M frames/s for small frames, where processing
-(not the link) is the bottleneck."""
+(not the link) is the bottleneck.
+
+The 14-point sweep runs through the experiment engine (``repro.exp``):
+set ``REPRO_SWEEP_JOBS=4`` to fan it across cores and
+``REPRO_CACHE_DIR=...`` to make re-runs incremental (docs/experiments.md)."""
 
 import pytest
 

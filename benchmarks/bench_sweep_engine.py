@@ -1,0 +1,132 @@
+"""Experiment-engine performance guard (``repro.exp``).
+
+Not a paper figure: this bench guards the engine's own claims on an
+8-point figure-7-style grid —
+
+* a fully-cached second pass is **>= 10x** faster than the cold pass
+  (content-addressed cache hits skip simulation entirely);
+* with >= 4 host CPUs, ``jobs=4`` beats serial by **>= 2x** wall time
+  (asserted only when the hardware can show it; single-CPU CI runners
+  report the ratio without asserting);
+* every path — serial, parallel, cached — returns **byte-identical**
+  results;
+* per-point engine overhead (hashing + cache round-trip) stays
+  negligible next to a simulation point.
+"""
+
+import os
+import pickle
+import tempfile
+import time
+
+from benchmarks._helpers import emit, run_once
+from repro.exp import ResultCache, Sweep, SweepRunner, spec_key
+
+# 8 points, short windows: enough simulated work for stable ratios
+# without making CI wait on full-fidelity runs.
+CORE_COUNTS = (2, 4)
+FREQUENCIES_MHZ = (100, 133, 166, 200)
+WARMUP_S = 0.1e-3
+MEASURE_S = 0.2e-3
+
+
+def _grid() -> Sweep:
+    return Sweep.grid(
+        "engine-bench",
+        core_counts=CORE_COUNTS,
+        frequencies_mhz=FREQUENCIES_MHZ,
+        warmup_s=WARMUP_S,
+        measure_s=MEASURE_S,
+    )
+
+
+def _timed_run(sweep, **runner_kwargs):
+    runner = SweepRunner(progress=None, **runner_kwargs)
+    started = time.perf_counter()
+    outcome = runner.run(sweep.specs)
+    return outcome, time.perf_counter() - started
+
+
+def _experiment():
+    sweep = _grid()
+    with tempfile.TemporaryDirectory(prefix="sweep-bench-") as cache_dir:
+        serial, serial_s = _timed_run(sweep, jobs=1, cache_dir=None)
+        jobs = 4
+        parallel, parallel_s = _timed_run(sweep, jobs=jobs, cache_dir=None)
+        cold, cold_s = _timed_run(sweep, jobs=1, cache_dir=cache_dir)
+        warm, warm_s = _timed_run(sweep, jobs=1, cache_dir=cache_dir)
+
+        # Per-point engine overhead: key hashing plus one cache
+        # round-trip, measured directly.
+        spec = sweep.specs[0]
+        started = time.perf_counter()
+        for _ in range(100):
+            spec_key(spec)
+        key_s = (time.perf_counter() - started) / 100
+        probe = ResultCache(os.path.join(cache_dir, "probe"))
+        started = time.perf_counter()
+        for index in range(100):
+            probe.put(f"{index:064x}", warm.results[0])
+            probe.get(f"{index:064x}")
+        cache_s = (time.perf_counter() - started) / 100
+
+    return {
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "jobs": jobs,
+        "cpus": os.cpu_count() or 1,
+        "key_overhead_s": key_s,
+        "cache_roundtrip_s": cache_s,
+        "pickles": {
+            "serial": [pickle.dumps(r) for r in serial.results],
+            "parallel": [pickle.dumps(r) for r in parallel.results],
+            "cold": [pickle.dumps(r) for r in cold.results],
+            "warm": [pickle.dumps(r) for r in warm.results],
+        },
+        "warm_hits": warm.cache_hits,
+        "warm_executed": warm.executed,
+    }
+
+
+def bench_sweep_engine(benchmark):
+    data = run_once(benchmark, _experiment)
+
+    points = len(CORE_COUNTS) * len(FREQUENCIES_MHZ)
+    cached_speedup = data["cold_s"] / data["warm_s"]
+    parallel_speedup = data["serial_s"] / data["parallel_s"]
+    per_point_s = data["serial_s"] / points
+    emit(
+        f"Experiment engine, {points}-point grid "
+        f"({data['cpus']} host CPU(s))\n"
+        f"  serial            {data['serial_s'] * 1e3:9.1f} ms "
+        f"({per_point_s * 1e3:.1f} ms/point)\n"
+        f"  jobs={data['jobs']}            {data['parallel_s'] * 1e3:9.1f} ms "
+        f"({parallel_speedup:.1f}x vs serial)\n"
+        f"  cold + cache fill {data['cold_s'] * 1e3:9.1f} ms\n"
+        f"  fully cached      {data['warm_s'] * 1e3:9.1f} ms "
+        f"({cached_speedup:.1f}x vs cold)\n"
+        f"  spec_key          {data['key_overhead_s'] * 1e6:9.1f} us/point\n"
+        f"  cache round-trip  {data['cache_roundtrip_s'] * 1e6:9.1f} us/point"
+    )
+
+    # Warm pass simulated nothing.
+    assert data["warm_hits"] == points
+    assert data["warm_executed"] == 0
+    # A fully-cached pass is at least 10x faster than the cold pass.
+    assert cached_speedup >= 10, f"cached speedup only {cached_speedup:.1f}x"
+    # Parallel speedup needs the cores to exist; on >= 4-CPU hosts the
+    # pool must at least halve the wall time.
+    if data["cpus"] >= 4:
+        assert parallel_speedup >= 2, (
+            f"jobs={data['jobs']} speedup only {parallel_speedup:.1f}x "
+            f"on {data['cpus']} CPUs"
+        )
+    # Engine overhead is noise next to a simulation point.
+    overhead = data["key_overhead_s"] + data["cache_roundtrip_s"]
+    assert overhead < 0.05 * per_point_s
+    # Every execution path returns byte-identical results.
+    assert data["pickles"]["parallel"] == data["pickles"]["serial"]
+    assert data["pickles"]["cold"] == data["pickles"]["serial"]
+    assert data["pickles"]["warm"] == data["pickles"]["serial"]

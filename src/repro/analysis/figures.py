@@ -1,13 +1,23 @@
-"""Generators for the paper's measured figures (7 and 8)."""
+"""Generators for the paper's measured figures (7 and 8).
+
+All sweep surfaces run through the experiment engine
+(:mod:`repro.exp`): points fan out across ``jobs`` worker processes and
+hit the content-addressed cache when one is configured (``cache_dir``
+argument, or the ``REPRO_SWEEP_JOBS`` / ``REPRO_CACHE_DIR`` environment
+knobs for callers that cannot pass arguments, like the benchmark
+drivers).  Serial, uncached runs produce numerically identical results
+to the pre-engine code: the engine executes the exact same
+``ThroughputSimulator(config, payload).run(...)`` per point.
+"""
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.exp import RunSpec, WorkloadSpec, run_spec, run_specs
 from repro.firmware.ordering import OrderingMode
 from repro.net.ethernet import EthernetTiming
 from repro.nic.config import NicConfig, RMW_166MHZ, SOFTWARE_200MHZ
-from repro.nic.throughput import ThroughputSimulator
 from repro.units import mhz, to_gbps
 
 _DEFAULT_WARMUP_S = 0.4e-3
@@ -28,24 +38,37 @@ def figure7_scaling(
     ordering: OrderingMode = OrderingMode.SOFTWARE,
     warmup_s: float = _DEFAULT_WARMUP_S,
     measure_s: float = _DEFAULT_MEASURE_S,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> Dict[int, List[Tuple[float, float]]]:
     """UDP throughput (Gb/s) vs core frequency, one curve per core count.
 
     Maximum-sized UDP datagrams (1472 B), duplex saturation streams —
     exactly Figure 7's setup.  Returns {cores: [(MHz, Gb/s), ...]}.
+    The whole grid fans out through the experiment engine.
     """
-    curves: Dict[int, List[Tuple[float, float]]] = {}
-    for cores in core_counts:
-        series: List[Tuple[float, float]] = []
-        for frequency in frequencies_mhz:
-            config = NicConfig(
+    points = [(cores, frequency)
+              for cores in core_counts for frequency in frequencies_mhz]
+    specs = [
+        RunSpec(
+            config=NicConfig(
                 cores=cores,
                 core_frequency_hz=mhz(frequency),
                 ordering_mode=ordering,
-            )
-            result = ThroughputSimulator(config, 1472).run(warmup_s, measure_s)
-            series.append((frequency, result.udp_throughput_gbps))
-        curves[cores] = series
+            ),
+            workload=WorkloadSpec(udp_payload_bytes=1472),
+            warmup_s=warmup_s,
+            measure_s=measure_s,
+            label=f"fig7/{cores}c@{frequency:g}MHz",
+        )
+        for cores, frequency in points
+    ]
+    results = run_specs(specs, jobs=jobs, cache_dir=cache_dir, label="figure7")
+    curves: Dict[int, List[Tuple[float, float]]] = {}
+    for (cores, frequency), result in zip(points, results):
+        curves.setdefault(cores, []).append(
+            (frequency, result.udp_throughput_gbps)
+        )
     return curves
 
 
@@ -58,16 +81,25 @@ def single_core_line_rate_frequency(
     ordering: OrderingMode = OrderingMode.SOFTWARE,
     frequencies_mhz: Sequence[float] = (600, 700, 800, 900, 1000, 1100, 1200),
     target_fraction: float = 0.99,
+    cache_dir: Optional[str] = None,
 ) -> Optional[float]:
     """Find the frequency one core needs for line rate (Section 6.1's
-    "a single core would have to operate at 800 MHz")."""
+    "a single core would have to operate at 800 MHz").
+
+    The search stays sequential (it early-exits at the crossover, so
+    later points are never simulated), but each point goes through the
+    engine so overlapping drivers share cached results."""
     for frequency in frequencies_mhz:
-        config = NicConfig(
-            cores=1, core_frequency_hz=mhz(frequency), ordering_mode=ordering
+        spec = RunSpec(
+            config=NicConfig(
+                cores=1, core_frequency_hz=mhz(frequency), ordering_mode=ordering
+            ),
+            workload=WorkloadSpec(udp_payload_bytes=1472),
+            warmup_s=_DEFAULT_WARMUP_S,
+            measure_s=_DEFAULT_MEASURE_S,
+            label=f"fig7-single/{frequency:g}MHz",
         )
-        result = ThroughputSimulator(config, 1472).run(
-            _DEFAULT_WARMUP_S, _DEFAULT_MEASURE_S
-        )
+        result = run_spec(spec, cache_dir=cache_dir)
         if result.line_rate_fraction() >= target_fraction:
             return frequency
     return None
@@ -77,6 +109,8 @@ def figure8_frame_sizes(
     udp_sizes: Sequence[int] = FIGURE8_UDP_SIZES,
     warmup_s: float = _DEFAULT_WARMUP_S,
     measure_s: float = _DEFAULT_MEASURE_S,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> Dict[str, List[Tuple[int, float]]]:
     """Full-duplex throughput vs UDP datagram size for both line-rate
     configurations, plus the Ethernet duplex limit curve."""
@@ -86,16 +120,29 @@ def figure8_frame_sizes(
         "software_200mhz": [],
         "rmw_166mhz": [],
     }
+    named_configs = (
+        ("software_200mhz", SOFTWARE_200MHZ),
+        ("rmw_166mhz", RMW_166MHZ),
+    )
+    points = [(payload, key, config)
+              for payload in udp_sizes for key, config in named_configs]
+    specs = [
+        RunSpec(
+            config=config,
+            workload=WorkloadSpec(udp_payload_bytes=payload),
+            warmup_s=warmup_s,
+            measure_s=measure_s,
+            label=f"fig8/{key}/{payload}B",
+        )
+        for payload, key, config in points
+    ]
+    results = run_specs(specs, jobs=jobs, cache_dir=cache_dir, label="figure8")
     for payload in udp_sizes:
         curves["ethernet_limit"].append(
             (payload, to_gbps(timing.duplex_payload_limit_bps(payload)))
         )
-        for key, config in (
-            ("software_200mhz", SOFTWARE_200MHZ),
-            ("rmw_166mhz", RMW_166MHZ),
-        ):
-            result = ThroughputSimulator(config, payload).run(warmup_s, measure_s)
-            curves[key].append((payload, result.udp_throughput_gbps))
+    for (payload, key, _config), result in zip(points, results):
+        curves[key].append((payload, result.udp_throughput_gbps))
     return curves
 
 
@@ -103,14 +150,27 @@ def saturation_frame_rates(
     udp_payload_bytes: int = 100,
     warmup_s: float = _DEFAULT_WARMUP_S,
     measure_s: float = _DEFAULT_MEASURE_S,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> Dict[str, float]:
     """Peak total frame rates in the processing-bound regime (the
     ~2.2 M frames/s saturation Figure 8's discussion reports)."""
-    rates: Dict[str, float] = {}
-    for key, config in (
+    named_configs = (
         ("software_200mhz", SOFTWARE_200MHZ),
         ("rmw_166mhz", RMW_166MHZ),
-    ):
-        result = ThroughputSimulator(config, udp_payload_bytes).run(warmup_s, measure_s)
-        rates[key] = result.total_fps
-    return rates
+    )
+    specs = [
+        RunSpec(
+            config=config,
+            workload=WorkloadSpec(udp_payload_bytes=udp_payload_bytes),
+            warmup_s=warmup_s,
+            measure_s=measure_s,
+            label=f"saturation/{key}",
+        )
+        for key, config in named_configs
+    ]
+    results = run_specs(specs, jobs=jobs, cache_dir=cache_dir, label="saturation")
+    return {
+        key: result.total_fps
+        for (key, _config), result in zip(named_configs, results)
+    }

@@ -17,13 +17,13 @@ artifact; all three should survive ±20-30% parameter noise.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.cpu.costmodel import OpProfile
+from repro.exp import RunSpec, WorkloadSpec, run_spec, run_specs
 from repro.firmware.ordering import OrderingMode
 from repro.firmware.profiles import FirmwareProfiles
 from repro.nic.config import NicConfig
-from repro.nic.throughput import ThroughputSimulator
 from repro.units import mhz
 
 
@@ -84,20 +84,38 @@ class SensitivityPoint:
 
 def _evaluate(label: str, firmware: FirmwareProfiles,
               dma_latency_s: float = 1.2e-6,
-              warmup_s: float = 0.3e-3, measure_s: float = 0.6e-3) -> SensitivityPoint:
-    def run(mode: OrderingMode, frequency_mhz: float):
-        config = NicConfig(
-            cores=6,
-            core_frequency_hz=mhz(frequency_mhz),
-            ordering_mode=mode,
-            firmware=firmware,
-            dma_latency_s=dma_latency_s,
+              warmup_s: float = 0.3e-3, measure_s: float = 0.6e-3,
+              jobs: Optional[int] = None,
+              cache_dir: Optional[str] = None) -> SensitivityPoint:
+    def spec(mode: OrderingMode, frequency_mhz: float) -> RunSpec:
+        return RunSpec(
+            config=NicConfig(
+                cores=6,
+                core_frequency_hz=mhz(frequency_mhz),
+                ordering_mode=mode,
+                firmware=firmware,
+                dma_latency_s=dma_latency_s,
+            ),
+            workload=WorkloadSpec(udp_payload_bytes=1472),
+            warmup_s=warmup_s,
+            measure_s=measure_s,
+            label=f"sens/{label}/{mode.value}@{frequency_mhz:g}",
         )
-        return ThroughputSimulator(config, 1472).run(warmup_s, measure_s)
 
-    rmw_166 = run(OrderingMode.RMW, 166)
-    software_166 = run(OrderingMode.SOFTWARE, 166)
-    software_200 = run(OrderingMode.SOFTWARE, 200)
+    def run(mode: OrderingMode, frequency_mhz: float):
+        return run_spec(spec(mode, frequency_mhz), cache_dir=cache_dir)
+
+    # The three headline points are independent — fan them out.
+    rmw_166, software_166, software_200 = run_specs(
+        [
+            spec(OrderingMode.RMW, 166),
+            spec(OrderingMode.SOFTWARE, 166),
+            spec(OrderingMode.SOFTWARE, 200),
+        ],
+        jobs=jobs,
+        cache_dir=cache_dir,
+        label=f"sensitivity/{label}",
+    )
 
     def per_frame(result, fn, frames):
         return result.function_stats[fn].instructions / max(1, frames)
@@ -112,7 +130,9 @@ def _evaluate(label: str, firmware: FirmwareProfiles,
     )
 
     # Find the lowest frequency (coarse grid) where the RMW firmware
-    # still reaches line rate.
+    # still reaches line rate.  Sequential on purpose: the search
+    # early-exits, so eagerly fanning out would simulate points the
+    # serial code never ran.
     min_mhz = 166.0
     for frequency in (150, 133):
         if run(OrderingMode.RMW, frequency).line_rate_fraction() > 0.97:
@@ -133,12 +153,22 @@ def _evaluate(label: str, firmware: FirmwareProfiles,
 def sensitivity_analysis(
     overhead_factors: Tuple[float, ...] = (0.7, 1.0, 1.3),
     dma_latencies_s: Tuple[float, ...] = (0.6e-6, 1.2e-6, 2.4e-6),
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> List[SensitivityPoint]:
-    """Perturb the calibrated constants and re-check the conclusions."""
+    """Perturb the calibrated constants and re-check the conclusions.
+
+    Each perturbation's three headline simulations run through the
+    experiment engine (``jobs`` workers, optional result cache); see
+    ``docs/experiments.md``.
+    """
     points: List[SensitivityPoint] = []
     for factor in overhead_factors:
         points.append(
-            _evaluate(f"overhead x{factor:.1f}", _scaled_firmware(factor))
+            _evaluate(
+                f"overhead x{factor:.1f}", _scaled_firmware(factor),
+                jobs=jobs, cache_dir=cache_dir,
+            )
         )
     for latency in dma_latencies_s:
         if latency == 1.2e-6:
@@ -148,6 +178,7 @@ def sensitivity_analysis(
                 f"dma {latency * 1e6:.1f}us",
                 FirmwareProfiles(),
                 dma_latency_s=latency,
+                jobs=jobs, cache_dir=cache_dir,
             )
         )
     return points

@@ -57,12 +57,38 @@ def _add_run_parser(subparsers) -> None:
 
 
 def _add_sweep_parser(subparsers) -> None:
-    parser = subparsers.add_parser("sweep", help="cores x frequency sweep")
+    parser = subparsers.add_parser(
+        "sweep",
+        help="cores x frequency sweep (parallel, cached; docs/experiments.md)",
+    )
     parser.add_argument("--cores", type=int, nargs="+", default=[1, 2, 4, 6, 8])
     parser.add_argument("--mhz", type=float, nargs="+",
                         default=[100, 133, 166, 200])
     parser.add_argument("--ordering", choices=["rmw", "software"], default="rmw")
     parser.add_argument("--payload", type=int, default=1472)
+    parser.add_argument("--millis", type=float, default=0.8,
+                        help="measurement window per point in simulated "
+                             "milliseconds (default: 0.8)")
+    # -- experiment engine -----------------------------------------------
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes (default: $REPRO_SWEEP_JOBS "
+                             "or 1 = serial)")
+    parser.add_argument("--cache-dir", type=str, default=None, metavar="DIR",
+                        help="content-addressed result cache directory "
+                             "(default: $REPRO_CACHE_DIR; unset = no cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable cache reads and writes even if a "
+                             "cache directory is configured")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume an interrupted sweep from the cache "
+                             "(requires a cache directory; cached points "
+                             "are skipped, missing points are executed)")
+    parser.add_argument("--json", type=str, default="", metavar="PATH",
+                        dest="json_out",
+                        help="write per-point results as JSON ('-' for stdout)")
+    parser.add_argument("--csv", type=str, default="", metavar="PATH",
+                        dest="csv_out",
+                        help="write per-point results as CSV ('-' for stdout)")
 
 
 def _add_report_parser(subparsers) -> None:
@@ -179,27 +205,87 @@ def _cmd_run(args) -> int:
 
 def _cmd_sweep(args) -> int:
     from repro.analysis import format_table
-    from repro.nic import NicConfig, ThroughputSimulator
+    from repro.exp import Sweep, SweepRunner, default_cache_dir
 
-    rows = []
-    for cores in args.cores:
-        row = [cores]
-        for frequency in args.mhz:
-            config = NicConfig(
-                cores=cores,
-                core_frequency_hz=mhz(frequency),
-                ordering_mode=_ordering(args.ordering),
-            )
-            result = ThroughputSimulator(config, args.payload).run(
-                warmup_s=0.4e-3, measure_s=0.8e-3
-            )
-            row.append(result.udp_throughput_gbps)
-        rows.append(row)
-    print(format_table(
-        ["cores \\ MHz"] + [str(f) for f in args.mhz],
-        rows,
-        title=f"UDP Gb/s, {args.ordering} firmware, {args.payload} B payloads",
-    ))
+    cache_dir = args.cache_dir if args.cache_dir is not None else default_cache_dir()
+    if args.no_cache and args.resume:
+        print("--resume needs the cache; drop --no-cache", file=sys.stderr)
+        return 2
+    if args.resume and not cache_dir:
+        print("--resume requires --cache-dir (or $REPRO_CACHE_DIR)",
+              file=sys.stderr)
+        return 2
+
+    sweep = Sweep.grid(
+        "sweep",
+        core_counts=args.cores,
+        frequencies_mhz=args.mhz,
+        udp_payload_bytes=args.payload,
+        ordering=_ordering(args.ordering),
+        warmup_s=0.4e-3,
+        measure_s=args.millis * 1e-3,
+    )
+    runner = SweepRunner(
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        use_cache=not args.no_cache,
+        progress=sys.stderr,
+        label="sweep",
+    )
+    outcome = sweep.run(runner)
+
+    # Per-point records for downstream tooling.
+    records = Sweep.rows(outcome)
+    emitted_to_stdout = False
+    if args.json_out:
+        import json
+
+        text = json.dumps({"name": sweep.name, "points": records}, indent=2)
+        if args.json_out == "-":
+            print(text)
+            emitted_to_stdout = True
+        else:
+            with open(args.json_out, "w") as handle:
+                handle.write(text + "\n")
+            print(f"results written to {args.json_out}", file=sys.stderr)
+    if args.csv_out:
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.DictWriter(
+            buffer, fieldnames=list(records[0].keys()), lineterminator="\n"
+        )
+        writer.writeheader()
+        writer.writerows(records)
+        if args.csv_out == "-":
+            print(buffer.getvalue(), end="")
+            emitted_to_stdout = True
+        else:
+            with open(args.csv_out, "w") as handle:
+                handle.write(buffer.getvalue())
+            print(f"results written to {args.csv_out}", file=sys.stderr)
+
+    if not emitted_to_stdout:
+        by_point = {
+            (spec.config.cores, spec.config.core_frequency_hz / 1e6): result
+            for spec, result in zip(outcome.specs, outcome.results)
+        }
+        rows = [
+            [cores] + [by_point[(cores, frequency)].udp_throughput_gbps
+                       for frequency in args.mhz]
+            for cores in args.cores
+        ]
+        print(format_table(
+            ["cores \\ MHz"] + [str(f) for f in args.mhz],
+            rows,
+            title=f"UDP Gb/s, {args.ordering} firmware, {args.payload} B payloads",
+        ))
+    print(
+        f"sweep: {len(outcome)} points, {outcome.cache_hits} cache hits, "
+        f"{outcome.executed} executed in {outcome.elapsed_s:.1f}s",
+        file=sys.stderr,
+    )
     return 0
 
 

@@ -1,0 +1,62 @@
+"""Experiment engine: parallel sweeps with content-addressed caching.
+
+The paper's evaluation is a large grid of independent simulations; this
+package is the substrate that makes it N-core fast and incremental:
+
+* :class:`RunSpec` / :class:`WorkloadSpec` — a serializable description
+  of one simulation point, content-hashed by :func:`spec_key`;
+* :class:`Sweep` — a named grid of points with constructors for the
+  evaluation's standard shapes (cores x frequency, frame sizes,
+  config ablations);
+* :class:`SweepRunner` / :func:`run_specs` — fans points across a
+  process pool with deterministic per-point seeding, deduplication,
+  progress/ETA via :mod:`repro.obs.progress`, and a
+* :class:`ResultCache` — content-addressed on-disk store so re-runs
+  and overlapping drivers are cache hits and interrupted sweeps resume
+  where they stopped.
+
+Environment knobs for library callers that never see CLI flags:
+``REPRO_SWEEP_JOBS`` (worker count) and ``REPRO_CACHE_DIR`` (enables
+the cache).  See ``docs/experiments.md``.
+"""
+
+from repro.exp.cache import ResultCache, default_cache_dir
+from repro.exp.runner import (
+    JOBS_ENV,
+    SweepOutcome,
+    SweepRunner,
+    default_jobs,
+    execute_spec,
+    run_spec,
+    run_specs,
+)
+from repro.exp.spec import (
+    CACHE_SCHEMA_VERSION,
+    RunSpec,
+    WorkloadSpec,
+    code_constants,
+    describe,
+    spec_key,
+    spec_seed,
+)
+from repro.exp.sweep import Sweep
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "JOBS_ENV",
+    "ResultCache",
+    "RunSpec",
+    "Sweep",
+    "SweepOutcome",
+    "SweepRunner",
+    "WorkloadSpec",
+    "code_constants",
+    "default_cache_dir",
+    "default_jobs",
+    "describe",
+    "execute_spec",
+    "run_spec",
+    "run_specs",
+    "spec_key",
+    "spec_seed",
+]

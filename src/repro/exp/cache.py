@@ -1,0 +1,128 @@
+"""Content-addressed on-disk cache for simulation results.
+
+Layout: ``<root>/<key[:2]>/<key>.pkl`` where ``key`` is the hex
+SHA-256 from :func:`repro.exp.spec.spec_key`.  Each file is a pickle of
+``{"version", "key", "result"}`` written atomically (temp file +
+``os.replace``), so an interrupted sweep never leaves a torn entry —
+the next run simply re-executes the missing points, which is what makes
+resumption free.
+
+Invalidation is purely by key: config fields, workload parameters,
+measurement windows and the model's calibration constants all feed the
+hash, so there is no staleness protocol to get wrong.  A cache
+directory can always be deleted wholesale; it only ever holds derived
+data.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from typing import Optional
+
+_ENTRY_VERSION = 1
+
+
+class ResultCache:
+    """Disk-backed content-addressed store of ``ThroughputResult``s."""
+
+    def __init__(self, root: str) -> None:
+        self.root = str(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- addressing ------------------------------------------------------
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.pkl")
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self.path_for(key))
+
+    # -- read ------------------------------------------------------------
+    def get(self, key: str):
+        """Cached result for ``key``, or ``None`` on a miss.
+
+        Corrupt or unreadable entries (torn writes predating the atomic
+        protocol, version skew, disk errors) count as misses and are
+        removed so the slot heals on the next store.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                entry = pickle.load(handle)
+            if (
+                isinstance(entry, dict)
+                and entry.get("version") == _ENTRY_VERSION
+                and entry.get("key") == key
+            ):
+                self.hits += 1
+                return entry["result"]
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            pass
+        # Readable-but-wrong entry: evict it.
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+        self.misses += 1
+        return None
+
+    # -- write -----------------------------------------------------------
+    def put(self, key: str, result) -> str:
+        """Store ``result`` under ``key`` atomically; returns the path."""
+        path = self.path_for(key)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        payload = pickle.dumps(
+            {"version": _ENTRY_VERSION, "key": key, "result": result},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.remove(tmp_path)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+        return path
+
+    # -- maintenance -----------------------------------------------------
+    def __len__(self) -> int:
+        count = 0
+        if not os.path.isdir(self.root):
+            return 0
+        for shard in os.listdir(self.root):
+            shard_dir = os.path.join(self.root, shard)
+            if os.path.isdir(shard_dir):
+                count += sum(
+                    1 for name in os.listdir(shard_dir) if name.endswith(".pkl")
+                )
+        return count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResultCache({self.root!r}, {len(self)} entries, "
+            f"{self.hits} hits / {self.misses} misses this process)"
+        )
+
+
+def default_cache_dir() -> Optional[str]:
+    """Cache directory from ``REPRO_CACHE_DIR``, or ``None`` (disabled).
+
+    Caching is opt-in: tests and one-off library calls should not write
+    to the filesystem unless asked.  The CLI and CI set this (or pass
+    ``--cache-dir``) to make overlapping drivers share work.
+    """
+    value = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    return value or None

@@ -1,0 +1,197 @@
+"""Experiment points and their content-addressed identity.
+
+A :class:`RunSpec` is everything needed to reproduce one
+:class:`~repro.nic.throughput.ThroughputSimulator` run: the full
+:class:`~repro.nic.config.NicConfig`, a :class:`WorkloadSpec`
+(frame sizes, offered load, burstiness) and the measurement windows.
+Specs are plain frozen dataclasses, so they pickle across process
+boundaries and hash to a stable content key.
+
+The cache key (:func:`spec_key`) is a SHA-256 over a canonical JSON
+rendering of the spec *plus* the code-relevant calibration constants
+(Table 1 profiles, batching constants, the send-task split, lock hold
+times and a schema version).  Changing any model constant therefore
+invalidates every cached result automatically — the cache can never
+serve a number the current code would not produce.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.net.workload import ConstantSize, FrameSizeModel, ImixSize
+from repro.nic.config import NicConfig
+
+#: Bump when the meaning of cached results changes in a way the
+#: automatic constant-hashing below cannot see (e.g. a simulator
+#: algorithm change with identical calibration constants).
+CACHE_SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Canonical description of arbitrary config values
+# ----------------------------------------------------------------------
+def describe(value: Any) -> Any:
+    """Recursively convert a value into canonical JSON-able primitives.
+
+    * dataclasses become ``{"__type__": name, fields...}`` (sorted keys
+      come from ``json.dumps(..., sort_keys=True)`` at hash time);
+    * enums become their value;
+    * floats are rendered via ``repr`` so the hash is exact, not
+      subject to formatting;
+    * mappings / sequences recurse.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        out: Dict[str, Any] = {"__type__": type(value).__name__}
+        for f in dataclasses.fields(value):
+            out[f.name] = describe(getattr(value, f.name))
+        return out
+    if isinstance(value, enum.Enum):
+        return {"__enum__": type(value).__name__, "value": describe(value.value)}
+    if isinstance(value, float):
+        return {"__float__": repr(value)}
+    if isinstance(value, dict):
+        return {str(k): describe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [describe(v) for v in value]
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    raise TypeError(f"cannot canonically describe {type(value).__name__}: {value!r}")
+
+
+def code_constants() -> Dict[str, Any]:
+    """The calibration constants a cached result implicitly depends on.
+
+    Anything that changes a :class:`ThroughputResult` without appearing
+    in the :class:`NicConfig` belongs here; including it in the cache
+    key turns "edit a constant" into a clean cache miss.
+    """
+    from repro.firmware import profiles as fw
+    from repro.host.descriptors import DESCRIPTOR_BYTES
+    from repro.nic import throughput as tp
+
+    return {
+        "schema": CACHE_SCHEMA_VERSION,
+        "ideal_profiles": describe(
+            {name: p.per_frame for name, p in fw.IDEAL_PROFILES.items()}
+        ),
+        "send_bds_per_fetch": fw.SEND_BDS_PER_FETCH,
+        "recv_bds_per_fetch": fw.RECV_BDS_PER_FETCH,
+        "bds_per_sent_frame": fw.BDS_PER_SENT_FRAME,
+        "descriptor_bytes": DESCRIPTOR_BYTES,
+        "start_fraction": describe(tp._START_FRACTION),
+        "hold_txq": describe(tp._HOLD_TXQ),
+        "hold_rxpool": describe(tp._HOLD_RXPOOL),
+        "hold_notify": describe(tp._HOLD_NOTIFY),
+        "contention_interval_ps": tp.ThroughputSimulator._contention_interval_ps,
+    }
+
+
+# ----------------------------------------------------------------------
+# Workload description
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Serializable description of one experiment's traffic.
+
+    ``kind`` selects the frame-size model: ``"constant"`` (the paper's
+    uniform datagrams) or ``"imix"`` (the 7:4:1 Internet mix extension,
+    with ``imix_pattern`` as (udp_payload, count) pairs).
+    """
+
+    kind: str = "constant"
+    udp_payload_bytes: int = 1472
+    imix_pattern: Tuple[Tuple[int, int], ...] = ImixSize.DEFAULT_PATTERN
+    offered_fraction: float = 1.0
+    rx_burst_frames: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("constant", "imix"):
+            raise ValueError(f"workload kind must be constant/imix, got {self.kind!r}")
+
+    def build_size_model(self) -> Optional[FrameSizeModel]:
+        """Live size model, or ``None`` for the simulator's built-in
+        :class:`ConstantSize` path (kept ``None`` so constant-size runs
+        construct exactly what the pre-engine drivers constructed)."""
+        if self.kind == "imix":
+            return ImixSize(self.imix_pattern)
+        return None
+
+    @staticmethod
+    def imix(pattern: Tuple[Tuple[int, int], ...] = ImixSize.DEFAULT_PATTERN,
+             offered_fraction: float = 1.0,
+             rx_burst_frames: int = 1) -> "WorkloadSpec":
+        return WorkloadSpec(
+            kind="imix",
+            imix_pattern=tuple(tuple(entry) for entry in pattern),
+            offered_fraction=offered_fraction,
+            rx_burst_frames=rx_burst_frames,
+        )
+
+
+# ----------------------------------------------------------------------
+# One experiment point
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-specified simulation point.
+
+    ``label`` is a human-facing tag (used in progress lines and result
+    tables); it is deliberately *excluded* from the cache key so the
+    same physical experiment under two drivers' names is one cache
+    entry.
+    """
+
+    config: NicConfig
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    warmup_s: float = 0.4e-3
+    measure_s: float = 0.8e-3
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.warmup_s < 0 or self.measure_s <= 0:
+            raise ValueError("need non-negative warmup and positive measure window")
+
+    def key_inputs(self) -> Dict[str, Any]:
+        """Everything that feeds the content hash (label excluded)."""
+        return {
+            "config": describe(self.config),
+            "workload": describe(self.workload),
+            "warmup_s": describe(self.warmup_s),
+            "measure_s": describe(self.measure_s),
+            "constants": code_constants(),
+        }
+
+    @property
+    def key(self) -> str:
+        return spec_key(self)
+
+    def describe_label(self) -> str:
+        return self.label or (
+            f"{self.config.label}/{self.workload.kind}"
+            f"{self.workload.udp_payload_bytes}"
+        )
+
+
+def spec_key(spec: RunSpec) -> str:
+    """Stable content hash of a :class:`RunSpec` (hex SHA-256)."""
+    canonical = json.dumps(
+        spec.key_inputs(), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def spec_seed(spec: RunSpec) -> int:
+    """Deterministic per-point seed, derived from the content key.
+
+    The simulator is currently fully deterministic, but workers seed
+    ``random`` with this before each run so any future stochastic
+    component (randomized workloads, jittered arrivals) stays
+    reproducible point-by-point regardless of scheduling order.
+    """
+    return int(spec_key(spec)[:16], 16)

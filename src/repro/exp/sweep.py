@@ -1,0 +1,164 @@
+"""The :class:`Sweep` abstraction — a named grid of experiment points.
+
+A sweep is just an ordered list of :class:`~repro.exp.spec.RunSpec`
+points with a name, plus constructors for the grids the paper's
+evaluation actually uses (cores x frequency, frame sizes, arbitrary
+config perturbations).  Running one through the
+:class:`~repro.exp.runner.SweepRunner` yields results in point order;
+:meth:`Sweep.rows` flattens them into JSON/CSV-friendly records for the
+CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.exp.runner import SweepOutcome, SweepRunner
+from repro.exp.spec import RunSpec, WorkloadSpec
+from repro.firmware.ordering import OrderingMode
+from repro.nic.config import NicConfig
+from repro.units import mhz
+
+
+class Sweep:
+    """An ordered, named collection of simulation points."""
+
+    def __init__(self, name: str, specs: Sequence[RunSpec]) -> None:
+        self.name = name
+        self.specs: List[RunSpec] = list(specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    def __add__(self, other: "Sweep") -> "Sweep":
+        return Sweep(f"{self.name}+{other.name}", self.specs + other.specs)
+
+    # ------------------------------------------------------------------
+    # Constructors for the evaluation's standard grids
+    # ------------------------------------------------------------------
+    @classmethod
+    def grid(
+        cls,
+        name: str,
+        core_counts: Sequence[int],
+        frequencies_mhz: Sequence[float],
+        udp_payload_bytes: int = 1472,
+        ordering: OrderingMode = OrderingMode.SOFTWARE,
+        base_config: Optional[NicConfig] = None,
+        warmup_s: float = 0.4e-3,
+        measure_s: float = 0.8e-3,
+    ) -> "Sweep":
+        """Figure-7-style cores x frequency grid."""
+        base = base_config if base_config is not None else NicConfig()
+        specs = []
+        for cores in core_counts:
+            for frequency in frequencies_mhz:
+                config = replace(
+                    base,
+                    cores=cores,
+                    core_frequency_hz=mhz(frequency),
+                    ordering_mode=ordering,
+                )
+                specs.append(
+                    RunSpec(
+                        config=config,
+                        workload=WorkloadSpec(udp_payload_bytes=udp_payload_bytes),
+                        warmup_s=warmup_s,
+                        measure_s=measure_s,
+                        label=f"{cores}c@{frequency:g}MHz",
+                    )
+                )
+        return cls(name, specs)
+
+    @classmethod
+    def frame_sizes(
+        cls,
+        name: str,
+        udp_sizes: Sequence[int],
+        configs: Sequence[NicConfig],
+        warmup_s: float = 0.4e-3,
+        measure_s: float = 0.8e-3,
+    ) -> "Sweep":
+        """Figure-8-style frame-size sweep over one or more configs."""
+        specs = []
+        for payload in udp_sizes:
+            for config in configs:
+                specs.append(
+                    RunSpec(
+                        config=config,
+                        workload=WorkloadSpec(udp_payload_bytes=payload),
+                        warmup_s=warmup_s,
+                        measure_s=measure_s,
+                        label=f"{config.label}/{payload}B",
+                    )
+                )
+        return cls(name, specs)
+
+    @classmethod
+    def of_configs(
+        cls,
+        name: str,
+        configs: Iterable[NicConfig],
+        udp_payload_bytes: int = 1472,
+        warmup_s: float = 0.4e-3,
+        measure_s: float = 0.8e-3,
+        labels: Optional[Sequence[str]] = None,
+    ) -> "Sweep":
+        """Ablation-style sweep: same workload, perturbed configs."""
+        configs = list(configs)
+        if labels is not None and len(labels) != len(configs):
+            raise ValueError("labels must match configs one-to-one")
+        specs = [
+            RunSpec(
+                config=config,
+                workload=WorkloadSpec(udp_payload_bytes=udp_payload_bytes),
+                warmup_s=warmup_s,
+                measure_s=measure_s,
+                label=labels[i] if labels is not None else config.label,
+            )
+            for i, config in enumerate(configs)
+        ]
+        return cls(name, specs)
+
+    # ------------------------------------------------------------------
+    def run(self, runner: Optional[SweepRunner] = None, **runner_kwargs) -> SweepOutcome:
+        """Execute every point; ``runner_kwargs`` build a runner if none
+        is given (``jobs=``, ``cache_dir=``, ...)."""
+        if runner is None:
+            runner_kwargs.setdefault("label", self.name)
+            runner = SweepRunner(**runner_kwargs)
+        return runner.run(self.specs)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def rows(outcome: SweepOutcome) -> List[Dict[str, object]]:
+        """Flatten an outcome into records for JSON/CSV export."""
+        rows: List[Dict[str, object]] = []
+        for spec, result, key, cached in zip(
+            outcome.specs, outcome.results, outcome.keys, outcome.cached_flags
+        ):
+            rows.append(
+                {
+                    "label": spec.describe_label(),
+                    "key": key,
+                    "cached": cached,
+                    "cores": spec.config.cores,
+                    "mhz": spec.config.core_frequency_hz / 1e6,
+                    "banks": spec.config.scratchpad_banks,
+                    "ordering": spec.config.ordering_mode.value,
+                    "udp_payload_bytes": spec.workload.udp_payload_bytes,
+                    "workload": spec.workload.kind,
+                    "offered_fraction": spec.workload.offered_fraction,
+                    "measure_s": spec.measure_s,
+                    "udp_throughput_gbps": result.udp_throughput_gbps,
+                    "line_rate_fraction": result.line_rate_fraction(),
+                    "total_fps": result.total_fps,
+                    "core_utilization": result.core_utilization,
+                    "rx_dropped": result.rx_dropped,
+                }
+            )
+        return rows

@@ -11,7 +11,10 @@ code:
   -style snapshots over simulated time, exported as JSON/CSV or the
   Prometheus text format (:func:`prometheus_text`);
 * :class:`SimProfiler` — host wall-time attribution of the event
-  kernel's callbacks, for profiling the simulator itself.
+  kernel's callbacks, for profiling the simulator itself;
+* :class:`ProgressReporter` — host-side progress/ETA lines for the
+  experiment engine's sweeps (:mod:`repro.exp`), counting cache hits
+  separately from executed points.
 """
 
 from repro.obs.metrics import (
@@ -21,6 +24,7 @@ from repro.obs.metrics import (
 )
 from repro.obs.perfetto import chrome_trace_dict, write_chrome_trace
 from repro.obs.profiler import SimProfiler, describe_callback
+from repro.obs.progress import ProgressReporter
 from repro.obs.tracer import (
     NULL_TRACER,
     FrameStage,
@@ -37,6 +41,7 @@ __all__ = [
     "MetricsSampler",
     "NULL_TRACER",
     "NullTracer",
+    "ProgressReporter",
     "RX_STAGE_ORDER",
     "STAGE_ORDERS",
     "SimProfiler",

@@ -27,7 +27,7 @@ import json
 import re
 from typing import IO, Callable, Dict, List, Mapping, Optional, Tuple, Union
 
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import Event, Simulator
 
 Sample = Tuple[int, Dict[str, float]]
 
@@ -50,26 +50,38 @@ class MetricsSampler:
         self.max_samples = max_samples
         self.samples: List[Sample] = []
         self._running = False
+        self._pending: Optional[Event] = None
 
     def start(self) -> "MetricsSampler":
         """Schedule the first sample one interval from now."""
         if not self._running:
             self._running = True
-            self.sim.schedule(self.interval_ps, self._tick)
+            self._pending = self.sim.schedule(self.interval_ps, self._tick)
         return self
 
     def stop(self) -> None:
-        """Take no further samples (already-queued ticks become no-ops)."""
+        """Take no further samples.
+
+        The already-queued ``_tick`` is cancelled on the kernel, not
+        left behind as a live no-op: a dead tick would inflate
+        ``pending_events`` and keep :meth:`Simulator.run` advancing
+        simulated time to the tick's timestamp after the sampler is
+        logically gone.
+        """
         self._running = False
+        if self._pending is not None:
+            self.sim.cancel(self._pending)
+            self._pending = None
 
     def _tick(self) -> None:
+        self._pending = None
         if not self._running:
             return
         self.samples.append((self.sim.now_ps, dict(self.collect())))
         if self.max_samples is not None and len(self.samples) >= self.max_samples:
             self._running = False
             return
-        self.sim.schedule(self.interval_ps, self._tick)
+        self._pending = self.sim.schedule(self.interval_ps, self._tick)
 
     def sample_now(self) -> None:
         """Take one immediate out-of-band sample (e.g. at run end)."""

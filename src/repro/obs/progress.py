@@ -1,0 +1,114 @@
+"""Progress and ETA reporting for long-running experiment sweeps.
+
+The experiment engine (:mod:`repro.exp`) fans dozens of simulation
+points across worker processes; a sweep that takes minutes needs to say
+where it is.  :class:`ProgressReporter` is a tiny, dependency-free
+reporter: it tracks completions (distinguishing cache hits from
+executed points), estimates the remaining wall time from the measured
+per-point rate of *executed* points, and writes single-line updates to
+a stream (stderr by default).
+
+It is deliberately decoupled from the simulation kernel — sweep
+progress is host wall time, not simulated time — but lives in
+``repro.obs`` with the other instruments because it answers the same
+question at a different tier: "what is the system doing right now?"
+"""
+
+from __future__ import annotations
+
+import sys
+from time import perf_counter
+from typing import IO, Optional
+
+
+class ProgressReporter:
+    """Reports ``done/total`` with an ETA as sweep points complete.
+
+    Parameters
+    ----------
+    total:
+        Number of points in the sweep.
+    label:
+        Prefix for every line (e.g. the sweep name).
+    stream:
+        Where lines go; ``None`` silences output (counters still work,
+        which is what the tests use).
+    min_interval_s:
+        Minimum wall time between printed lines, so thousand-point
+        sweeps do not flood the terminal.  The final point always
+        prints.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        label: str = "sweep",
+        stream: Optional[IO[str]] = sys.stderr,
+        min_interval_s: float = 0.5,
+    ) -> None:
+        if total < 0:
+            raise ValueError(f"total must be non-negative, got {total}")
+        self.total = total
+        self.label = label
+        self.stream = stream
+        self.min_interval_s = min_interval_s
+        self.done = 0
+        self.cache_hits = 0
+        self.executed = 0
+        self._started = perf_counter()
+        self._last_emit = 0.0
+
+    # -- updates ---------------------------------------------------------
+    def update(self, cache_hit: bool = False) -> None:
+        """Record one completed point."""
+        self.done += 1
+        if cache_hit:
+            self.cache_hits += 1
+        else:
+            self.executed += 1
+        self._emit(final=self.done >= self.total)
+
+    @property
+    def elapsed_s(self) -> float:
+        return perf_counter() - self._started
+
+    def eta_s(self) -> Optional[float]:
+        """Remaining wall-time estimate, from executed-point throughput.
+
+        Cache hits are near-free, so they are excluded from the rate;
+        with no executed points yet there is no basis for an estimate.
+        """
+        remaining = self.total - self.done
+        if remaining <= 0:
+            return 0.0
+        if self.executed == 0:
+            return None
+        per_point = self.elapsed_s / self.executed
+        return per_point * remaining
+
+    # -- rendering -------------------------------------------------------
+    def render(self) -> str:
+        parts = [f"[{self.label}] {self.done}/{self.total} points"]
+        if self.cache_hits:
+            parts.append(f"({self.cache_hits} cached)")
+        parts.append(f"elapsed {self.elapsed_s:.1f}s")
+        eta = self.eta_s()
+        if eta is not None and self.done < self.total:
+            parts.append(f"eta {eta:.1f}s")
+        return " ".join(parts)
+
+    def _emit(self, final: bool) -> None:
+        if self.stream is None:
+            return
+        now = perf_counter()
+        if not final and now - self._last_emit < self.min_interval_s:
+            return
+        self._last_emit = now
+        self.stream.write(self.render() + "\n")
+
+    def summary(self) -> str:
+        """One-line wrap-up (printed by the CLI after a sweep)."""
+        return (
+            f"[{self.label}] {self.total} points: {self.cache_hits} cache "
+            f"hits, {self.executed} executed in {self.elapsed_s:.1f}s"
+        )

@@ -87,6 +87,7 @@ class Simulator:
         self._queue: List[tuple] = []
         self._tickets = itertools.count()
         self._cancelled: set = set()
+        self._live: set = set()  # tickets physically present in the heap
         self._stopped = False
         self.events_processed = 0
         self._profiler = None  # duck-typed: .record(callback, wall_seconds)
@@ -126,6 +127,7 @@ class Simulator:
         ticket = next(self._tickets)
         when = self.now_ps + delay_ps
         heapq.heappush(self._queue, (when, priority, ticket, callback))
+        self._live.add(ticket)
         return Event(when, priority, ticket)
 
     def schedule_at(
@@ -148,8 +150,16 @@ class Simulator:
         return self.schedule(clock.cycles_to_ps(cycles), callback, priority)
 
     def cancel(self, event: Event) -> None:
-        """Cancel a pending event.  Cancelling a fired event is a no-op."""
-        self._cancelled.add(event.ticket)
+        """Cancel a pending event.  Cancelling a fired event is a no-op.
+
+        Only tickets still physically present in the heap are recorded:
+        a fired (or already-cancelled-and-popped) ticket never re-enters
+        the queue, so adding it to ``_cancelled`` would leak the entry
+        forever and silently degrade :attr:`pending_events` from O(1) to
+        O(n) for the rest of the simulation.
+        """
+        if event.ticket in self._live:
+            self._cancelled.add(event.ticket)
 
     def stop(self) -> None:
         """Stop the event loop after the current callback returns."""
@@ -189,9 +199,14 @@ class Simulator:
                 break
             when, _priority, ticket, callback = self._queue[0]
             if until_ps is not None and when > until_ps:
-                self.now_ps = until_ps
+                # Clamp instead of assigning unconditionally: a caller
+                # passing ``until_ps < now_ps`` must not move simulated
+                # time backwards (the drained-queue path below already
+                # guards the same way).
+                self.now_ps = max(self.now_ps, until_ps)
                 break
             heapq.heappop(self._queue)
+            self._live.discard(ticket)
             if ticket in self._cancelled:
                 self._cancelled.discard(ticket)
                 continue
@@ -214,6 +229,7 @@ class Simulator:
         """Global time of the next pending event, or None if idle."""
         while self._queue and self._queue[0][2] in self._cancelled:
             _, _, ticket, _ = heapq.heappop(self._queue)
+            self._live.discard(ticket)
             self._cancelled.discard(ticket)
         if not self._queue:
             return None

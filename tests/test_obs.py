@@ -215,6 +215,45 @@ class TestMetricsSampler:
         sampler.write(str(path), fmt="csv")
         assert path.read_text() == csv_text
 
+    def test_stop_cancels_queued_tick(self):
+        """Regression: stop() must cancel the in-flight tick on the kernel.
+
+        Leaving the queued ``_tick`` behind as a live no-op inflated
+        ``pending_events`` and made ``run()`` keep advancing simulated
+        time to the dead tick's timestamp after the sampler stopped.
+        """
+        sim = Simulator()
+        sampler = MetricsSampler(sim, lambda: {"v": 1.0}, 10_000)
+        sampler.start()
+        sim.run(until_ps=25_000)  # ticks at 10_000 and 20_000 fired
+        assert len(sampler.samples) == 2
+        sampler.stop()
+        # The queued tick at 30_000 is cancelled, not a live zombie.
+        assert sim.pending_events == 0
+        assert sim.peek_next_time() is None
+        sim.run()
+        assert sim.now_ps == 25_000  # time did not advance to 30_000
+        assert len(sampler.samples) == 2
+
+    def test_stop_before_start_is_noop(self):
+        sim = Simulator()
+        sampler = MetricsSampler(sim, lambda: {"v": 1.0}, 10_000)
+        sampler.stop()
+        assert sim.pending_events == 0
+
+    def test_restart_after_stop(self):
+        sim = Simulator()
+        sampler = MetricsSampler(sim, lambda: {"v": 1.0}, 10_000)
+        sampler.start()
+        sim.run(until_ps=15_000)
+        sampler.stop()
+        sampler.start()
+        sim.run(until_ps=45_000)
+        # One sample before stop (t=10k), then 25k+10k=... ticks resume
+        # one interval after the restart instant (15k): 25k, 35k, 45k.
+        times = [ts for ts, _ in sampler.samples]
+        assert times == [10_000, 25_000, 35_000, 45_000]
+
     def test_throughput_sim_sampling_has_histograms(self):
         sim = quick_sim()
         sampler = sim.sample_metrics_every(50_000_000)

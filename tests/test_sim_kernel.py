@@ -178,6 +178,92 @@ class TestScheduling:
         assert sim.pending_events == 1
 
 
+class TestCancelAfterFire:
+    """Regression: cancelling fired events must not pollute the kernel.
+
+    A fired ticket never re-enters the heap; recording it in
+    ``_cancelled`` leaked the entry forever and silently degraded
+    ``pending_events`` from O(1) to O(n) for the rest of the run.
+    """
+
+    def test_cancel_after_fire_leaves_no_residue(self):
+        sim = Simulator()
+        event = sim.schedule(10, lambda: None)
+        sim.run()
+        sim.cancel(event)
+        assert sim._cancelled == set()
+
+    def test_cancel_after_fire_does_not_accumulate(self):
+        sim = Simulator()
+        events = [sim.schedule(i + 1, lambda: None) for i in range(100)]
+        sim.run()
+        for event in events:
+            sim.cancel(event)
+        assert sim._cancelled == set()
+        # pending_events stays on the O(1) fast path (no ghosts).
+        sim.schedule(5, lambda: None)
+        assert sim.pending_events == 1
+
+    def test_cancel_twice_then_pop_leaves_no_residue(self):
+        sim = Simulator()
+        event = sim.schedule(10, lambda: None)
+        sim.cancel(event)
+        sim.cancel(event)  # idempotent while still queued
+        sim.run()
+        assert sim._cancelled == set()
+        # Cancelling again after the ghost was popped is a no-op too.
+        sim.cancel(event)
+        assert sim._cancelled == set()
+
+    def test_cancel_after_peek_pops_ghost(self):
+        sim = Simulator()
+        ghost = sim.schedule(10, lambda: None)
+        sim.cancel(ghost)
+        assert sim.peek_next_time() is None
+        sim.cancel(ghost)  # ghost already physically removed
+        assert sim._cancelled == set()
+
+    def test_live_set_tracks_heap(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        keep = sim.schedule(20, lambda: None)
+        assert len(sim._live) == 2
+        sim.run(until_ps=15)
+        assert sim._live == {keep.ticket}
+        sim.run()
+        assert sim._live == set()
+
+
+class TestRunUntilClamping:
+    """Regression: ``run(until_ps < now_ps)`` must not rewind time."""
+
+    def test_until_in_past_does_not_move_time_backwards(self):
+        sim = Simulator()
+        sim.schedule(100, lambda: None)
+        sim.run()
+        assert sim.now_ps == 100
+        sim.schedule(50, lambda: None)  # pending at 150
+        processed = sim.run(until_ps=40)
+        assert processed == 0
+        assert sim.now_ps == 100  # clamped, not rewound to 40
+
+    def test_until_in_past_with_empty_queue(self):
+        sim = Simulator()
+        sim.schedule(100, lambda: None)
+        sim.run()
+        sim.run(until_ps=10)  # drained-queue path already guarded
+        assert sim.now_ps == 100
+
+    def test_until_between_now_and_head_still_advances(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.schedule(100, lambda: None)
+        sim.run(until_ps=50)
+        assert sim.now_ps == 50
+        sim.run(until_ps=60)
+        assert sim.now_ps == 60
+
+
 class TestProfilerHook:
     def test_profiler_records_every_callback(self):
         class Recorder:
