@@ -71,6 +71,11 @@ class DmaAssist:
         self.transfers = 0
         self.bytes_moved = 0
         self.scratchpad_accesses = 0
+        # Fault layer (repro.faults): when an injector is attached, each
+        # burst consults it for SDRAM transfer errors; None keeps the
+        # fault-free fast path untouched.
+        self.injector = None
+        self.exhausted_transfers = 0
 
     # ------------------------------------------------------------------
     def frame_transfer(
@@ -121,10 +126,62 @@ class DmaAssist:
             return
         self._draining = True
         address, nbytes, done = self._pending.popleft()
+        if self.injector is not None:
+            failures, exhausted = self.injector.sdram_plan(self.name, self.sim.now_ps)
+            if failures:
+                self._burst_attempt(address, nbytes, done, failures, exhausted, 0)
+                return
+        self._issue_burst(address, nbytes, done)
+
+    def _issue_burst(
+        self, address: int, nbytes: int, done: Callable[[int], None]
+    ) -> None:
         cycle = self.sdram_clock.current_cycle(self.sim.now_ps)
         request = self.sdram.transfer(address, nbytes, cycle)
         finish_ps = self.sdram_clock.cycles_to_ps(request.finish_cycle)
         self.sim.schedule_at(finish_ps, lambda: self._burst_done(done))
+
+    def _burst_attempt(
+        self,
+        address: int,
+        nbytes: int,
+        done: Callable[[int], None],
+        failures: int,
+        exhausted: bool,
+        attempt: int,
+    ) -> None:
+        """Run one *failing* burst attempt, then back off and retry.
+
+        The bus time is consumed either way (wasted bandwidth, counted
+        by the SDRAM model), the engine stays busy (``_draining`` holds
+        through the whole retry chain — a stalled DMA serializes behind
+        itself), and after a bounded number of retries the transfer
+        completes anyway, flagged exhausted, so no completion callback
+        is ever lost."""
+        cycle = self.sdram_clock.current_cycle(self.sim.now_ps)
+        request = self.sdram.transfer(address, nbytes, cycle, useful=False)
+        finish_ps = self.sdram_clock.cycles_to_ps(request.finish_cycle)
+        if attempt + 1 >= failures:
+            if exhausted:
+                # Retry budget spent: deliver the (bad) completion now
+                # rather than deadlock the frame pipeline on it.
+                self.exhausted_transfers += 1
+                self.sim.schedule_at(finish_ps, lambda: self._burst_done(done))
+                return
+            # The next attempt succeeds: real burst after the backoff.
+            backoff = self.injector.sdram_backoff_ps(attempt)
+            self.sim.schedule_at(
+                finish_ps + backoff,
+                lambda: self._issue_burst(address, nbytes, done),
+            )
+            return
+        backoff = self.injector.sdram_backoff_ps(attempt)
+        self.sim.schedule_at(
+            finish_ps + backoff,
+            lambda: self._burst_attempt(
+                address, nbytes, done, failures, exhausted, attempt + 1
+            ),
+        )
 
     def _burst_done(self, done: Callable[[int], None]) -> None:
         self._draining = False

@@ -36,6 +36,9 @@ class PciInterface:
         self._bus_free_ps = 0
         self.transfers = 0
         self.bytes_moved = 0
+        # Fault layer (repro.faults): an attached injector may stall
+        # individual host phases; None keeps the fault-free fast path.
+        self.injector = None
 
     def host_phase(self, now_ps: int, nbytes: int) -> int:
         """Completion time of the host side of one DMA."""
@@ -43,9 +46,12 @@ class PciInterface:
             raise ValueError("transfer size must be positive")
         self.transfers += 1
         self.bytes_moved += nbytes
+        stall_ps = (
+            self.injector.pci_stall(now_ps) if self.injector is not None else 0
+        )
         if self.bandwidth_bps <= 0:
-            return now_ps + self.dma_latency_ps
+            return now_ps + self.dma_latency_ps + stall_ps
         start = max(now_ps, self._bus_free_ps)
         duration = transfer_time_ps(nbytes, self.bandwidth_bps)
         self._bus_free_ps = start + duration
-        return start + duration + self.dma_latency_ps
+        return start + duration + self.dma_latency_ps + stall_ps

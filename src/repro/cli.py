@@ -4,6 +4,7 @@ Subcommands::
 
     repro run      one full-duplex throughput experiment
     repro sweep    cores x frequency design-space sweep
+    repro faults   throughput under injected faults (run or rate sweep)
     repro report   regenerate the paper's whole evaluation
     repro asm      assemble and run a MIPS firmware file
     repro ilp      IPC-limit analysis of a firmware trace
@@ -91,6 +92,55 @@ def _add_sweep_parser(subparsers) -> None:
                         help="write per-point results as CSV ('-' for stdout)")
 
 
+def _add_faults_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "faults",
+        help="throughput under injected faults (docs/faults.md)",
+    )
+    # -- NIC configuration ------------------------------------------------
+    parser.add_argument("--cores", type=int, default=6)
+    parser.add_argument("--mhz", type=float, default=166)
+    parser.add_argument("--banks", type=int, default=4)
+    parser.add_argument("--ordering", choices=["rmw", "software"], default="rmw")
+    parser.add_argument("--payload", type=int, default=1472)
+    parser.add_argument("--millis", type=float, default=0.8,
+                        help="measurement window in simulated milliseconds")
+    # -- fault plan -------------------------------------------------------
+    parser.add_argument("--seed", type=int, default=0,
+                        help="fault-plan seed (same seed => same faults)")
+    parser.add_argument("--fcs-rate", type=float, default=0.0,
+                        help="per-frame RX FCS corruption probability")
+    parser.add_argument("--sdram-rate", type=float, default=0.0,
+                        help="per-burst SDRAM transfer error probability")
+    parser.add_argument("--sdram-max-retries", type=int, default=4,
+                        help="bounded retry budget per SDRAM burst")
+    parser.add_argument("--pci-stall-rate", type=float, default=0.0,
+                        help="per-DMA host-interface stall probability")
+    parser.add_argument("--pci-stall-us", type=float, default=2.0,
+                        help="added latency per stalled DMA (microseconds)")
+    parser.add_argument("--queue-depth", type=int, default=0,
+                        help="finite event-queue depth (0 = effectively "
+                             "unbounded, the fault-free default)")
+    # -- sweep mode -------------------------------------------------------
+    parser.add_argument("--sweep-axis", choices=["fcs", "sdram", "pci"],
+                        default="", help="sweep one fault rate instead of "
+                                         "running a single point")
+    parser.add_argument("--rates", type=float, nargs="+",
+                        default=[0.0, 1e-4, 1e-3, 1e-2, 0.05],
+                        help="fault rates for --sweep-axis")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for the sweep")
+    parser.add_argument("--cache-dir", type=str, default=None, metavar="DIR")
+    parser.add_argument("--no-cache", action="store_true")
+    # -- output -----------------------------------------------------------
+    parser.add_argument("--json", type=str, default="", metavar="PATH",
+                        dest="json_out", nargs="?", const="-",
+                        help="emit results as JSON ('-' or no value = stdout)")
+    parser.add_argument("--csv", type=str, default="", metavar="PATH",
+                        dest="csv_out",
+                        help="sweep mode: write per-point rows as CSV")
+
+
 def _add_report_parser(subparsers) -> None:
     parser = subparsers.add_parser(
         "report", help="regenerate the paper's evaluation section"
@@ -131,6 +181,7 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command")
     _add_run_parser(subparsers)
     _add_sweep_parser(subparsers)
+    _add_faults_parser(subparsers)
     _add_report_parser(subparsers)
     _add_asm_parser(subparsers)
     _add_ilp_parser(subparsers)
@@ -289,6 +340,160 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+_FAULT_AXES = {
+    "fcs": "rx_fcs_rate",
+    "sdram": "sdram_error_rate",
+    "pci": "pci_stall_rate",
+}
+
+
+def _fault_plan_from_args(args):
+    from repro.faults import FaultPlan
+
+    return FaultPlan(
+        seed=args.seed,
+        rx_fcs_rate=args.fcs_rate,
+        sdram_error_rate=args.sdram_rate,
+        sdram_max_retries=args.sdram_max_retries,
+        pci_stall_rate=args.pci_stall_rate,
+        pci_stall_ps=round(args.pci_stall_us * 1e6),
+        event_queue_depth=args.queue_depth,
+    )
+
+
+def _cmd_faults(args) -> int:
+    from repro.nic import NicConfig
+
+    config = NicConfig(
+        cores=args.cores,
+        core_frequency_hz=mhz(args.mhz),
+        scratchpad_banks=args.banks,
+        ordering_mode=_ordering(args.ordering),
+    )
+    if args.sweep_axis:
+        return _faults_sweep(args, config)
+    return _faults_single(args, config)
+
+
+def _faults_single(args, config) -> int:
+    from repro.nic import ThroughputSimulator
+
+    plan = _fault_plan_from_args(args)
+    simulator = ThroughputSimulator(
+        config, args.payload, fault_plan=plan if plan.enabled else None
+    )
+    result = simulator.run(warmup_s=0.4e-3, measure_s=args.millis * 1e-3)
+    report = result.fault_report()
+    if args.json_out:
+        import json
+
+        text = json.dumps(result.to_dict(), indent=2)
+        if args.json_out == "-":
+            print(text)
+        else:
+            with open(args.json_out, "w") as handle:
+                handle.write(text + "\n")
+            print(f"result written to {args.json_out}", file=sys.stderr)
+        return 0
+    print(f"{config.label}  payload {args.payload} B  seed {plan.seed}"
+          + ("" if plan.enabled else "  (no faults enabled)"))
+    print(f"  goodput: {report['udp_goodput_gbps']:.2f} Gb/s "
+          f"({report['line_rate_fraction']:.1%} of duplex line rate)")
+    print(f"  rx delivered {report['rx_delivered']}, "
+          f"holes {report['rx_holes']}, "
+          f"tail-dropped {report['rx_tail_dropped']}")
+    counters = report["counters"]
+    if counters:
+        pieces = ", ".join(
+            f"{key} {value:g}" for key, value in counters.items() if value
+        ) or "all zero"
+        print(f"  fault counters: {pieces}")
+    return 0
+
+
+def _faults_sweep(args, config) -> int:
+    from repro.analysis import format_table
+    from repro.exp import Sweep, SweepRunner, default_cache_dir
+
+    axis = _FAULT_AXES[args.sweep_axis]
+    plan = _fault_plan_from_args(args)
+    sweep = Sweep.fault_grid(
+        f"faults-{args.sweep_axis}",
+        axis=axis,
+        rates=args.rates,
+        base_config=config,
+        udp_payload_bytes=args.payload,
+        plan=plan,
+        warmup_s=0.4e-3,
+        measure_s=args.millis * 1e-3,
+    )
+    cache_dir = args.cache_dir if args.cache_dir is not None else default_cache_dir()
+    runner = SweepRunner(
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        use_cache=not args.no_cache,
+        progress=sys.stderr,
+        label=sweep.name,
+    )
+    outcome = sweep.run(runner)
+    records = Sweep.rows(outcome)
+
+    emitted_to_stdout = False
+    if args.json_out:
+        import json
+
+        text = json.dumps({"name": sweep.name, "axis": axis,
+                           "points": records}, indent=2)
+        if args.json_out == "-":
+            print(text)
+            emitted_to_stdout = True
+        else:
+            with open(args.json_out, "w") as handle:
+                handle.write(text + "\n")
+            print(f"results written to {args.json_out}", file=sys.stderr)
+    if args.csv_out:
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.DictWriter(
+            buffer, fieldnames=list(records[0].keys()), lineterminator="\n"
+        )
+        writer.writeheader()
+        writer.writerows(records)
+        if args.csv_out == "-":
+            print(buffer.getvalue(), end="")
+            emitted_to_stdout = True
+        else:
+            with open(args.csv_out, "w") as handle:
+                handle.write(buffer.getvalue())
+            print(f"results written to {args.csv_out}", file=sys.stderr)
+
+    if not emitted_to_stdout:
+        rows = [
+            [f"{rate:g}",
+             f"{record['udp_throughput_gbps']:.2f}",
+             record["rx_holes"],
+             record["sdram_retries"],
+             record["pci_stalls"],
+             record["queue_drops"]]
+            for rate, record in zip(args.rates, records)
+        ]
+        print(format_table(
+            [axis, "goodput Gb/s", "rx holes", "sdram retries",
+             "pci stalls", "queue drops"],
+            rows,
+            title=f"goodput vs {axis}, {config.label}, "
+                  f"{args.payload} B payloads, seed {args.seed}",
+        ))
+    print(
+        f"faults: {len(outcome)} points, {outcome.cache_hits} cache hits, "
+        f"{outcome.executed} executed in {outcome.elapsed_s:.1f}s",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.analysis.full_report import generate_full_report
 
@@ -385,6 +590,7 @@ def _cmd_ilp(args) -> int:
 _COMMANDS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
+    "faults": _cmd_faults,
     "report": _cmd_report,
     "asm": _cmd_asm,
     "ilp": _cmd_ilp,

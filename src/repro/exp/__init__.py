@@ -39,10 +39,11 @@ from repro.exp.spec import (
     spec_key,
     spec_seed,
 )
-from repro.exp.sweep import Sweep
+from repro.exp.sweep import FAULT_AXES, Sweep
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "FAULT_AXES",
     "JOBS_ENV",
     "ResultCache",
     "RunSpec",

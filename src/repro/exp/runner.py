@@ -59,6 +59,7 @@ def execute_spec(spec: RunSpec):
         offered_fraction=workload.offered_fraction,
         size_model=workload.build_size_model(),
         rx_burst_frames=workload.rx_burst_frames,
+        fault_plan=spec.fault_plan,
     )
     return simulator.run(spec.warmup_s, spec.measure_s)
 

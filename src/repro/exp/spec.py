@@ -24,6 +24,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
+from repro.faults import FaultPlan
 from repro.net.workload import ConstantSize, FrameSizeModel, ImixSize
 from repro.nic.config import NicConfig
 
@@ -152,6 +153,7 @@ class RunSpec:
     warmup_s: float = 0.4e-3
     measure_s: float = 0.8e-3
     label: str = ""
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.warmup_s < 0 or self.measure_s <= 0:
@@ -159,13 +161,19 @@ class RunSpec:
 
     def key_inputs(self) -> Dict[str, Any]:
         """Everything that feeds the content hash (label excluded)."""
-        return {
+        inputs = {
             "config": describe(self.config),
             "workload": describe(self.workload),
             "warmup_s": describe(self.warmup_s),
             "measure_s": describe(self.measure_s),
             "constants": code_constants(),
         }
+        # Only fault-injected points extend the key: fault-free specs
+        # keep their pre-fault-layer hashes, so existing cached results
+        # stay valid.
+        if self.fault_plan is not None:
+            inputs["fault_plan"] = describe(self.fault_plan)
+        return inputs
 
     @property
     def key(self) -> str:

@@ -16,9 +16,13 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.exp.runner import SweepOutcome, SweepRunner
 from repro.exp.spec import RunSpec, WorkloadSpec
+from repro.faults import FaultPlan
 from repro.firmware.ordering import OrderingMode
 from repro.nic.config import NicConfig
 from repro.units import mhz
+
+#: Fault-plan rate fields :meth:`Sweep.fault_grid` can sweep over.
+FAULT_AXES = ("rx_fcs_rate", "sdram_error_rate", "pci_stall_rate")
 
 
 class Sweep:
@@ -124,6 +128,49 @@ class Sweep:
         ]
         return cls(name, specs)
 
+    @classmethod
+    def fault_grid(
+        cls,
+        name: str,
+        axis: str,
+        rates: Sequence[float],
+        base_config: Optional[NicConfig] = None,
+        udp_payload_bytes: int = 1472,
+        seed: int = 0,
+        plan: Optional[FaultPlan] = None,
+        warmup_s: float = 0.4e-3,
+        measure_s: float = 0.8e-3,
+    ) -> "Sweep":
+        """Throughput-under-fault-rate curve along one fault axis.
+
+        ``axis`` names one of the :class:`~repro.faults.FaultPlan` rate
+        fields (see :data:`FAULT_AXES`); each point perturbs ``plan``
+        (default: a pristine plan carrying ``seed``) to that rate.  A
+        rate-0 point whose plan ends up disabled is issued with
+        ``fault_plan=None`` so it shares its cache entry — and its exact
+        simulation path — with the fault-free baseline.
+        """
+        if axis not in FAULT_AXES:
+            raise ValueError(
+                f"fault axis must be one of {FAULT_AXES}, got {axis!r}"
+            )
+        base = base_config if base_config is not None else NicConfig()
+        base_plan = plan if plan is not None else FaultPlan(seed=seed)
+        specs = []
+        for rate in rates:
+            point_plan = replace(base_plan, **{axis: float(rate)})
+            specs.append(
+                RunSpec(
+                    config=base,
+                    workload=WorkloadSpec(udp_payload_bytes=udp_payload_bytes),
+                    warmup_s=warmup_s,
+                    measure_s=measure_s,
+                    label=f"{axis}={rate:g}",
+                    fault_plan=point_plan if point_plan.enabled else None,
+                )
+            )
+        return cls(name, specs)
+
     # ------------------------------------------------------------------
     def run(self, runner: Optional[SweepRunner] = None, **runner_kwargs) -> SweepOutcome:
         """Execute every point; ``runner_kwargs`` build a runner if none
@@ -138,27 +185,42 @@ class Sweep:
     def rows(outcome: SweepOutcome) -> List[Dict[str, object]]:
         """Flatten an outcome into records for JSON/CSV export."""
         rows: List[Dict[str, object]] = []
+        faulted_sweep = any(spec.fault_plan is not None for spec in outcome.specs)
         for spec, result, key, cached in zip(
             outcome.specs, outcome.results, outcome.keys, outcome.cached_flags
         ):
-            rows.append(
-                {
-                    "label": spec.describe_label(),
-                    "key": key,
-                    "cached": cached,
-                    "cores": spec.config.cores,
-                    "mhz": spec.config.core_frequency_hz / 1e6,
-                    "banks": spec.config.scratchpad_banks,
-                    "ordering": spec.config.ordering_mode.value,
-                    "udp_payload_bytes": spec.workload.udp_payload_bytes,
-                    "workload": spec.workload.kind,
-                    "offered_fraction": spec.workload.offered_fraction,
-                    "measure_s": spec.measure_s,
-                    "udp_throughput_gbps": result.udp_throughput_gbps,
-                    "line_rate_fraction": result.line_rate_fraction(),
-                    "total_fps": result.total_fps,
-                    "core_utilization": result.core_utilization,
-                    "rx_dropped": result.rx_dropped,
-                }
-            )
+            row: Dict[str, object] = {
+                "label": spec.describe_label(),
+                "key": key,
+                "cached": cached,
+                "cores": spec.config.cores,
+                "mhz": spec.config.core_frequency_hz / 1e6,
+                "banks": spec.config.scratchpad_banks,
+                "ordering": spec.config.ordering_mode.value,
+                "udp_payload_bytes": spec.workload.udp_payload_bytes,
+                "workload": spec.workload.kind,
+                "offered_fraction": spec.workload.offered_fraction,
+                "measure_s": spec.measure_s,
+                "udp_throughput_gbps": result.udp_throughput_gbps,
+                "line_rate_fraction": result.line_rate_fraction(),
+                "total_fps": result.total_fps,
+                "core_utilization": result.core_utilization,
+                "rx_dropped": result.rx_dropped,
+            }
+            if faulted_sweep:
+                # Fault columns only materialize for sweeps that carry a
+                # plan somewhere, so fault-free exports keep their exact
+                # pre-fault-layer schema.
+                counters = getattr(result, "fault_counters", None) or {}
+                row["fault_seed"] = (
+                    spec.fault_plan.seed if spec.fault_plan is not None else None
+                )
+                row["rx_holes"] = getattr(result, "rx_holes", 0)
+                row["rx_fcs_drops"] = counters.get("rx_fcs_drops", 0)
+                row["sdram_retries"] = counters.get("sdram_retries", 0)
+                row["sdram_exhausted"] = counters.get("sdram_exhausted", 0)
+                row["pci_stalls"] = counters.get("pci_stalls", 0)
+                row["queue_overflows"] = counters.get("queue_overflows", 0)
+                row["queue_drops"] = counters.get("queue_drops", 0)
+            rows.append(row)
         return rows

@@ -1,0 +1,151 @@
+"""The :class:`FaultInjector` — runtime companion of a :class:`FaultPlan`.
+
+The injector owns the per-axis decision indices (so the decision
+stream is a pure function of the plan's seed and the *order* in which
+a subsystem asks, never of wall-clock or shared RNG state), the
+per-fault-kind counters that end up in
+:attr:`~repro.nic.throughput.ThroughputResult.fault_counters`, and the
+tracer instants on the ``faults`` track.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+from repro.faults.plan import FaultPlan
+from repro.obs import NULL_TRACER
+
+#: Counter keys, in report order.  Fixed so two identically seeded runs
+#: produce byte-identical counter dicts (and so tests can pin them).
+FAULT_COUNTER_KEYS: Tuple[str, ...] = (
+    "rx_fcs_drops",
+    "sdram_faulty_transfers",
+    "sdram_retries",
+    "sdram_exhausted",
+    "sdram_backoff_ps",
+    "pci_stalls",
+    "pci_stall_ps",
+    "queue_overflows",
+    "queue_deferrals",
+    "queue_drops",
+)
+
+#: Cap on how many dropped RX sequence numbers we remember (for tests
+#: and reports; the counters are exact regardless).
+_MAX_RECORDED_DROPS = 64
+
+
+class FaultInjector:
+    """Seed-reproducible fault decisions plus degradation accounting."""
+
+    def __init__(self, plan: FaultPlan, tracer=NULL_TRACER) -> None:
+        self.plan = plan
+        self.tracer = tracer
+        self.counters: Dict[str, int] = {key: 0 for key in FAULT_COUNTER_KEYS}
+        self.dropped_rx_seqs: List[int] = []
+        self._stream_index: Dict[str, int] = defaultdict(int)
+
+    # ------------------------------------------------------------------
+    def _next_index(self, stream: str) -> int:
+        index = self._stream_index[stream]
+        self._stream_index[stream] = index + 1
+        return index
+
+    # ------------------------------------------------------------------
+    # RX FCS/CRC corruption
+    # ------------------------------------------------------------------
+    def rx_fcs_corrupt(self, seq: int, now_ps: int) -> bool:
+        """Decide whether RX frame ``seq`` arrives with a bad FCS."""
+        if not self.plan.decide(self.plan.rx_fcs_rate, "rx_fcs", self._next_index("rx_fcs")):
+            return False
+        self.counters["rx_fcs_drops"] += 1
+        if len(self.dropped_rx_seqs) < _MAX_RECORDED_DROPS:
+            self.dropped_rx_seqs.append(seq)
+        if self.tracer.enabled:
+            self.tracer.instant("faults", "rx_fcs_drop", now_ps, seq=seq)
+        return True
+
+    # ------------------------------------------------------------------
+    # SDRAM transfer errors (DMA path)
+    # ------------------------------------------------------------------
+    def sdram_plan(self, stream: str, now_ps: int) -> Tuple[int, bool]:
+        """Plan one DMA burst's SDRAM fault behaviour.
+
+        Returns ``(failures, exhausted)``: the number of *failing* burst
+        attempts, and whether the retry budget ran out.  When not
+        exhausted, the attempt after the last failure succeeds (so the
+        engine issues ``failures`` wasted bursts plus one good one);
+        when exhausted, all ``sdram_max_retries + 1`` attempts failed
+        and the transfer completes flagged bad rather than wedging the
+        pipeline.  Attempt outcomes are drawn independently so
+        back-to-back retry failures stay ``rate**n``-rare.
+        """
+        rate = self.plan.sdram_error_rate
+        if rate <= 0.0:
+            return 0, False
+        index = self._next_index(f"sdram:{stream}")
+        budget = self.plan.sdram_max_retries
+        failures = 0
+        while failures <= budget and self.plan.decide(
+            rate, f"sdram:{stream}:{index}", failures
+        ):
+            failures += 1
+        exhausted = failures > budget
+        if failures:
+            retries = budget if exhausted else failures
+            self.counters["sdram_faulty_transfers"] += 1
+            self.counters["sdram_retries"] += retries
+            if exhausted:
+                self.counters["sdram_exhausted"] += 1
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "faults",
+                    "sdram_error",
+                    now_ps,
+                    stream=stream,
+                    failures=failures,
+                    exhausted=exhausted,
+                )
+        return failures, exhausted
+
+    def sdram_backoff_ps(self, attempt: int) -> int:
+        """Exponential backoff before retry ``attempt`` (0-based)."""
+        backoff = self.plan.sdram_retry_backoff_ps << min(attempt, 16)
+        self.counters["sdram_backoff_ps"] += backoff
+        return backoff
+
+    # ------------------------------------------------------------------
+    # PCI read stalls
+    # ------------------------------------------------------------------
+    def pci_stall(self, now_ps: int) -> int:
+        """Extra picoseconds (possibly 0) this PCI host phase stalls."""
+        if not self.plan.decide(
+            self.plan.pci_stall_rate, "pci", self._next_index("pci")
+        ):
+            return 0
+        stall = self.plan.pci_stall_ps
+        self.counters["pci_stalls"] += 1
+        self.counters["pci_stall_ps"] += stall
+        if self.tracer.enabled:
+            self.tracer.instant("faults", "pci_stall", now_ps, stall_ps=stall)
+        return stall
+
+    # ------------------------------------------------------------------
+    # Event-queue overflow
+    # ------------------------------------------------------------------
+    def note_queue_overflow(self, kind: str, now_ps: int) -> None:
+        self.counters["queue_overflows"] += 1
+        self.counters["queue_deferrals"] += 1
+        if self.tracer.enabled:
+            self.tracer.instant("faults", "queue_overflow", now_ps, kind=kind)
+
+    def note_queue_drop(self, kind: str, now_ps: int) -> None:
+        self.counters["queue_drops"] += 1
+        if self.tracer.enabled:
+            self.tracer.instant("faults", "queue_drop", now_ps, kind=kind)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, int]:
+        """Copy of the counters, in fixed key order."""
+        return dict(self.counters)

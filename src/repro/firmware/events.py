@@ -20,7 +20,7 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, List, Mapping, Optional
 
 
 class EventKind(enum.Enum):
@@ -81,6 +81,21 @@ class DistributedEventQueue:
     @property
     def empty(self) -> bool:
         return not self._queue
+
+    @property
+    def is_full(self) -> bool:
+        """Whether a :meth:`push` right now would overflow the queue."""
+        return len(self._queue) >= self.max_depth
+
+    def all_claimed(self, claims: Mapping[EventKind, bool]) -> bool:
+        """Whether every queued event's kind is currently claimed.
+
+        Task-level dispatch uses this to decide that a core has nothing
+        runnable: popping would only cycle claimed events through
+        ``push_retry``, reordering them and spinning the scheduler
+        without progress.  Returns ``True`` for an empty queue.
+        """
+        return all(claims[event.kind] for event in self._queue)
 
     def push(self, event: FrameEvent) -> None:
         if len(self._queue) >= self.max_depth:

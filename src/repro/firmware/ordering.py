@@ -99,6 +99,7 @@ class OrderingBoard:
         self.marked = 0
         self.committed = 0
         self.commit_calls = 0
+        self.skipped = 0             # holes resequenced past (fault recovery)
 
     @property
     def requires_lock(self) -> bool:
@@ -118,6 +119,22 @@ class OrderingBoard:
         apply_setb(self._bitmap, 0, seq % self.ring_size)
         self.marked += 1
         return _SW_MARK if self.mode is OrderingMode.SOFTWARE else _RMW_MARK
+
+    def skip(self, seq: int) -> OrderingCost:
+        """Resequence past ``seq`` without a frame ever completing.
+
+        Fault recovery: when the MAC drops a corrupt frame its sequence
+        number is already consumed, so the firmware marks the slot done
+        anyway — a *hole* — and the normal commit scan advances the
+        pointer across it instead of wedging forever at the gap.  Costs
+        the same as a mark (it is the same bitmap write); the board
+        counts it under :attr:`skipped` rather than :attr:`marked` so
+        goodput accounting can tell holes from real frames.
+        """
+        cost = self.mark_done(seq)
+        self.marked -= 1
+        self.skipped += 1
+        return cost
 
     def is_marked(self, seq: int) -> bool:
         index = seq % self.ring_size
@@ -175,11 +192,15 @@ class OrderingBoard:
     # ------------------------------------------------------------------
     @property
     def pending(self) -> int:
-        """Marked-but-uncommitted frames (an O(ring) debugging helper)."""
-        count = 0
-        for seq in range(self.commit_seq, self.commit_seq + self.ring_size):
-            if self.is_marked(seq):
-                count += 1
-            else:
-                break
-        return count
+        """Marked-but-uncommitted frames (an O(ring) debugging helper).
+
+        Scans the *whole* ring: frames marked behind a gap (done out of
+        order, waiting on an earlier frame) count too.  An earlier
+        version stopped at the first unmarked slot and so undercounted
+        exactly the frames this helper exists to expose.
+        """
+        return sum(
+            1
+            for seq in range(self.commit_seq, self.commit_seq + self.ring_size)
+            if self.is_marked(seq)
+        )

@@ -67,6 +67,7 @@ class GddrSdram:
         self._bus_free_cycle = 0
         self.useful_bytes = 0
         self.transferred_bytes = 0
+        self.wasted_retry_bytes = 0
         self.row_activations = 0
         self.requests = 0
 
@@ -77,12 +78,19 @@ class GddrSdram:
     def _row_of(self, address: int) -> int:
         return address // (self.row_bytes * self.banks)
 
-    def transfer(self, address: int, nbytes: int, cycle: int) -> SdramRequest:
+    def transfer(
+        self, address: int, nbytes: int, cycle: int, useful: bool = True
+    ) -> SdramRequest:
         """Burst-read or burst-write ``nbytes`` starting at ``address``.
 
         Reads and writes are symmetric at this modeling level.  The
         transfer is padded out to the 8-byte device granularity on both
         ends; the padding counts as consumed (unrecoverable) bandwidth.
+
+        ``useful=False`` marks a *faulted* burst re-run (fault-injection
+        layer): the bus time and transferred bytes are consumed exactly
+        as for a good burst, but the payload counts as wasted-retry
+        bandwidth instead of useful bytes.
         """
         if nbytes <= 0:
             raise ValueError("transfer size must be positive")
@@ -103,7 +111,10 @@ class GddrSdram:
         finish = start + self.cas_cycles + burst_cycles
         self._bus_free_cycle = start + burst_cycles
 
-        self.useful_bytes += nbytes
+        if useful:
+            self.useful_bytes += nbytes
+        else:
+            self.wasted_retry_bytes += nbytes
         self.transferred_bytes += padded
         self.requests += 1
         return SdramRequest(

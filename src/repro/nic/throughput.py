@@ -27,13 +27,14 @@ contention estimate reach steady state.
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
 
 from repro.assists.dma import DmaAssist
 from repro.assists.mac import MacReceiver, MacTransmitter
 from repro.assists.pci import PciInterface
 from repro.cpu.costmodel import ContentionModel, HandlerCost, OpProfile
+from repro.faults import FaultInjector, FaultPlan
 from repro.firmware.events import DistributedEventQueue, EventKind, FrameEvent
 from repro.firmware.ordering import OrderingBoard, OrderingCost
 from repro.firmware.profiles import (
@@ -142,6 +143,8 @@ class ThroughputResult:
     mean_rx_commit_latency_s: float = 0.0
     mean_outstanding_frames: float = 0.0
     p99_rx_commit_latency_s: float = 0.0
+    rx_holes: int = 0
+    fault_counters: Dict[str, float] = field(default_factory=dict)
 
     # -- headline rates ---------------------------------------------------
     @property
@@ -193,10 +196,30 @@ class ThroughputResult:
             return 0.0
         return min(1.0, self.busy_cycles / self.total_core_cycles)
 
+    # -- fault degradation --------------------------------------------------
+    def fault_report(self) -> Dict[str, object]:
+        """Goodput-vs-line-rate breakdown under an attached fault plan.
+
+        *Goodput* is the UDP throughput of frames actually delivered —
+        FCS-dropped frames (sequence holes) and tail drops never count,
+        so under injected faults this reads below the fault-free line
+        rate by exactly the shed load.  ``counters`` carries the
+        per-fault-kind event counts measured over the same window.
+        """
+        return {
+            "udp_goodput_gbps": self.udp_throughput_gbps,
+            "line_rate_fraction": self.line_rate_fraction(),
+            "rx_offered": self.rx_offered,
+            "rx_delivered": self.rx_frames,
+            "rx_holes": self.rx_holes,
+            "rx_tail_dropped": self.rx_dropped,
+            "counters": dict(self.fault_counters),
+        }
+
     # -- export -------------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
         """JSON-serializable summary for downstream tooling (CLI --json)."""
-        return {
+        data: Dict[str, object] = {
             "config": self.config.label,
             "udp_payload_bytes": self.udp_payload_bytes,
             "frame_bytes": self.frame_bytes,
@@ -223,6 +246,11 @@ class ThroughputResult:
                 for name, stats in self.function_stats.items()
             },
         }
+        # Only fault-injected runs grow a "faults" section, keeping
+        # fault-free JSON byte-identical to pre-fault-layer output.
+        if self.fault_counters:
+            data["faults"] = self.fault_report()
+        return data
 
     # -- Table 4 ----------------------------------------------------------
     def bandwidth_report(self) -> Dict[str, float]:
@@ -271,6 +299,7 @@ class ThroughputSimulator:
         size_model=None,
         rx_burst_frames: int = 1,
         tracer=None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         """``size_model`` (a :class:`repro.net.workload.FrameSizeModel`)
         overrides the constant ``udp_payload_bytes`` with per-frame
@@ -285,11 +314,22 @@ class ThroughputSimulator:
         ``tracer`` (a :class:`repro.obs.Tracer`) records per-frame
         lifecycle spans and assist timelines; left ``None``, the null
         tracer is used and the run is bit-identical to an
-        uninstrumented one."""
+        uninstrumented one.
+
+        ``fault_plan`` (a :class:`repro.faults.FaultPlan`) attaches the
+        deterministic fault-injection layer; left ``None`` (or with an
+        all-zero plan) none of the fault code paths run and the
+        simulation is byte-identical to a fault-free build."""
         from repro.net.workload import ConstantSize
 
         self.config = config
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.fault_plan = fault_plan
+        self.faults: Optional[FaultInjector] = (
+            FaultInjector(fault_plan, tracer=self.tracer)
+            if fault_plan is not None and fault_plan.enabled
+            else None
+        )
         self.sizes = size_model if size_model is not None else ConstantSize(
             udp_payload_bytes
         )
@@ -313,6 +353,12 @@ class ThroughputSimulator:
             "dma-write", self.sim, self.pci, self.sdram, self.sdram_clock, to_nic=False
         )
         self.mac_tx = MacTransmitter(self.sdram, self.sdram_clock, self.timing)
+        if self.faults is not None:
+            # The assists consult the injector at decision points; with
+            # no injector attached they take their fault-free fast path.
+            self.pci.injector = self.faults
+            self.dma_read.injector = self.faults
+            self.dma_write.injector = self.faults
 
         if rx_burst_frames < 1:
             raise ValueError("rx_burst_frames must be >= 1")
@@ -347,7 +393,10 @@ class ThroughputSimulator:
         self.board_tx_notify = OrderingBoard(config.ordering_ring, mode)
         self.board_rx = OrderingBoard(config.ordering_ring, mode)
 
-        self.queue = DistributedEventQueue(max_depth=4096)
+        queue_depth = 4096
+        if self.faults is not None and fault_plan.event_queue_depth:
+            queue_depth = fault_plan.event_queue_depth
+        self.queue = DistributedEventQueue(max_depth=queue_depth)
         self.locks: Dict[str, _Lock] = {
             name: _Lock(name)
             for name in ("txq", "rxpool", "notify_tx", "notify_rx", "order_tx", "order_rx")
@@ -388,11 +437,22 @@ class ThroughputSimulator:
         self._send_event_queued = False
         self._recv_event_queued = False
         self._task_claims: Dict[EventKind, bool] = {kind: False for kind in EventKind}
+        # -- fault-recovery state (only touched when self.faults is set) --
+        # Frames landed (or hole-punched) out of order, waiting for the
+        # contiguous _rx_written watermark to reach them.
+        self._rx_landed_flags: Set[int] = set()
+        # FCS-dropped sequence holes, by recovery phase: removed from
+        # *_uncommitted* when the commit pointer passes them (goodput
+        # accounting) and from *_completion* when the receive handler
+        # resequences past them (skip-mark, no BD, no DMA).
+        self._rx_holes_uncommitted: Set[int] = set()
+        self._rx_holes_completion: Set[int] = set()
 
         # -- measurement ----------------------------------------------------
         self._tx_done_frames = 0       # wire-complete transmit frames
         self._rx_done_frames = 0       # committed (delivered) receive frames
         self._rx_dropped = 0
+        self._rx_hole_frames = 0       # FCS holes the commit pointer passed
         self._tx_payload_done = 0      # UDP payload bytes on the wire
         self._rx_payload_done = 0      # UDP payload bytes delivered
         self._rx_landed_at: Dict[int, int] = {}   # seq -> SDRAM-landed time
@@ -454,12 +514,28 @@ class ThroughputSimulator:
             ),
         )
 
-    def _acquire_lock(self, name: str, now_ps: int, hold_cycles: float, fn_name: str) -> float:
+    def _acquire_lock(
+        self,
+        name: str,
+        now_ps: int,
+        hold_cycles: float,
+        fn_name: str,
+        cycles_so_far: float = 0.0,
+    ) -> float:
         """Reserve a lock FIFO; returns cycles spent (wait + hold prologue).
 
         The acquire/release instruction cost and the spin cost are
         charged to ``fn_name`` (a locking bucket); the wait itself is
         recorded as lock-wait cycles.
+
+        ``cycles_so_far`` is how deep into its own timeline the calling
+        handler is when it reaches this acquire.  The reservation and
+        spin layout are computed from the handler's dispatch time
+        ``now_ps`` (the documented approximation), but *contention
+        accounting* uses the true acquire point: a handler re-acquiring
+        a lock it released earlier in its own timeline has not actually
+        blocked, so ``contended``/``total_wait_cycles`` are only charged
+        when the lock is still held at ``now_ps + cycles_so_far``.
         """
         lock = self.locks[name]
         period = self.core_clock.period_ps
@@ -468,8 +544,11 @@ class ThroughputSimulator:
         lock.free_at_ps = start_ps + round(hold_cycles * period)
         lock.acquisitions += 1
         if wait_cycles > 0:
-            lock.contended += 1
-            lock.total_wait_cycles += wait_cycles
+            acquire_ps = now_ps + self.core_clock.cycles_to_ps(cycles_so_far)
+            blocked_cycles = (start_ps - acquire_ps) / period
+            if blocked_cycles > 0:
+                lock.contended += 1
+                lock.total_wait_cycles += blocked_cycles
         cycles = self._charge(fn_name, self.config.firmware.lock_acquire_release)
         if wait_cycles > 0:
             # A waiting core executes its ll/test/branch spin loop for
@@ -483,17 +562,23 @@ class ThroughputSimulator:
         self._assist_accesses += count
         self._contention_window_accesses += count
 
-    def _checksum_profile(self, first: int, batch: int) -> Optional[OpProfile]:
+    def _checksum_profile(
+        self, first: int, batch: int, skip: Set[int] = frozenset()
+    ) -> Optional[OpProfile]:
         """Per-batch cost of the configured checksum service (§8
         extension).  'assist' folds the sum into the data stream and
         leaves only a status check; 'firmware' walks the payload one
-        word at a time on a core."""
+        word at a time on a core.  ``skip`` excludes sequence holes
+        (FCS-dropped frames carry no payload to checksum)."""
         mode = self.config.checksum_offload
         if mode == "none":
             return None
+        count = batch - len(skip)
+        if count <= 0:
+            return None
         if mode == "assist":
             return OpProfile(
-                instructions=4.0 * batch, loads=1.0 * batch, stores=0.0
+                instructions=4.0 * count, loads=1.0 * count, stores=0.0
             )
         # Firmware mode: the cores must read payload words from the
         # *frame* SDRAM — the memory the partitioned design deliberately
@@ -505,6 +590,8 @@ class ThroughputSimulator:
         # its contention accounting.
         instructions = 0.0
         for seq in range(first, first + batch):
+            if seq in skip:
+                continue
             words = self.sizes.payload_bytes(seq) / 4.0
             instructions += 12.0 + 7.0 * words
         return OpProfile(instructions=instructions, loads=0.0, stores=0.0)
@@ -513,6 +600,9 @@ class ThroughputSimulator:
     # Core scheduling
     # ==================================================================
     def _push_event(self, event: FrameEvent) -> None:
+        if self.faults is not None and self.queue.is_full:
+            self._queue_overflowed(event)
+            return
         self.queue.push(event)
         if self.tracer.enabled:
             self.tracer.counter(
@@ -520,17 +610,47 @@ class ThroughputSimulator:
             )
         self._dispatch()
 
+    def _queue_overflowed(self, event: FrameEvent) -> None:
+        """Overflow policy for a full distributed event queue.
+
+        Backpressure by default: defer the push by ``queue_retry_ps``.
+        The singleton pump events (SEND_FRAME / RECV_FRAME) are instead
+        *dropped* once they have been deferred ``queue_drop_after``
+        times — their queued-flag is reset so the next producer-side
+        trigger re-issues them, which is how the firmware sheds load
+        without losing frames (the frames stay in their rings)."""
+        faults = self.faults
+        assert faults is not None
+        plan = faults.plan
+        now = self.sim.now_ps
+        if (
+            event.kind in (EventKind.SEND_FRAME, EventKind.RECV_FRAME)
+            and event.retries >= plan.queue_drop_after
+        ):
+            faults.note_queue_drop(event.kind.value, now)
+            if event.kind is EventKind.SEND_FRAME:
+                self._send_event_queued = False
+            else:
+                self._recv_event_queued = False
+            return
+        faults.note_queue_overflow(event.kind.value, now)
+        event.retries += 1
+        self.sim.schedule(plan.queue_retry_ps, lambda: self._push_event(event))
+
     def _dispatch(self) -> None:
+        task_level = self.config.task_level_firmware
         while self._idle_cores > 0 and not self.queue.empty:
+            if task_level and self.queue.all_claimed(self._task_claims):
+                # Event-register semantics: one core per event type, and
+                # every queued type is already being handled.  Popping
+                # now would only rotate claimed events through the retry
+                # path — reordering them without making progress — so
+                # leave the queue untouched until a handler finishes.
+                break
             event = self.queue.pop()
             assert event is not None
-            if self.config.task_level_firmware and self._task_claims[event.kind]:
-                # Event-register semantics: one core per event type.
+            if task_level and self._task_claims[event.kind]:
                 self.queue.push_retry(event)
-                if all(
-                    self._task_claims[e.kind] for e in list(self.queue._queue)
-                ):
-                    break
                 continue
             self._task_claims[event.kind] = True
             self._idle_cores -= 1
@@ -613,7 +733,7 @@ class ThroughputSimulator:
         fw = self.config.firmware
         frames = SEND_FRAMES_PER_BD_FETCH
         cycles = self._charge("send_dispatch_ordering", fw.dispatch_per_event)
-        cycles += self._acquire_lock("txq", now, _HOLD_TXQ, "send_locking")
+        cycles += self._acquire_lock("txq", now, _HOLD_TXQ, "send_locking", cycles)
         profile = IDEAL_PROFILES["fetch_send_bd"].per_frame.plus(
             fw.reentrancy_per_frame
         ).scaled(frames)
@@ -672,7 +792,7 @@ class ThroughputSimulator:
         if batch <= 0:
             self.queue.retries += 1
             return cycles  # retried when space frees or BDs arrive
-        cycles += self._acquire_lock("txq", now, _HOLD_TXQ, "send_locking")
+        cycles += self._acquire_lock("txq", now, _HOLD_TXQ, "send_locking", cycles)
         first = self._tx_claim_seq
         self._tx_claim_seq += batch
         self._tx_bd_onboard -= batch
@@ -767,7 +887,7 @@ class ThroughputSimulator:
                 # Every status-flag update synchronizes: acquire, RMW
                 # the flag word, release (Section 3.3).
                 cycles += self._acquire_lock(
-                    "order_tx", now, 22.0, "send_dispatch_ordering"
+                    "order_tx", now, 22.0, "send_dispatch_ordering", cycles
                 )
             cycles += self._charge_ordering(
                 "send_dispatch_ordering", self.board_tx_mac.mark_done(seq)
@@ -784,7 +904,7 @@ class ThroughputSimulator:
         cycles = 0.0
         if self.board_tx_mac.requires_lock:
             cycles += self._acquire_lock(
-                "order_tx", now, 26.0, "send_dispatch_ordering"
+                "order_tx", now, 26.0, "send_dispatch_ordering", cycles_so_far + cycles
             )
         first_committed = self.board_tx_mac.commit_seq
         committed, cost = self.board_tx_mac.commit()
@@ -795,7 +915,9 @@ class ThroughputSimulator:
         notified, notify_cost = self.board_tx_notify.commit()
         cycles += self._charge_ordering("send_dispatch_ordering", notify_cost)
         if notified:
-            cycles += self._acquire_lock("notify_tx", now, _HOLD_NOTIFY, "send_locking")
+            cycles += self._acquire_lock(
+                "notify_tx", now, _HOLD_NOTIFY, "send_locking", cycles_so_far + cycles
+            )
             done_ps = now + self.core_clock.cycles_to_ps(cycles_so_far + cycles)
             self.dma_write.descriptor_transfer(done_ps, DESCRIPTOR_BYTES)
             self._assist_touch(self.config.assist_accesses_per_dma)
@@ -889,10 +1011,26 @@ class ThroughputSimulator:
         self.sim.schedule_at(max(now, next_arrival), self._rx_pump)
 
     def _rx_store(self, seq: int) -> None:
+        if self.faults is not None and self.faults.rx_fcs_corrupt(seq, self.sim.now_ps):
+            # Bad FCS: the MAC drops the frame instead of storing it.
+            # Its sequence number is already consumed, so recovery means
+            # punching a hole the ordering commit can pass.
+            self._rx_fault_drop(seq)
+            return
         done_ps = self.mac_rx.store(
             self.sim.now_ps, self._rx_slot_address(seq), self.sizes.frame_bytes(seq)
         )
-        self.sim.schedule_at(done_ps, self._rx_frame_landed)
+        self.sim.schedule_at(done_ps, lambda s=seq: self._rx_frame_landed(s))
+
+    def _rx_fault_drop(self, seq: int) -> None:
+        """Recovery bookkeeping for an FCS-dropped receive frame."""
+        # No store happened: refund the buffer space claimed at arrival
+        # and wake the pump if the full buffer had put it to sleep.
+        self._rx_space += self.sizes.frame_bytes(seq)
+        self._rx_holes_uncommitted.add(seq)
+        self._rx_holes_completion.add(seq)
+        self._rx_frame_landed(seq, hole=True)
+        self._rx_space_freed()
 
     def _rx_space_freed(self) -> None:
         if not self._rx_pump_active:
@@ -905,14 +1043,24 @@ class ThroughputSimulator:
             self._rx_pump_active = True
             self._rx_pump()
 
-    def _rx_frame_landed(self) -> None:
-        seq = self._rx_written
-        self._rx_landed_at[seq] = self.sim.now_ps
-        self._rx_written += 1
-        if self.tracer.enabled:
-            self.tracer.frame_stage(
-                "rx", seq, FrameStage.RX_LANDED, self.sim.now_ps, track="mac-rx"
-            )
+    def _rx_frame_landed(self, seq: int, hole: bool = False) -> None:
+        if not hole:
+            self._rx_landed_at[seq] = self.sim.now_ps
+            if self.tracer.enabled:
+                self.tracer.frame_stage(
+                    "rx", seq, FrameStage.RX_LANDED, self.sim.now_ps, track="mac-rx"
+                )
+        if self.faults is None:
+            # SDRAM stores complete in order, so landings are contiguous.
+            self._rx_written += 1
+        else:
+            # A hole "lands" at wire end while an earlier frame's store
+            # may still be in flight, so landings can arrive out of
+            # order; advance the contiguous watermark explicitly.
+            self._rx_landed_flags.add(seq)
+            while self._rx_written in self._rx_landed_flags:
+                self._rx_landed_flags.remove(self._rx_written)
+                self._rx_written += 1
         self._queue_recv_frame_event()
 
     def _queue_recv_frame_event(self) -> None:
@@ -923,11 +1071,38 @@ class ThroughputSimulator:
         self._recv_event_queued = True
         self._push_event(FrameEvent(EventKind.RECV_FRAME))
 
+    def _rx_claim_window(self, available: int) -> "tuple":
+        """Fault-path batch selection over the claim window.
+
+        Sequence holes (FCS drops) occupy slots in the window but need
+        no receive BD and no host DMA, so they never count against
+        ``_rx_bds_onboard``.  Returns ``(batch, holes)`` where ``holes``
+        is the tuple of hole sequence numbers inside the batch."""
+        limit = min(available, self.config.recv_batch_max)
+        batch = 0
+        real = 0
+        holes = []
+        while batch < limit:
+            seq = self._rx_claim_seq + batch
+            if seq in self._rx_holes_completion:
+                holes.append(seq)
+            else:
+                if real >= self._rx_bds_onboard:
+                    break
+                real += 1
+            batch += 1
+        return batch, tuple(holes)
+
     def _handle_recv_frame(self, now: int) -> float:
         fw = self.config.firmware
         self._recv_event_queued = False
         available = self._rx_written - self._rx_claim_seq
-        batch = min(available, self.config.recv_batch_max, self._rx_bds_onboard)
+        if self.faults is None:
+            batch = min(available, self.config.recv_batch_max, self._rx_bds_onboard)
+            holes: "tuple" = ()
+        else:
+            batch, holes = self._rx_claim_window(available)
+        real = batch - len(holes)
         cycles = self._charge("recv_dispatch_ordering", fw.dispatch_per_event)
         if self.board_rx.requires_lock:
             cycles += self._commit_rx(now, cycles)
@@ -935,31 +1110,53 @@ class ThroughputSimulator:
         if batch <= 0:
             self.queue.retries += 1
             return cycles
+        first = self._rx_claim_seq
+        if holes:
+            # The handler sees the MAC's error status for each hole and
+            # resequences past it: a skip-mark on the ordering bitmap so
+            # the commit pointer can advance over the missing frame.
+            for seq in holes:
+                if self.board_rx.requires_lock:
+                    cycles += self._acquire_lock(
+                        "order_rx", now, 11.0, "recv_dispatch_ordering", cycles
+                    )
+                cycles += self._charge_ordering(
+                    "recv_dispatch_ordering", self.board_rx.skip(seq)
+                )
+                self._rx_holes_completion.discard(seq)
+        if real <= 0:
+            # Nothing but holes in the window: commit straight past them.
+            self._rx_claim_seq += batch
+            cycles += self._commit_rx(now, cycles)
+            if self._rx_written > self._rx_claim_seq:
+                self._queue_recv_frame_event()
+            return cycles
         # The receive-path lock: the shared host-buffer pool.  Held
         # per-frame work is done inside, which is why the paper sees it
         # heat up when RMW removes the ordering serialization.
         cycles += self._acquire_lock(
-            "rxpool", now, _HOLD_RXPOOL + 2.0 * batch, "recv_locking"
+            "rxpool", now, _HOLD_RXPOOL + 2.0 * real, "recv_locking", cycles
         )
-        first = self._rx_claim_seq
         self._rx_claim_seq += batch
-        self._rx_bds_onboard -= batch
+        self._rx_bds_onboard -= real
         cycles += self._charge(
-            "recv_dispatch_ordering", fw.dispatch_per_frame.scaled(batch)
+            "recv_dispatch_ordering", fw.dispatch_per_frame.scaled(real)
         )
         start_profile = IDEAL_PROFILES["recv_frame"].per_frame.plus(
             fw.reentrancy_per_frame
-        ).scaled(batch * _START_FRACTION)
-        cycles += self._charge("recv_frame", start_profile, frames=batch)
-        checksum = self._checksum_profile(first, batch)
+        ).scaled(real * _START_FRACTION)
+        cycles += self._charge("recv_frame", start_profile, frames=real)
+        checksum = self._checksum_profile(first, batch, skip=set(holes))
         if checksum is not None:
             cycles += self._charge("recv_frame", checksum)
 
         issue_ps = now + self.core_clock.cycles_to_ps(cycles)
-        pending = {"left": batch}
+        pending = {"left": real}
         if self.tracer.enabled:
             core_track = f"core{self._current_core}"
             for seq in range(first, first + batch):
+                if seq in holes:
+                    continue
                 self.tracer.frame_stage("rx", seq, FrameStage.EVENT_DISPATCHED, now)
                 self.tracer.frame_stage(
                     "rx", seq, FrameStage.HANDLER_RUN, now, track=core_track
@@ -968,12 +1165,16 @@ class ThroughputSimulator:
                     "rx", seq, FrameStage.DMA_ISSUED, issue_ps, track="dma-write"
                 )
 
-        def transfer_done(_finish_ps: int, f: int = first, b: int = batch) -> None:
+        def transfer_done(
+            _finish_ps: int, f: int = first, b: int = batch, h: "tuple" = holes
+        ) -> None:
             pending["left"] -= 1
             if pending["left"] == 0:
                 if self.tracer.enabled:
                     done_ps = self.sim.now_ps
                     for seq in range(f, f + b):
+                        if seq in h:
+                            continue
                         self.tracer.frame_stage(
                             "rx", seq, FrameStage.DMA_COMPLETE, done_ps, track="dma-write"
                         )
@@ -985,10 +1186,19 @@ class ThroughputSimulator:
                         first_seq=f,
                         count=b,
                     )
-                self._push_event(FrameEvent(EventKind.RECV_COMPLETE, first_seq=f, count=b))
+                self._push_event(
+                    FrameEvent(
+                        EventKind.RECV_COMPLETE,
+                        first_seq=f,
+                        count=b,
+                        payload=h if h else None,
+                    )
+                )
 
         for index in range(batch):
             seq = first + index
+            if seq in holes:
+                continue
             self.dma_write.frame_transfer(
                 issue_ps,
                 self.driver.layout.rx_buffer_address(seq),
@@ -1004,20 +1214,27 @@ class ThroughputSimulator:
     def _handle_recv_complete(self, now: int, event: FrameEvent) -> float:
         fw = self.config.firmware
         batch = event.count
+        # Sequence holes inside the bundle (fault path) were already
+        # skip-marked at claim time: no per-frame completion work, and
+        # marking them again would corrupt the ordering bitmap.
+        holes = event.payload or ()
+        real = batch - len(holes)
         cycles = self._charge("recv_dispatch_ordering", fw.dispatch_per_event)
         finish_profile = IDEAL_PROFILES["recv_frame"].per_frame.scaled(
-            batch * _FINISH_FRACTION
+            real * _FINISH_FRACTION
         )
         cycles += self._charge("recv_frame", finish_profile, frames=0)
         cycles += self._charge(
-            "recv_dispatch_ordering", fw.recv_completion_per_frame.scaled(batch)
+            "recv_dispatch_ordering", fw.recv_completion_per_frame.scaled(real)
         )
 
         software = self.board_rx.requires_lock
         for seq in range(event.first_seq, event.first_seq + batch):
+            if seq in holes:
+                continue
             if software:
                 cycles += self._acquire_lock(
-                    "order_rx", now, 11.0, "recv_dispatch_ordering"
+                    "order_rx", now, 11.0, "recv_dispatch_ordering", cycles
                 )
             cycles += self._charge_ordering(
                 "recv_dispatch_ordering", self.board_rx.mark_done(seq)
@@ -1030,13 +1247,20 @@ class ThroughputSimulator:
         cycles = 0.0
         if self.board_rx.requires_lock:
             cycles += self._acquire_lock(
-                "order_rx", now, 18.0, "recv_dispatch_ordering"
+                "order_rx", now, 18.0, "recv_dispatch_ordering", cycles_so_far + cycles
             )
         committed, cost = self.board_rx.commit()
         cycles += self._charge_ordering("recv_dispatch_ordering", cost)
         freed_bytes = 0
+        holes = 0
         trace_on = self.tracer.enabled
         for seq in range(self.board_rx.commit_seq - committed, self.board_rx.commit_seq):
+            if self.faults is not None and seq in self._rx_holes_uncommitted:
+                # A hole commits (the pointer passes it) but delivers
+                # nothing: no payload, no descriptor, no driver notify.
+                self._rx_holes_uncommitted.discard(seq)
+                holes += 1
+                continue
             freed_bytes += self.sizes.frame_bytes(seq)
             self._rx_payload_done += self.sizes.payload_bytes(seq)
             if trace_on:
@@ -1046,16 +1270,20 @@ class ThroughputSimulator:
                 self._rx_latency_sum_ps += now - landed
                 self._rx_latency_samples += 1
                 self.rx_latency_histogram.record((now - landed) / 1e6)  # us
-        if committed:
-            cycles += self._acquire_lock("notify_rx", now, _HOLD_NOTIFY, "recv_locking")
+        delivered = committed - holes
+        self._rx_hole_frames += holes
+        if delivered:
+            cycles += self._acquire_lock(
+                "notify_rx", now, _HOLD_NOTIFY, "recv_locking", cycles_so_far + cycles
+            )
             done_ps = now + self.core_clock.cycles_to_ps(cycles_so_far + cycles)
-            self.dma_write.descriptor_transfer(done_ps, committed * DESCRIPTOR_BYTES)
+            self.dma_write.descriptor_transfer(done_ps, delivered * DESCRIPTOR_BYTES)
             self._assist_touch(self.config.assist_accesses_per_dma)
             interrupt = (
                 self.board_rx.commit_seq % self.config.interrupt_coalesce_frames
             ) < committed
-            self.driver.complete_receives(committed, interrupt)
-            self._rx_done_frames += committed
+            self.driver.complete_receives(delivered, interrupt)
+            self._rx_done_frames += delivered
             self._rx_space += freed_bytes
             self.sim.schedule(
                 self.core_clock.cycles_to_ps(cycles_so_far + cycles),
@@ -1085,7 +1313,7 @@ class ThroughputSimulator:
         fw = self.config.firmware
         frames = RECV_BDS_PER_FETCH
         cycles = self._charge("recv_dispatch_ordering", fw.dispatch_per_event)
-        cycles += self._acquire_lock("rxpool", now, _HOLD_RXPOOL, "recv_locking")
+        cycles += self._acquire_lock("rxpool", now, _HOLD_RXPOOL, "recv_locking", cycles)
         profile = IDEAL_PROFILES["fetch_recv_bd"].per_frame.plus(
             fw.reentrancy_per_frame
         ).scaled(frames)
@@ -1182,6 +1410,10 @@ class ThroughputSimulator:
         )
         for name, lock in self.locks.items():
             values[f"counter.lock_wait_cycles.{name}"] = lock.total_wait_cycles
+        if self.faults is not None:
+            for key, value in self.faults.counters.items():
+                values[f"counter.fault.{key}"] = float(value)
+            values["counter.rx_hole_frames"] = float(self._rx_hole_frames)
         return values
 
     def sample_metrics_every(self, interval_ps: int) -> MetricsSampler:
@@ -1235,6 +1467,10 @@ class ThroughputSimulator:
             "lock_waits": {
                 name: lock.total_wait_cycles for name, lock in self.locks.items()
             },
+            "rx_holes": self._rx_hole_frames,
+            "fault_counters": (
+                self.faults.snapshot() if self.faults is not None else None
+            ),
             "now_ps": self.sim.now_ps,
         }
 
@@ -1267,6 +1503,13 @@ class ThroughputSimulator:
             name: lock.total_wait_cycles - snap["lock_waits"][name]  # type: ignore[index]
             for name, lock in self.locks.items()
         }
+        fault_counters: Dict[str, float] = {}
+        if self.faults is not None:
+            before_faults = snap["fault_counters"]
+            fault_counters = {
+                key: float(value - before_faults[key])  # type: ignore[index]
+                for key, value in self.faults.counters.items()
+            }
         return ThroughputResult(
             config=self.config,
             udp_payload_bytes=self.udp_payload_bytes,
@@ -1307,4 +1550,6 @@ class ThroughputSimulator:
                 else 0.0
             ),
             p99_rx_commit_latency_s=self.rx_latency_histogram.percentile(0.99) * 1e-6,
+            rx_holes=self._rx_hole_frames - snap["rx_holes"],  # type: ignore[operator]
+            fault_counters=fault_counters,
         )

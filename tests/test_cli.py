@@ -11,7 +11,7 @@ class TestParser:
     def test_all_subcommands_registered(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("run", "sweep", "report", "asm", "ilp"):
+        for command in ("run", "sweep", "faults", "report", "asm", "ilp"):
             assert command in text
 
 
@@ -74,6 +74,57 @@ class TestSweep:
         out = capsys.readouterr().out
         assert code == 0
         assert "133" in out and "200" in out
+
+
+class TestFaults:
+    def test_single_run_report(self, capsys):
+        code = main([
+            "faults", "--cores", "4", "--mhz", "166", "--millis", "0.3",
+            "--fcs-rate", "0.02",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "goodput" in out
+        assert "rx_fcs_drops" in out
+
+    def test_single_run_json(self, capsys):
+        import json
+        code = main([
+            "faults", "--millis", "0.2", "--fcs-rate", "0.02", "--json",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        data = json.loads(out)
+        assert data["faults"]["counters"]["rx_fcs_drops"] > 0
+        assert data["faults"]["rx_holes"] >= 0
+
+    def test_no_faults_notice(self, capsys):
+        code = main(["faults", "--millis", "0.2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no faults enabled" in out
+
+    def test_rate_sweep_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "curve.csv"
+        code = main([
+            "faults", "--millis", "0.2", "--sweep-axis", "fcs",
+            "--rates", "0", "0.05", "--no-cache", "--csv", str(csv_path),
+        ])
+        capsys.readouterr()
+        assert code == 0
+        lines = csv_path.read_text().splitlines()
+        assert "rx_holes" in lines[0]
+        assert len(lines) == 3  # header + two rate points
+
+    def test_rate_sweep_table(self, capsys):
+        code = main([
+            "faults", "--millis", "0.2", "--sweep-axis", "sdram",
+            "--rates", "0", "0.01", "--no-cache",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sdram_error_rate" in out
+        assert "goodput" in out
 
 
 class TestAsm:

@@ -60,6 +60,89 @@ class TestDistributedEventQueue:
         with pytest.raises(ValueError):
             DistributedEventQueue(max_depth=0)
 
+    def test_is_full(self):
+        queue = DistributedEventQueue(max_depth=2)
+        assert not queue.is_full
+        queue.push(FrameEvent(EventKind.SEND_FRAME))
+        queue.push(FrameEvent(EventKind.SEND_FRAME))
+        assert queue.is_full
+        queue.pop()
+        assert not queue.is_full
+
+    def test_all_claimed_empty_queue(self):
+        claims = {kind: False for kind in EventKind}
+        assert DistributedEventQueue().all_claimed(claims)
+
+    def test_all_claimed_tracks_queued_kinds(self):
+        queue = DistributedEventQueue()
+        queue.push(FrameEvent(EventKind.SEND_FRAME))
+        queue.push(FrameEvent(EventKind.RECV_FRAME))
+        claims = {kind: False for kind in EventKind}
+        assert not queue.all_claimed(claims)
+        claims[EventKind.SEND_FRAME] = True
+        assert not queue.all_claimed(claims)  # RECV_FRAME still runnable
+        claims[EventKind.RECV_FRAME] = True
+        assert queue.all_claimed(claims)
+        # Claims on kinds that are not queued are irrelevant.
+        claims[EventKind.SEND_FRAME] = False
+        queue.pop()  # removes SEND_FRAME
+        assert queue.all_claimed(claims)
+
+
+class TestTaskLevelDispatchRegression:
+    """Bugfix: with every queued kind claimed, dispatch used to pop each
+    event and ``push_retry`` it — spinning without progress (the queue
+    never drains, idle cores never decrease) and reordering the claimed
+    events behind any later arrivals."""
+
+    def _sim(self):
+        from repro.nic import NicConfig, ThroughputSimulator
+
+        return ThroughputSimulator(
+            NicConfig(cores=2, task_level_firmware=True)
+        )
+
+    def test_all_claimed_breaks_without_touching_queue(self):
+        sim = self._sim()
+        sim._task_claims[EventKind.SEND_FRAME] = True
+        first = FrameEvent(EventKind.SEND_FRAME, first_seq=1)
+        second = FrameEvent(EventKind.SEND_FRAME, first_seq=2)
+        sim.queue.push(first)
+        sim.queue.push(second)
+        sim._dispatch()  # must return, not livelock
+        # No pop/retry churn: the events sit untouched, in order.
+        assert sim.queue.retries == 0
+        assert sim.queue.dequeues == 0
+        assert sim.queue.pop() is first
+        assert sim.queue.pop() is second
+
+    def test_unclaimed_kind_still_dispatches(self):
+        sim = self._sim()
+        sim._task_claims[EventKind.SEND_FRAME] = True
+        blocked = FrameEvent(EventKind.SEND_FRAME, first_seq=1)
+        sim.queue.push(blocked)
+        sim.queue.push(FrameEvent(EventKind.FETCH_SEND_BD, first_seq=0, count=1))
+        idle_before = sim._idle_cores
+        sim._dispatch()
+        # The runnable FETCH_SEND_BD event was handled...
+        assert sim._idle_cores == idle_before - 1
+        assert sim._task_claims[EventKind.FETCH_SEND_BD]
+        # ...and the claimed event is requeued, not lost.
+        assert sim.queue.pop() is blocked
+
+    def test_same_kind_never_runs_twice_concurrently_under_retry(self):
+        sim = self._sim()
+        for seq in range(3):
+            sim.queue.push(FrameEvent(EventKind.SEND_COMPLETE, first_seq=seq))
+        sim._dispatch()
+        # One claimed, the others parked (2 cores were available, but
+        # the event-register semantics allow only one SEND_COMPLETE).
+        assert sim._task_claims[EventKind.SEND_COMPLETE]
+        remaining = [sim.queue.pop() for _ in range(len(sim.queue))]
+        parked = [e for e in remaining if e.kind is EventKind.SEND_COMPLETE]
+        assert len(parked) == 2  # deferred, not lost or duplicated
+        assert [e.first_seq for e in parked] == [1, 2]  # original order kept
+
 
 class TestEventRegister:
     def test_claim_requires_pending(self):

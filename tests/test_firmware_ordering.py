@@ -92,12 +92,63 @@ class TestBoardBasics:
         assert OrderingBoard(32, SW).requires_lock
         assert not OrderingBoard(32, RMW).requires_lock
 
-    def test_pending_counts_consecutive(self):
+    def test_pending_counts_whole_ring(self):
+        # Regression: `pending` used to stop scanning at the first
+        # unmarked slot, undercounting frames marked behind a gap.
         board = OrderingBoard(64, RMW)
         board.mark_done(0)
         board.mark_done(1)
         board.mark_done(3)
-        assert board.pending == 2
+        assert board.pending == 3
+
+    def test_pending_counts_gapped_bitmap(self):
+        board = OrderingBoard(64, RMW)
+        for seq in (0, 2, 5, 9, 33, 63):
+            board.mark_done(seq)
+        assert board.pending == 6
+        committed, _ = board.commit()
+        assert committed == 1  # only seq 0 was consecutive
+        assert board.pending == 5  # the gapped marks all still pending
+
+    def test_pending_after_partial_commit_behind_gap(self):
+        board = OrderingBoard(32, RMW)
+        board.mark_done(0)
+        board.mark_done(1)
+        board.mark_done(4)
+        board.commit()
+        assert board.commit_seq == 2
+        assert board.pending == 1  # seq 4 waits behind the 2-3 gap
+
+
+class TestSkipRecovery:
+    """Fault recovery: holes resequence past without wedging the pointer."""
+
+    @pytest.mark.parametrize("mode", [SW, RMW])
+    def test_skip_lets_commit_cross_the_hole(self, mode):
+        board = OrderingBoard(64, mode)
+        board.mark_done(0)
+        board.skip(1)  # frame 1 dropped at the MAC
+        board.mark_done(2)
+        count, _cost = board.commit()
+        assert count == 3
+        assert board.commit_seq == 3
+        assert board.marked == 2
+        assert board.skipped == 1
+
+    @pytest.mark.parametrize("mode", [SW, RMW])
+    def test_skip_behind_gap_waits_like_a_mark(self, mode):
+        board = OrderingBoard(64, mode)
+        board.skip(1)
+        count, _cost = board.commit()
+        assert count == 0  # still gated on frame 0
+        board.mark_done(0)
+        count, _cost = board.commit()
+        assert count == 2
+
+    def test_skip_respects_lap_protection(self):
+        board = OrderingBoard(32, RMW)
+        with pytest.raises(ValueError):
+            board.skip(32)
 
 
 class TestModeEquivalence:
@@ -118,6 +169,100 @@ class TestModeEquivalence:
                     commits[mode].append(count)
             assert commits[SW] == commits[RMW]
             assert boards[SW].commit_seq == boards[RMW].commit_seq == 48
+
+    def test_same_commit_sequence_across_ring_wraps(self):
+        """Windowed random interleaving driven far past the ring size, so
+        the RMW ``last = index - 1`` boundary case (-1 at every ring and
+        word wrap) is exercised against the software scan."""
+        import random
+        rng = random.Random(7)
+        ring = 32
+        total = 5 * ring + 17
+        boards = {mode: OrderingBoard(ring, mode) for mode in (SW, RMW)}
+        commits = {mode: [] for mode in (SW, RMW)}
+        next_seq = 0
+        window = []
+        while next_seq < total or window:
+            # Keep an in-flight window inside the lap-protection bound:
+            # never issue a sequence a full ring ahead of the commit
+            # pointer (the earliest unmarked frame pins that pointer).
+            frontier = boards[SW].commit_seq
+            while (next_seq < total and len(window) < ring // 2
+                   and next_seq < frontier + ring):
+                window.append(next_seq)
+                next_seq += 1
+            seq = window.pop(rng.randrange(len(window)))
+            for mode, board in boards.items():
+                board.mark_done(seq)
+                count, _ = board.commit()
+                commits[mode].append(count)
+        assert commits[SW] == commits[RMW]
+        assert boards[SW].commit_seq == boards[RMW].commit_seq == total
+
+    def test_skip_equivalence_with_random_holes(self):
+        import random
+        rng = random.Random(13)
+        ring = 64
+        total = 3 * ring
+        holes = {seq for seq in range(total) if rng.random() < 0.2}
+        boards = {mode: OrderingBoard(ring, mode) for mode in (SW, RMW)}
+        for start in range(0, total, ring // 2):
+            chunk = list(range(start, start + ring // 2))
+            rng.shuffle(chunk)
+            for seq in chunk:
+                for board in boards.values():
+                    if seq in holes:
+                        board.skip(seq)
+                    else:
+                        board.mark_done(seq)
+            counts = {mode: board.commit()[0] for mode, board in boards.items()}
+            assert counts[SW] == counts[RMW]
+        assert boards[SW].commit_seq == boards[RMW].commit_seq == total
+        assert boards[SW].skipped == boards[RMW].skipped == len(holes)
+
+
+class TestRmwRingWrap:
+    """Regression coverage for ``_commit_rmw``'s word/ring boundary
+    arithmetic (``last = index - 1`` is -1 exactly at a ring wrap)."""
+
+    def test_commit_starting_exactly_at_ring_boundary(self):
+        ring = 32
+        board = OrderingBoard(ring, RMW)
+        for seq in range(ring):
+            board.mark_done(seq)
+        assert board.commit()[0] == ring
+        assert board.commit_seq % ring == 0  # pointer parked on the wrap
+        for seq in range(ring, ring + 5):
+            board.mark_done(seq)
+        count, _cost = board.commit()
+        assert count == 5
+        assert board.commit_seq == ring + 5
+
+    def test_run_spanning_the_wrap_commits_in_two_calls(self):
+        ring = 32
+        board = OrderingBoard(ring, RMW)
+        for seq in range(ring - 4):
+            board.mark_done(seq)
+        board.commit()
+        # Mark a run crossing the wrap: 28..31 then 32..35.
+        for seq in range(ring - 4, ring + 4):
+            board.mark_done(seq)
+        count, _cost = board.commit()
+        assert count == 8  # the loop follows the run across the wrap
+        assert board.commit_seq == ring + 4
+
+    def test_many_laps_stay_consistent(self):
+        ring = 32
+        board = OrderingBoard(ring, RMW)
+        for lap in range(8):
+            base = lap * ring
+            for offset in (1, 0, 3, 2):  # small out-of-order shuffle
+                for seq in range(base + offset, base + ring, 4):
+                    board.mark_done(seq)
+            count, _cost = board.commit()
+            assert count == ring
+        assert board.commit_seq == 8 * ring
+        assert board.pending == 0
 
 
 class TestCostAsymmetry:
