@@ -1,0 +1,95 @@
+"""Fabric-layer consistency and overhead guard.
+
+The fabric's 1-NIC loopback topology (``FabricSpec.loopback()``) runs
+the *same* firmware/assist/memory pipeline as a bare
+:class:`~repro.nic.throughput.ThroughputSimulator` — only the traffic
+edges differ (flow-driven posts and wire-fed arrivals instead of the
+analytic saturation streams).  This benchmark asserts the two paths
+agree:
+
+* **modeled goodput** (deterministic, the real guard): the loopback
+  flow's delivered goodput must stay within 5% of the bare simulator's
+  receive goodput over the same windows.  The residual is a constant
+  handful of frames in flight across the window boundaries, so it
+  shrinks as 1/measure-window; the 1 ms window used here leaves a wide
+  margin.
+* **wall time** (informational): the fabric's per-frame bookkeeping
+  (frame identity maps, recorded sizes, flow callbacks) costs real
+  work; the ratio is reported so regressions are visible, but shared-CI
+  noise makes it a poor hard gate.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks._helpers import emit, run_once
+from repro.fabric import FabricSimulator, FabricSpec
+from repro.nic import NicConfig
+from repro.nic.throughput import ThroughputSimulator
+from repro.units import mhz
+
+REPS = 3
+WARMUP_S = 0.2e-3
+MEASURE_S = 1.0e-3
+MAX_GOODPUT_DIVERGENCE = 0.05  # 5%
+
+
+def _config() -> NicConfig:
+    # Compute-bound point: both paths bottleneck on the same pipeline,
+    # so the goodput comparison is sharp (not hidden under line rate).
+    return NicConfig(cores=2, core_frequency_hz=mhz(133))
+
+
+def _run_bare():
+    simulator = ThroughputSimulator(_config(), 1472)
+    return simulator.run(warmup_s=WARMUP_S, measure_s=MEASURE_S)
+
+
+def _run_fabric():
+    fabric = FabricSimulator(_config(), FabricSpec.loopback())
+    return fabric.run(warmup_s=WARMUP_S, measure_s=MEASURE_S)
+
+
+def _measure():
+    # Untimed warm-up pass for interpreter/caches.
+    _run_bare()
+    bare_result = fabric_result = None
+    bare_times, fabric_times = [], []
+    for _ in range(REPS):
+        started = time.perf_counter()
+        bare_result = _run_bare()
+        bare_times.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        fabric_result = _run_fabric()
+        fabric_times.append(time.perf_counter() - started)
+    return bare_result, fabric_result, min(bare_times), min(fabric_times)
+
+
+def test_loopback_fabric_tracks_bare_simulator(benchmark):
+    bare, fabric, bare_s, fabric_s = run_once(benchmark, _measure)
+    bare_gbps = bare.rx_payload_bytes * 8 / MEASURE_S / 1e9
+    flow = fabric.primary_flow
+    divergence = abs(flow.goodput_gbps - bare_gbps) / bare_gbps
+    wall_ratio = fabric_s / bare_s
+    emit(
+        "Fabric loopback vs bare ThroughputSimulator\n"
+        f"  bare rx goodput:     {bare_gbps:8.4f} Gb/s "
+        f"({bare_s * 1e3:.1f} ms wall)\n"
+        f"  fabric loopback:     {flow.goodput_gbps:8.4f} Gb/s "
+        f"({fabric_s * 1e3:.1f} ms wall, {flow.delivered} delivered, "
+        f"{flow.lost} lost)\n"
+        f"  goodput divergence:  {divergence:.2%} "
+        f"(guard <{MAX_GOODPUT_DIVERGENCE:.0%})\n"
+        f"  wall-time ratio:     {wall_ratio:.2f}x (informational)"
+    )
+    assert flow.lost == 0, f"lossless loopback dropped {flow.lost} frames"
+    assert divergence <= MAX_GOODPUT_DIVERGENCE, (
+        f"1-NIC fabric goodput {flow.goodput_gbps:.4f} Gb/s diverged "
+        f"{divergence:.2%} from bare simulator {bare_gbps:.4f} Gb/s "
+        f"(limit {MAX_GOODPUT_DIVERGENCE:.0%})"
+    )
+    # The guard is not vacuous: the loopback actually moved traffic and
+    # measured one-way latency.
+    assert flow.delivered > 0 and flow.oneway.count == flow.delivered
+    assert flow.oneway.p99_us >= flow.oneway.p50_us > 0

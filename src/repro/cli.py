@@ -5,6 +5,7 @@ Subcommands::
     repro run      one full-duplex throughput experiment
     repro sweep    cores x frequency design-space sweep
     repro faults   throughput under injected faults (run or rate sweep)
+    repro fabric   multi-NIC fabric: RPC/stream flows, latency percentiles
     repro report   regenerate the paper's whole evaluation
     repro asm      assemble and run a MIPS firmware file
     repro ilp      IPC-limit analysis of a firmware trace
@@ -141,6 +142,66 @@ def _add_faults_parser(subparsers) -> None:
                         help="sweep mode: write per-point rows as CSV")
 
 
+def _add_fabric_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "fabric",
+        help="multi-NIC fabric with stateful flows (docs/fabric.md)",
+    )
+    # -- NIC configuration ------------------------------------------------
+    parser.add_argument("--cores", type=int, default=6)
+    parser.add_argument("--mhz", type=float, default=166)
+    parser.add_argument("--banks", type=int, default=4)
+    parser.add_argument("--ordering", choices=["rmw", "software"], default="rmw")
+    # -- topology ---------------------------------------------------------
+    parser.add_argument("--nics", type=int, default=2,
+                        help="endpoints in the fabric (default: 2)")
+    parser.add_argument("--prop-us", type=float, default=1.0,
+                        help="per-hop propagation delay in microseconds")
+    parser.add_argument("--switch", action="store_true",
+                        help="route through a store-and-forward switch "
+                             "instead of dedicated links")
+    parser.add_argument("--port-queue", type=int, default=64,
+                        help="switch output-port queue depth in frames")
+    parser.add_argument("--switch-latency-us", type=float, default=0.5,
+                        help="switch forwarding latency in microseconds")
+    # -- flows ------------------------------------------------------------
+    parser.add_argument("--concurrency", type=int, default=4,
+                        help="RPC outstanding-request window (0 = no RPC flow)")
+    parser.add_argument("--request-bytes", type=int, default=64)
+    parser.add_argument("--response-bytes", type=int, default=1472)
+    parser.add_argument("--think-us", type=float, default=0.0,
+                        help="client think time between exchanges")
+    parser.add_argument("--stream-load", type=float, default=0.0,
+                        help="add an open-loop 0->1 bulk stream at this "
+                             "fraction of line rate (0 = none)")
+    parser.add_argument("--stream-bytes", type=int, default=1472)
+    # -- windows ----------------------------------------------------------
+    parser.add_argument("--millis", type=float, default=0.5,
+                        help="measurement window in simulated milliseconds")
+    parser.add_argument("--warmup-millis", type=float, default=0.2)
+    parser.add_argument("--seed", type=int, default=0,
+                        help="fabric seed (salts per-endpoint fault streams)")
+    # -- sweep mode -------------------------------------------------------
+    parser.add_argument("--sweep-loads", type=float, nargs="+", default=[],
+                        metavar="FRACTION",
+                        help="sweep the stream offered load over these "
+                             "fractions (engine path: parallel + cached)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for the sweep")
+    parser.add_argument("--cache-dir", type=str, default=None, metavar="DIR")
+    parser.add_argument("--no-cache", action="store_true")
+    # -- output -----------------------------------------------------------
+    parser.add_argument("--trace", type=str, default="", metavar="OUT.json",
+                        help="write a Perfetto/Chrome trace with per-NIC "
+                             "tracks plus cross-NIC fabric spans")
+    parser.add_argument("--json", type=str, default="", metavar="PATH",
+                        dest="json_out", nargs="?", const="-",
+                        help="emit results as JSON ('-' or no value = stdout)")
+    parser.add_argument("--csv", type=str, default="", metavar="PATH",
+                        dest="csv_out",
+                        help="sweep mode: write per-point rows as CSV")
+
+
 def _add_report_parser(subparsers) -> None:
     parser = subparsers.add_parser(
         "report", help="regenerate the paper's evaluation section"
@@ -182,6 +243,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_parser(subparsers)
     _add_sweep_parser(subparsers)
     _add_faults_parser(subparsers)
+    _add_fabric_parser(subparsers)
     _add_report_parser(subparsers)
     _add_asm_parser(subparsers)
     _add_ilp_parser(subparsers)
@@ -494,6 +556,208 @@ def _faults_sweep(args, config) -> int:
     return 0
 
 
+def _fabric_spec_from_args(args):
+    from repro.fabric import FabricSpec, RpcFlowSpec, StreamFlowSpec
+
+    rpc_flows = ()
+    if args.concurrency > 0:
+        rpc_flows = (
+            RpcFlowSpec(
+                client=0,
+                server=min(1, args.nics - 1),
+                request_payload_bytes=args.request_bytes,
+                response_payload_bytes=args.response_bytes,
+                concurrency=args.concurrency,
+                think_ps=round(args.think_us * 1e6),
+                name="rpc0",
+            ),
+        )
+    stream_flows = ()
+    if args.stream_load > 0 or args.sweep_loads:
+        stream_flows = (
+            StreamFlowSpec(
+                src=0,
+                dst=min(1, args.nics - 1),
+                udp_payload_bytes=args.stream_bytes,
+                offered_fraction=args.stream_load or 1.0,
+                name="stream0",
+            ),
+        )
+    return FabricSpec(
+        nics=args.nics,
+        propagation_delay_ps=round(args.prop_us * 1e6),
+        switch=args.switch,
+        port_queue_frames=args.port_queue,
+        switch_latency_ps=round(args.switch_latency_us * 1e6),
+        rpc_flows=rpc_flows,
+        stream_flows=stream_flows,
+        seed=args.seed,
+    )
+
+
+def _cmd_fabric(args) -> int:
+    from repro.nic import NicConfig
+
+    config = NicConfig(
+        cores=args.cores,
+        core_frequency_hz=mhz(args.mhz),
+        scratchpad_banks=args.banks,
+        ordering_mode=_ordering(args.ordering),
+    )
+    try:
+        spec = _fabric_spec_from_args(args)
+    except ValueError as error:
+        print(f"invalid fabric: {error}", file=sys.stderr)
+        return 2
+    if args.sweep_loads:
+        return _fabric_sweep(args, config, spec)
+    return _fabric_single(args, config, spec)
+
+
+def _fabric_single(args, config, spec) -> int:
+    from repro.analysis import format_table
+    from repro.fabric import FabricSimulator
+
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+    fabric = FabricSimulator(config, spec, tracer=tracer)
+    result = fabric.run(
+        warmup_s=args.warmup_millis * 1e-3, measure_s=args.millis * 1e-3
+    )
+    if tracer is not None:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(tracer, args.trace,
+                           process_name=f"fabric x{spec.nics}")
+        print(f"trace written to {args.trace} ({len(tracer.events)} events; "
+              f"open in chrome://tracing or ui.perfetto.dev)", file=sys.stderr)
+    if args.json_out:
+        import json
+
+        text = json.dumps(result.to_dict(), indent=2)
+        if args.json_out == "-":
+            print(text)
+        else:
+            with open(args.json_out, "w") as handle:
+                handle.write(text + "\n")
+            print(f"result written to {args.json_out}", file=sys.stderr)
+        return 0
+    topology = (
+        f"switch (queue {spec.port_queue_frames})" if spec.switch
+        else "direct links"
+    )
+    print(f"{config.label}  {spec.nics} NICs via {topology}, "
+          f"prop {spec.propagation_delay_ps / 1e6:g} us/hop")
+    print(f"  aggregate goodput {result.aggregate_goodput_gbps:.2f} Gb/s, "
+          f"switch drops {result.switch_drops}, mac drops {result.mac_drops}")
+    rows = []
+    for flow in result.flows.values():
+        rtt = flow.rtt
+        rows.append([
+            flow.name,
+            flow.kind,
+            flow.delivered,
+            flow.lost,
+            flow.retransmits,
+            f"{flow.goodput_gbps:.2f}",
+            f"{flow.oneway.p50_us:.1f}",
+            f"{flow.oneway.p99_us:.1f}",
+            f"{rtt.p50_us:.1f}" if rtt else "-",
+            f"{rtt.p99_us:.1f}" if rtt else "-",
+            f"{rtt.p999_us:.1f}" if rtt else "-",
+        ])
+    print(format_table(
+        ["flow", "kind", "delivered", "lost", "retx", "Gb/s",
+         "ow p50", "ow p99", "rtt p50", "rtt p99", "rtt p999"],
+        rows,
+        title="per-flow latency (us) over the measured window",
+    ))
+    return 0
+
+
+def _fabric_sweep(args, config, spec) -> int:
+    from repro.analysis import format_table
+    from repro.exp import Sweep, SweepRunner, default_cache_dir
+
+    sweep = Sweep.fabric_grid(
+        "fabric-load",
+        base_fabric=spec,
+        loads=args.sweep_loads,
+        base_config=config,
+        warmup_s=args.warmup_millis * 1e-3,
+        measure_s=args.millis * 1e-3,
+    )
+    cache_dir = args.cache_dir if args.cache_dir is not None else default_cache_dir()
+    runner = SweepRunner(
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        use_cache=not args.no_cache,
+        progress=sys.stderr,
+        label=sweep.name,
+    )
+    outcome = sweep.run(runner)
+    records = Sweep.rows(outcome)
+
+    emitted_to_stdout = False
+    if args.json_out:
+        import json
+
+        text = json.dumps({"name": sweep.name, "points": records}, indent=2)
+        if args.json_out == "-":
+            print(text)
+            emitted_to_stdout = True
+        else:
+            with open(args.json_out, "w") as handle:
+                handle.write(text + "\n")
+            print(f"results written to {args.json_out}", file=sys.stderr)
+    if args.csv_out:
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.DictWriter(
+            buffer, fieldnames=list(records[0].keys()), lineterminator="\n"
+        )
+        writer.writeheader()
+        writer.writerows(records)
+        if args.csv_out == "-":
+            print(buffer.getvalue(), end="")
+            emitted_to_stdout = True
+        else:
+            with open(args.csv_out, "w") as handle:
+                handle.write(buffer.getvalue())
+            print(f"results written to {args.csv_out}", file=sys.stderr)
+
+    if not emitted_to_stdout:
+        rows = [
+            [f"{load:g}",
+             f"{record['aggregate_goodput_gbps']:.2f}",
+             record["switch_drops"],
+             record["lost"],
+             f"{record['oneway_p50_us']:.1f}",
+             f"{record['oneway_p99_us']:.1f}",
+             f"{record['rtt_p99_us']:.1f}" if record["rtt_p99_us"] is not None
+             else "-"]
+            for load, record in zip(args.sweep_loads, records)
+        ]
+        print(format_table(
+            ["load", "goodput Gb/s", "switch drops", "lost",
+             "ow p50 us", "ow p99 us", "rtt p99 us"],
+            rows,
+            title=f"latency vs offered load, {config.label}, "
+                  f"{spec.nics} NICs" + (", switched" if spec.switch else ""),
+        ))
+    print(
+        f"fabric: {len(outcome)} points, {outcome.cache_hits} cache hits, "
+        f"{outcome.executed} executed in {outcome.elapsed_s:.1f}s",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.analysis.full_report import generate_full_report
 
@@ -591,6 +855,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
     "faults": _cmd_faults,
+    "fabric": _cmd_fabric,
     "report": _cmd_report,
     "asm": _cmd_asm,
     "ilp": _cmd_ilp,

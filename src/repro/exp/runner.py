@@ -52,6 +52,13 @@ def execute_spec(spec: RunSpec):
     from repro.nic.throughput import ThroughputSimulator
 
     random.seed(spec_seed(spec))
+    if spec.fabric_spec is not None:
+        from repro.fabric import FabricSimulator
+
+        fabric = FabricSimulator(
+            spec.config, spec.fabric_spec, fault_plan=spec.fault_plan
+        )
+        return fabric.run(spec.warmup_s, spec.measure_s)
     workload = spec.workload
     simulator = ThroughputSimulator(
         spec.config,

@@ -24,6 +24,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
+from repro.fabric.spec import FabricSpec
 from repro.faults import FaultPlan
 from repro.net.workload import ConstantSize, FrameSizeModel, ImixSize
 from repro.nic.config import NicConfig
@@ -154,6 +155,10 @@ class RunSpec:
     measure_s: float = 0.8e-3
     label: str = ""
     fault_plan: Optional[FaultPlan] = None
+    #: When set, the point is a :class:`~repro.fabric.FabricSimulator`
+    #: run (N NICs + wire + flows) instead of a single-NIC throughput
+    #: run; ``workload`` is ignored (traffic comes from the flows).
+    fabric_spec: Optional[FabricSpec] = None
 
     def __post_init__(self) -> None:
         if self.warmup_s < 0 or self.measure_s <= 0:
@@ -173,6 +178,10 @@ class RunSpec:
         # stay valid.
         if self.fault_plan is not None:
             inputs["fault_plan"] = describe(self.fault_plan)
+        # Same contract for fabric points: single-NIC specs keep their
+        # pre-fabric-layer hashes byte-identical.
+        if self.fabric_spec is not None:
+            inputs["fabric_spec"] = describe(self.fabric_spec)
         return inputs
 
     @property

@@ -16,6 +16,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.exp.runner import SweepOutcome, SweepRunner
 from repro.exp.spec import RunSpec, WorkloadSpec
+from repro.fabric.spec import FabricSpec
 from repro.faults import FaultPlan
 from repro.firmware.ordering import OrderingMode
 from repro.nic.config import NicConfig
@@ -171,6 +172,37 @@ class Sweep:
             )
         return cls(name, specs)
 
+    @classmethod
+    def fabric_grid(
+        cls,
+        name: str,
+        base_fabric: FabricSpec,
+        loads: Sequence[float],
+        base_config: Optional[NicConfig] = None,
+        warmup_s: float = 0.2e-3,
+        measure_s: float = 0.5e-3,
+    ) -> "Sweep":
+        """Offered-load sweep over a fabric topology.
+
+        Each point scales every stream flow's ``offered_fraction`` via
+        :meth:`~repro.fabric.spec.FabricSpec.with_load`; RPC flows are
+        closed-loop and self-pacing, so they ride along unchanged.  The
+        interesting output is the latency-vs-load curve the single-NIC
+        harness cannot produce (see ``docs/fabric.md``).
+        """
+        base = base_config if base_config is not None else NicConfig()
+        specs = [
+            RunSpec(
+                config=base,
+                warmup_s=warmup_s,
+                measure_s=measure_s,
+                label=f"load={load:g}",
+                fabric_spec=base_fabric.with_load(float(load)),
+            )
+            for load in loads
+        ]
+        return cls(name, specs)
+
     # ------------------------------------------------------------------
     def run(self, runner: Optional[SweepRunner] = None, **runner_kwargs) -> SweepOutcome:
         """Execute every point; ``runner_kwargs`` build a runner if none
@@ -189,6 +221,36 @@ class Sweep:
         for spec, result, key, cached in zip(
             outcome.specs, outcome.results, outcome.keys, outcome.cached_flags
         ):
+            if spec.fabric_spec is not None:
+                # Fabric points report system-level columns; they only
+                # appear in sweeps that contain fabric specs, so legacy
+                # single-NIC exports keep their exact schema.
+                flow = result.primary_flow
+                row = {
+                    "label": spec.describe_label(),
+                    "key": key,
+                    "cached": cached,
+                    "cores": spec.config.cores,
+                    "mhz": spec.config.core_frequency_hz / 1e6,
+                    "nics": spec.fabric_spec.nics,
+                    "switch": spec.fabric_spec.switch,
+                    "measure_s": spec.measure_s,
+                    "aggregate_goodput_gbps": result.aggregate_goodput_gbps,
+                    "switch_drops": result.switch_drops,
+                    "mac_drops": result.mac_drops,
+                    "flow": flow.name,
+                    "delivered": flow.delivered,
+                    "lost": flow.lost,
+                    "retransmits": flow.retransmits,
+                    "oneway_p50_us": flow.oneway.p50_us,
+                    "oneway_p99_us": flow.oneway.p99_us,
+                    "oneway_p999_us": flow.oneway.p999_us,
+                    "rtt_p50_us": flow.rtt.p50_us if flow.rtt else None,
+                    "rtt_p99_us": flow.rtt.p99_us if flow.rtt else None,
+                    "rtt_p999_us": flow.rtt.p999_us if flow.rtt else None,
+                }
+                rows.append(row)
+                continue
             row: Dict[str, object] = {
                 "label": spec.describe_label(),
                 "key": key,

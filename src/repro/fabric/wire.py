@@ -1,0 +1,125 @@
+"""The deterministic wire/switch model connecting fabric endpoints.
+
+Two topologies, both pure integer-picosecond arithmetic (so two
+identically configured runs are byte-identical):
+
+* **Direct links** (``switch=False``): every source→destination pair
+  has a dedicated link.  A frame's first bit reaches the destination
+  MAC ``propagation_delay_ps`` after its first bit left the source
+  MAC (``wire_start_ps``); serialization happens once, modeled by the
+  receiving MAC.
+* **Store-and-forward switch** (``switch=True``): the full frame must
+  arrive at the switch (source ``wire_end_ps`` + propagation), pays
+  ``switch_latency_ps`` for the forwarding decision, then contends for
+  the destination's output port.  The port serializes frames
+  back-to-back at line rate; at most ``port_queue_frames`` frames may
+  be queued or in flight on a port — beyond that the newest arrival is
+  *tail-dropped*, counted in :attr:`drops` and (when the destination
+  NIC carries a fault injector) the ``switch_tail_drops`` fault
+  counter, and reported to its flow as a loss.
+"""
+
+from __future__ import annotations
+
+from typing import Deque, Dict, List
+from collections import deque
+
+from repro.assists.mac import WireEvent
+from repro.fabric.flows import FabricFrame
+from repro.fabric.spec import FabricSpec
+
+
+class _SwitchPort:
+    """Output-port state: serialization point plus occupancy queue."""
+
+    __slots__ = ("free_ps", "departures")
+
+    def __init__(self) -> None:
+        self.free_ps = 0
+        # Departure (end-of-serialization) times of frames that are
+        # queued or currently serializing on this port.
+        self.departures: Deque[int] = deque()
+
+    def occupancy(self, now_ps: int) -> int:
+        departures = self.departures
+        while departures and departures[0] <= now_ps:
+            departures.popleft()
+        return len(departures)
+
+
+class FabricWire:
+    """Connects :class:`~repro.fabric.endpoint.NicEndpoint` instances."""
+
+    def __init__(self, fabric, spec: FabricSpec) -> None:
+        self.fabric = fabric
+        self.spec = spec
+        self.forwarded = 0
+        self.drops = 0
+        self._ports: List[_SwitchPort] = [_SwitchPort() for _ in range(spec.nics)]
+
+    # ------------------------------------------------------------------
+    def transmit(self, src: int, frame: FabricFrame, wire: WireEvent) -> None:
+        """Source NIC ``src`` put ``frame`` on the wire (``wire`` is its
+        MAC timing).  Routes, queues, possibly drops, and ultimately
+        schedules the destination's :meth:`rx_arrive`."""
+        if self.spec.switch:
+            self._transmit_switched(src, frame, wire)
+        else:
+            self._deliver(frame, wire.wire_start_ps + self.spec.propagation_delay_ps,
+                          wire.wire_start_ps)
+
+    # -- direct links ---------------------------------------------------
+    def _deliver(self, frame: FabricFrame, available_ps: int, span_start_ps: int) -> None:
+        self.forwarded += 1
+        fabric = self.fabric
+        destination = fabric.endpoints[frame.dst]
+
+        def arrive(frame=frame, available_ps=available_ps) -> None:
+            destination.rx_arrive(frame, available_ps)
+
+        fabric.sim.schedule_at(available_ps, arrive)
+        if fabric.tracer.enabled:
+            fabric.tracer.complete(
+                "fabric",
+                f"{frame.flow}:{frame.kind}#{frame.request_id}",
+                span_start_ps,
+                max(0, available_ps - span_start_ps),
+                src=frame.src,
+                dst=frame.dst,
+                bytes=frame.frame_bytes,
+            )
+
+    # -- store-and-forward switch ---------------------------------------
+    def _transmit_switched(self, src: int, frame: FabricFrame, wire: WireEvent) -> None:
+        spec = self.spec
+        # Full frame at the switch, then the forwarding decision.
+        ready_ps = wire.wire_end_ps + spec.propagation_delay_ps + spec.switch_latency_ps
+        port = self._ports[frame.dst]
+        if port.occupancy(ready_ps) >= spec.port_queue_frames:
+            self.drops += 1
+            fabric = self.fabric
+            destination = fabric.endpoints[frame.dst]
+
+            def drop(frame=frame, ready_ps=ready_ps, dst=frame.dst) -> None:
+                if destination.faults is not None:
+                    destination.faults.note_switch_drop(ready_ps, port=dst)
+                elif fabric.tracer.enabled:
+                    fabric.tracer.instant(
+                        "fabric", "switch_tail_drop", ready_ps,
+                        dst=dst, flow=frame.flow,
+                    )
+                fabric.frame_lost(frame, ready_ps, "switch_tail_drop")
+
+            fabric.sim.schedule_at(ready_ps, drop)
+            return
+        out_start = max(ready_ps, port.free_ps)
+        out_end = out_start + self.fabric.timing.frame_time_ps(frame.frame_bytes)
+        port.free_ps = out_end
+        port.departures.append(out_end)
+        # The destination MAC re-serializes from the first bit leaving
+        # the switch port: first bit at out_start + propagation.
+        self._deliver(frame, out_start + spec.propagation_delay_ps, wire.wire_start_ps)
+
+    # ------------------------------------------------------------------
+    def window_snapshot(self) -> Dict[str, int]:
+        return {"forwarded": self.forwarded, "drops": self.drops}

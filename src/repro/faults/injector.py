@@ -29,6 +29,7 @@ FAULT_COUNTER_KEYS: Tuple[str, ...] = (
     "queue_overflows",
     "queue_deferrals",
     "queue_drops",
+    "switch_tail_drops",
 )
 
 #: Cap on how many dropped RX sequence numbers we remember (for tests
@@ -144,6 +145,19 @@ class FaultInjector:
         self.counters["queue_drops"] += 1
         if self.tracer.enabled:
             self.tracer.instant("faults", "queue_drop", now_ps, kind=kind)
+
+    # ------------------------------------------------------------------
+    # Fabric switch tail drops
+    # ------------------------------------------------------------------
+    def note_switch_drop(self, now_ps: int, port: int = 0) -> None:
+        """Account a store-and-forward switch dropping a frame bound for
+        this NIC's port (finite output queue, tail-drop policy).  The
+        drop decision itself is deterministic queue arithmetic in
+        :class:`repro.fabric.wire.FabricWire`; the injector only keeps
+        the count alongside the other degradation counters."""
+        self.counters["switch_tail_drops"] += 1
+        if self.tracer.enabled:
+            self.tracer.instant("faults", "switch_tail_drop", now_ps, port=port)
 
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, int]:

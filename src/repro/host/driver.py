@@ -41,6 +41,14 @@ class DriverStats:
 
     @property
     def completions_per_interrupt(self) -> float:
+        """Mean completions coalesced per interrupt.
+
+        Guarded against zero-interrupt windows: a measurement window
+        short enough (or a flow-driven fabric endpoint idle enough)
+        never to raise an interrupt reports 0.0 rather than dividing by
+        zero.  Fabric endpoints with an empty RPC window hit this for
+        real — see ``tests/test_driver_rings.py``.
+        """
         total = self.send_completions + self.recv_completions
         return total / self.interrupts if self.interrupts else 0.0
 

@@ -31,6 +31,15 @@ class FrameSizeModel:
     The paper's experiments use uniform sizes (:class:`ConstantSize`);
     :class:`ImixSize` adds the classic Internet-mix pattern as an
     extension, exercising the same code paths with realistic variance.
+
+    The aggregate properties (``mean_payload_bytes``, ``max_frame_bytes``,
+    ...) are memoized on first access: sizes are immutable once a model
+    is constructed, and the hot paths — the MAC receiver's offered-frame
+    arithmetic and the fabric's pacing clocks — read them per frame, so
+    the O(pattern_length) pattern walk must not repeat per access.
+    ``mean_wire_bytes`` memoizes per :class:`EthernetTiming` (frozen,
+    hashable); subclasses overriding the underlying ``payload_bytes``
+    after construction would be a bug, not a supported pattern.
     """
 
     def payload_bytes(self, seq: int) -> int:
@@ -45,21 +54,40 @@ class FrameSizeModel:
 
     @property
     def mean_payload_bytes(self) -> float:
-        n = self.pattern_length
-        return sum(self.payload_bytes(i) for i in range(n)) / n
+        cached = self.__dict__.get("_mean_payload_bytes")
+        if cached is None:
+            n = self.pattern_length
+            cached = sum(self.payload_bytes(i) for i in range(n)) / n
+            self.__dict__["_mean_payload_bytes"] = cached
+        return cached
 
     @property
     def mean_frame_bytes(self) -> float:
-        n = self.pattern_length
-        return sum(self.frame_bytes(i) for i in range(n)) / n
+        cached = self.__dict__.get("_mean_frame_bytes")
+        if cached is None:
+            n = self.pattern_length
+            cached = sum(self.frame_bytes(i) for i in range(n)) / n
+            self.__dict__["_mean_frame_bytes"] = cached
+        return cached
 
     @property
     def max_frame_bytes(self) -> int:
-        return max(self.frame_bytes(i) for i in range(self.pattern_length))
+        cached = self.__dict__.get("_max_frame_bytes")
+        if cached is None:
+            cached = max(self.frame_bytes(i) for i in range(self.pattern_length))
+            self.__dict__["_max_frame_bytes"] = cached
+        return cached
 
     def mean_wire_bytes(self, timing: "EthernetTiming") -> float:
-        n = self.pattern_length
-        return sum(timing.wire_bytes(self.frame_bytes(i)) for i in range(n)) / n
+        cache = self.__dict__.setdefault("_mean_wire_bytes", {})
+        cached = cache.get(timing)
+        if cached is None:
+            n = self.pattern_length
+            cached = sum(
+                timing.wire_bytes(self.frame_bytes(i)) for i in range(n)
+            ) / n
+            cache[timing] = cached
+        return cached
 
     def line_rate_fps(self, timing: "EthernetTiming") -> float:
         """Back-to-back frame rate of this mix in one direction."""

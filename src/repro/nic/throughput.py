@@ -38,6 +38,7 @@ from repro.faults import FaultInjector, FaultPlan
 from repro.firmware.events import DistributedEventQueue, EventKind, FrameEvent
 from repro.firmware.ordering import OrderingBoard, OrderingCost
 from repro.firmware.profiles import (
+    BDS_PER_SENT_FRAME,
     RECV_BDS_PER_FETCH,
     SEND_BDS_PER_FETCH,
     SEND_FRAMES_PER_BD_FETCH,
@@ -291,6 +292,12 @@ class _Lock:
 class ThroughputSimulator:
     """One full-duplex streaming experiment."""
 
+    #: Frame budget handed to the :class:`DriverModel`.  ``None`` is the
+    #: paper's saturation mode (endless traffic); the fabric endpoint
+    #: overrides this to ``0`` so transmit work only exists when a flow
+    #: posts it.
+    _driver_max_frames: Optional[int] = None
+
     def __init__(
         self,
         config: NicConfig,
@@ -300,6 +307,8 @@ class ThroughputSimulator:
         rx_burst_frames: int = 1,
         tracer=None,
         fault_plan: Optional[FaultPlan] = None,
+        sim: Optional[Simulator] = None,
+        clock_prefix: str = "",
     ) -> None:
         """``size_model`` (a :class:`repro.net.workload.FrameSizeModel`)
         overrides the constant ``udp_payload_bytes`` with per-frame
@@ -319,7 +328,13 @@ class ThroughputSimulator:
         ``fault_plan`` (a :class:`repro.faults.FaultPlan`) attaches the
         deterministic fault-injection layer; left ``None`` (or with an
         all-zero plan) none of the fault code paths run and the
-        simulation is byte-identical to a fault-free build."""
+        simulation is byte-identical to a fault-free build.
+
+        ``sim`` lets several simulators share one event kernel (the
+        multi-NIC fabric); ``clock_prefix`` namespaces this instance's
+        clock domains inside a shared kernel (e.g. ``"nic0/"``).  Left
+        at their defaults the simulator owns a private kernel exactly
+        as before."""
         from repro.net.workload import ConstantSize
 
         self.config = config
@@ -333,13 +348,24 @@ class ThroughputSimulator:
         self.sizes = size_model if size_model is not None else ConstantSize(
             udp_payload_bytes
         )
+        # Per-direction views of the size model.  The standalone
+        # simulator drives both directions from the same stream (the
+        # paper's uncorrelated tx/rx setup); the fabric endpoint
+        # substitutes per-direction recorded models so correlated flow
+        # traffic carries real per-frame sizes.
+        self.tx_sizes = self.sizes
+        self.rx_sizes = self.sizes
         self.udp_payload_bytes = round(self.sizes.mean_payload_bytes)
         self.frame_bytes = round(self.sizes.mean_frame_bytes)
         self.timing = EthernetTiming()
         self.line_fps_per_direction = self.sizes.line_rate_fps(self.timing)
-        self.sim = Simulator()
-        self.core_clock = self.sim.add_clock("core", config.core_frequency_hz)
-        self.sdram_clock = self.sim.add_clock("sdram", config.sdram_frequency_hz)
+        self.sim = sim if sim is not None else Simulator()
+        self.core_clock = self.sim.add_clock(
+            clock_prefix + "core", config.core_frequency_hz
+        )
+        self.sdram_clock = self.sim.add_clock(
+            clock_prefix + "sdram", config.sdram_frequency_hz
+        )
 
         self.sdram = GddrSdram(
             frequency_hz=config.sdram_frequency_hz,
@@ -364,7 +390,7 @@ class ThroughputSimulator:
             raise ValueError("rx_burst_frames must be >= 1")
 
         def rx_gap(seq: int) -> int:
-            wire = self.timing.frame_time_ps(self.sizes.frame_bytes(seq))
+            wire = self.timing.frame_time_ps(self.rx_sizes.frame_bytes(seq))
             if rx_burst_frames == 1:
                 return round(wire / offered_fraction)
             # Within a burst: back-to-back (one wire time).  The last
@@ -386,6 +412,7 @@ class ThroughputSimulator:
             self.sizes.max_frame_bytes,
             send_ring_capacity=config.send_ring_capacity,
             recv_ring_capacity=config.recv_ring_capacity,
+            max_frames=self._driver_max_frames,
         )
 
         mode = config.ordering_mode
@@ -436,6 +463,11 @@ class ThroughputSimulator:
         self._rx_pump_active = False
         self._send_event_queued = False
         self._recv_event_queued = False
+        # Fabric integration hooks.  ``None`` in the standalone
+        # simulator; each call site is a single ``is not None`` check,
+        # so a hook-free run is byte-identical to a pre-fabric build.
+        self._tx_wire_hook = None    # (seq, WireEvent) at MAC hand-off
+        self._rx_commit_hook = None  # (seq, now_ps) per delivered rx frame
         self._task_claims: Dict[EventKind, bool] = {kind: False for kind in EventKind}
         # -- fault-recovery state (only touched when self.faults is set) --
         # Frames landed (or hole-punched) out of order, waiting for the
@@ -563,13 +595,17 @@ class ThroughputSimulator:
         self._contention_window_accesses += count
 
     def _checksum_profile(
-        self, first: int, batch: int, skip: Set[int] = frozenset()
+        self, first: int, batch: int, skip: Set[int] = frozenset(), sizes=None
     ) -> Optional[OpProfile]:
         """Per-batch cost of the configured checksum service (§8
         extension).  'assist' folds the sum into the data stream and
         leaves only a status check; 'firmware' walks the payload one
         word at a time on a core.  ``skip`` excludes sequence holes
-        (FCS-dropped frames carry no payload to checksum)."""
+        (FCS-dropped frames carry no payload to checksum); ``sizes``
+        picks the per-direction size model (defaults to the shared
+        one)."""
+        if sizes is None:
+            sizes = self.sizes
         mode = self.config.checksum_offload
         if mode == "none":
             return None
@@ -592,7 +628,7 @@ class ThroughputSimulator:
         for seq in range(first, first + batch):
             if seq in skip:
                 continue
-            words = self.sizes.payload_bytes(seq) / 4.0
+            words = sizes.payload_bytes(seq) / 4.0
             instructions += 12.0 + 7.0 * words
         return OpProfile(instructions=instructions, loads=0.0, stores=0.0)
 
@@ -695,13 +731,13 @@ class ThroughputSimulator:
         now = self.sim.now_ps
         self.fn[self._EVENT_FN[event.kind]].invocations += 1
         if event.kind is EventKind.FETCH_SEND_BD:
-            return self._handle_fetch_send_bd(now)
+            return self._handle_fetch_send_bd(now, event)
         if event.kind is EventKind.SEND_FRAME:
             return self._handle_send_frame(now)
         if event.kind is EventKind.SEND_COMPLETE:
             return self._handle_send_complete(now, event)
         if event.kind is EventKind.FETCH_RECV_BD:
-            return self._handle_fetch_recv_bd(now)
+            return self._handle_fetch_recv_bd(now, event)
         if event.kind is EventKind.RECV_FRAME:
             return self._handle_recv_frame(now)
         if event.kind is EventKind.RECV_COMPLETE:
@@ -729,9 +765,12 @@ class ThroughputSimulator:
         self.driver.consume_send_bds(SEND_BDS_PER_FETCH)
         self._push_event(FrameEvent(EventKind.FETCH_SEND_BD))
 
-    def _handle_fetch_send_bd(self, now: int) -> float:
+    def _handle_fetch_send_bd(self, now: int, event: FrameEvent) -> float:
         fw = self.config.firmware
-        frames = SEND_FRAMES_PER_BD_FETCH
+        # The base producer always fetches full batches (count 0 =>
+        # the batching default); flow-driven endpoints carry explicit
+        # partial batch sizes in the event.
+        frames = event.count or SEND_FRAMES_PER_BD_FETCH
         cycles = self._charge("send_dispatch_ordering", fw.dispatch_per_event)
         cycles += self._acquire_lock("txq", now, _HOLD_TXQ, "send_locking", cycles)
         profile = IDEAL_PROFILES["fetch_send_bd"].per_frame.plus(
@@ -740,7 +779,7 @@ class ThroughputSimulator:
         cycles += self._charge("fetch_send_bd", profile, frames=frames)
         transfer = self.dma_read.descriptor_transfer(
             now + self.core_clock.cycles_to_ps(cycles),
-            SEND_BDS_PER_FETCH * DESCRIPTOR_BYTES,
+            frames * BDS_PER_SENT_FRAME * DESCRIPTOR_BYTES,
         )
         self._assist_touch(self.config.assist_accesses_per_dma)
         if self.tracer.enabled:
@@ -777,7 +816,7 @@ class ThroughputSimulator:
         batch = 0
         bytes_needed = 0
         while batch < batch_limit:
-            frame_size = self.sizes.frame_bytes(self._tx_claim_seq + batch)
+            frame_size = self.tx_sizes.frame_bytes(self._tx_claim_seq + batch)
             if bytes_needed + frame_size > self._tx_space:
                 break
             bytes_needed += frame_size
@@ -804,7 +843,7 @@ class ThroughputSimulator:
             fw.reentrancy_per_frame
         ).scaled(batch * _START_FRACTION)
         cycles += self._charge("send_frame", start_profile, frames=batch)
-        checksum = self._checksum_profile(first, batch)
+        checksum = self._checksum_profile(first, batch, sizes=self.tx_sizes)
         if checksum is not None:
             cycles += self._charge("send_frame", checksum)
 
@@ -844,7 +883,7 @@ class ThroughputSimulator:
             seq = first + index
             sdram_addr = self._tx_slot_address(seq)
             payload_bytes = max(
-                1, self.sizes.frame_bytes(seq) - TX_HEADER_REGION_BYTES
+                1, self.tx_sizes.frame_bytes(seq) - TX_HEADER_REGION_BYTES
             )
             self.dma_read.frame_transfer(
                 issue_ps,
@@ -944,7 +983,7 @@ class ThroughputSimulator:
                 self.sim.now_ps,
                 seq,
                 self._tx_slot_address(seq),
-                self.sizes.frame_bytes(seq),
+                self.tx_sizes.frame_bytes(seq),
             )
             self._assist_touch(self.config.assist_accesses_per_mac_frame)
             if self.tracer.enabled:
@@ -958,15 +997,17 @@ class ThroughputSimulator:
                 self.tracer.frame_stage(
                     "tx", seq, FrameStage.WIRE, wire.wire_end_ps, track="mac-tx"
                 )
+            if self._tx_wire_hook is not None:
+                self._tx_wire_hook(seq, wire)
             self.sim.schedule_at(
                 wire.wire_end_ps, lambda s=seq: self._tx_wire_done(s)
             )
 
     def _tx_wire_done(self, seq: int) -> None:
         self._tx_outstanding_mac -= 1
-        self._tx_space += self.sizes.frame_bytes(seq)
+        self._tx_space += self.tx_sizes.frame_bytes(seq)
         self._tx_done_frames += 1
-        self._tx_payload_done += self.sizes.payload_bytes(seq)
+        self._tx_payload_done += self.tx_sizes.payload_bytes(seq)
         self._queue_send_frame_event()
         self._mac_tx_pump()
 
@@ -983,7 +1024,7 @@ class ThroughputSimulator:
 
     def _rx_pump(self) -> None:
         now = self.sim.now_ps
-        frame_size = self.sizes.frame_bytes(self.mac_rx._next_seq)
+        frame_size = self.rx_sizes.frame_bytes(self.mac_rx._next_seq)
         if self._rx_space < frame_size:
             # Buffer full: the wire does not wait.  Sleep until space
             # frees (wake comes from _rx_space_freed); frames whose slot
@@ -1018,7 +1059,7 @@ class ThroughputSimulator:
             self._rx_fault_drop(seq)
             return
         done_ps = self.mac_rx.store(
-            self.sim.now_ps, self._rx_slot_address(seq), self.sizes.frame_bytes(seq)
+            self.sim.now_ps, self._rx_slot_address(seq), self.rx_sizes.frame_bytes(seq)
         )
         self.sim.schedule_at(done_ps, lambda s=seq: self._rx_frame_landed(s))
 
@@ -1026,7 +1067,7 @@ class ThroughputSimulator:
         """Recovery bookkeeping for an FCS-dropped receive frame."""
         # No store happened: refund the buffer space claimed at arrival
         # and wake the pump if the full buffer had put it to sleep.
-        self._rx_space += self.sizes.frame_bytes(seq)
+        self._rx_space += self.rx_sizes.frame_bytes(seq)
         self._rx_holes_uncommitted.add(seq)
         self._rx_holes_completion.add(seq)
         self._rx_frame_landed(seq, hole=True)
@@ -1146,7 +1187,9 @@ class ThroughputSimulator:
             fw.reentrancy_per_frame
         ).scaled(real * _START_FRACTION)
         cycles += self._charge("recv_frame", start_profile, frames=real)
-        checksum = self._checksum_profile(first, batch, skip=set(holes))
+        checksum = self._checksum_profile(
+            first, batch, skip=set(holes), sizes=self.rx_sizes
+        )
         if checksum is not None:
             cycles += self._charge("recv_frame", checksum)
 
@@ -1203,7 +1246,7 @@ class ThroughputSimulator:
                 issue_ps,
                 self.driver.layout.rx_buffer_address(seq),
                 self._rx_slot_address(seq),
-                self.sizes.frame_bytes(seq),
+                self.rx_sizes.frame_bytes(seq),
                 transfer_done,
             )
             self._assist_touch(self.config.assist_accesses_per_dma)
@@ -1261,8 +1304,8 @@ class ThroughputSimulator:
                 self._rx_holes_uncommitted.discard(seq)
                 holes += 1
                 continue
-            freed_bytes += self.sizes.frame_bytes(seq)
-            self._rx_payload_done += self.sizes.payload_bytes(seq)
+            freed_bytes += self.rx_sizes.frame_bytes(seq)
+            self._rx_payload_done += self.rx_sizes.payload_bytes(seq)
             if trace_on:
                 self.tracer.frame_stage("rx", seq, FrameStage.COMMITTED, now)
             landed = self._rx_landed_at.pop(seq, None)
@@ -1270,6 +1313,8 @@ class ThroughputSimulator:
                 self._rx_latency_sum_ps += now - landed
                 self._rx_latency_samples += 1
                 self.rx_latency_histogram.record((now - landed) / 1e6)  # us
+            if self._rx_commit_hook is not None:
+                self._rx_commit_hook(seq, now)
         delivered = committed - holes
         self._rx_hole_frames += holes
         if delivered:
@@ -1309,9 +1354,9 @@ class ThroughputSimulator:
         self.driver.consume_recv_bds(RECV_BDS_PER_FETCH)
         self._push_event(FrameEvent(EventKind.FETCH_RECV_BD))
 
-    def _handle_fetch_recv_bd(self, now: int) -> float:
+    def _handle_fetch_recv_bd(self, now: int, event: FrameEvent) -> float:
         fw = self.config.firmware
-        frames = RECV_BDS_PER_FETCH
+        frames = event.count or RECV_BDS_PER_FETCH
         cycles = self._charge("recv_dispatch_ordering", fw.dispatch_per_event)
         cycles += self._acquire_lock("rxpool", now, _HOLD_RXPOOL, "recv_locking", cycles)
         profile = IDEAL_PROFILES["fetch_recv_bd"].per_frame.plus(
@@ -1320,7 +1365,7 @@ class ThroughputSimulator:
         cycles += self._charge("fetch_recv_bd", profile, frames=frames)
         transfer = self.dma_read.descriptor_transfer(
             now + self.core_clock.cycles_to_ps(cycles),
-            RECV_BDS_PER_FETCH * DESCRIPTOR_BYTES,
+            frames * DESCRIPTOR_BYTES,
         )
         self._assist_touch(self.config.assist_accesses_per_dma)
         if self.tracer.enabled:
@@ -1342,14 +1387,23 @@ class ThroughputSimulator:
     # ==================================================================
     # Contention feedback
     # ==================================================================
+    def _outstanding_frames(self) -> int:
+        """Outstanding-frame population for the contention sampler.
+
+        Subclasses with different sequence-number semantics (e.g. the
+        fabric endpoint, where MAC drops do not consume sequence
+        numbers) override this.
+        """
+        return (
+            (self.driver._next_send_seq - self._tx_done_frames)
+            + (self.mac_rx._next_seq - self.board_rx.commit_seq - self._rx_dropped)
+        )
+
     def _update_contention(self) -> None:
         now = self.sim.now_ps
         # Sample the outstanding-frame population (Section 7: "several
         # hundred outstanding frames in various stages of processing").
-        outstanding = (
-            (self.driver._next_send_seq - self._tx_done_frames)
-            + (self.mac_rx._next_seq - self.board_rx.commit_seq - self._rx_dropped)
-        )
+        outstanding = self._outstanding_frames()
         self._inflight_sum += max(0, outstanding)
         self._inflight_samples += 1
         elapsed_ps = now - self._contention_window_start_ps
@@ -1431,6 +1485,20 @@ class ThroughputSimulator:
     # ==================================================================
     _contention_interval_ps = 50_000_000  # 50 us
 
+    def start(self) -> None:
+        """Schedule the initial events (idempotent per instance).
+
+        :meth:`run` calls this automatically; fabric callers sharing
+        one kernel across endpoints call it directly and then drive the
+        shared :class:`~repro.sim.kernel.Simulator` themselves.
+        """
+        if getattr(self, "_started", False):
+            return
+        self._started = True
+        self.sim.schedule(0, self._maybe_fetch_send_bds)
+        self.sim.schedule(0, self._start_rx)
+        self.sim.schedule(self._contention_interval_ps, self._update_contention)
+
     def run(self, warmup_s: float = 0.5e-3, measure_s: float = 2.0e-3) -> ThroughputResult:
         """Warm up, measure, and return the results."""
         if warmup_s < 0 or measure_s <= 0:
@@ -1438,9 +1506,7 @@ class ThroughputSimulator:
         warmup_ps = round(warmup_s * 1e12)
         measure_ps = round(measure_s * 1e12)
 
-        self.sim.schedule(0, self._maybe_fetch_send_bds)
-        self.sim.schedule(0, self._start_rx)
-        self.sim.schedule(self._contention_interval_ps, self._update_contention)
+        self.start()
 
         self.sim.run(until_ps=warmup_ps)
         snap = self._snapshot()

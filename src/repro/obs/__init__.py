@@ -29,6 +29,7 @@ from repro.obs.tracer import (
     NULL_TRACER,
     FrameStage,
     NullTracer,
+    PrefixedTracer,
     RX_STAGE_ORDER,
     STAGE_ORDERS,
     TX_STAGE_ORDER,
@@ -41,6 +42,7 @@ __all__ = [
     "MetricsSampler",
     "NULL_TRACER",
     "NullTracer",
+    "PrefixedTracer",
     "ProgressReporter",
     "RX_STAGE_ORDER",
     "STAGE_ORDERS",

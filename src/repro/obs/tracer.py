@@ -212,8 +212,13 @@ class Tracer(NullTracer):
         return dict(self.frames.get((direction, seq), {}))
 
     def complete_frames(self, direction: str) -> List[int]:
-        """Frames of ``direction`` that reached every stage of its order."""
-        order = STAGE_ORDERS[direction]
+        """Frames of ``direction`` that reached every stage of its order.
+
+        ``direction`` may carry a namespace prefix (``"nic0/tx"``, from
+        a :class:`PrefixedTracer`); the stage order is looked up on the
+        bare direction after the last ``/``.
+        """
+        order = STAGE_ORDERS[direction.rsplit("/", 1)[-1]]
         result = []
         for (frame_dir, seq), stages in self.frames.items():
             if frame_dir == direction and all(stage in stages for stage in order):
@@ -222,3 +227,59 @@ class Tracer(NullTracer):
 
     def __len__(self) -> int:
         return len(self.events)
+
+
+class PrefixedTracer(NullTracer):
+    """Namespace view onto another tracer.
+
+    Every track (and frame direction) is prefixed, so several
+    simulators sharing one event kernel — the multi-NIC fabric — can
+    write into a single trace without colliding: endpoint *i* holds a
+    ``PrefixedTracer(root, "nic{i}/")`` and its ``core0`` track appears
+    as ``nic0/core0``, its ``("tx", seq)`` lifecycle entries as
+    ``("nic0/tx", seq)``.  The view holds no state; ``enabled``
+    forwards to the wrapped tracer, so prefixing a
+    :class:`NullTracer` keeps every hot-path gate closed.
+    """
+
+    def __init__(self, inner: NullTracer, prefix: str) -> None:
+        self.inner = inner
+        self.prefix = prefix
+
+    @property
+    def enabled(self) -> bool:  # type: ignore[override]
+        return self.inner.enabled
+
+    def instant(self, track: str, name: str, ts_ps: int, **args: object) -> None:
+        self.inner.instant(self.prefix + track, name, ts_ps, **args)
+
+    def complete(self, track: str, name: str, ts_ps: int, dur_ps: int, **args: object) -> None:
+        self.inner.complete(self.prefix + track, name, ts_ps, dur_ps, **args)
+
+    def begin(self, track: str, name: str, ts_ps: int, **args: object) -> None:
+        self.inner.begin(self.prefix + track, name, ts_ps, **args)
+
+    def end(self, track: str, ts_ps: int) -> None:
+        self.inner.end(self.prefix + track, ts_ps)
+
+    def counter(self, track: str, name: str, ts_ps: int, value: float) -> None:
+        self.inner.counter(self.prefix + track, name, ts_ps, value)
+
+    def frame_stage(
+        self,
+        direction: str,
+        seq: int,
+        stage: FrameStage,
+        ts_ps: int,
+        track: Optional[str] = None,
+        dur_ps: int = 0,
+    ) -> None:
+        resolved = track if track is not None else f"lifecycle-{direction}"
+        self.inner.frame_stage(
+            self.prefix + direction,
+            seq,
+            stage,
+            ts_ps,
+            track=self.prefix + resolved,
+            dur_ps=dur_ps,
+        )

@@ -1,0 +1,136 @@
+"""DriverModel ring wraparound and refill/consume interleavings.
+
+The send and receive rings use unbounded produced/consumed indices that
+wrap modulo capacity; these tests drive both rings far past several
+wraps under the interleavings the firmware actually produces (refill
+after partial consume, consume-to-empty, flow-driven frame budgets) and
+pin the zero-interrupt completions guard.
+"""
+
+import pytest
+
+from repro.host import DescriptorRing, DriverModel
+from repro.host.descriptors import BufferDescriptor
+from repro.host.driver import DriverStats
+
+
+def _driver(send_capacity=8, recv_capacity=6, max_frames=None):
+    return DriverModel(
+        udp_payload_bytes=1472,
+        frame_bytes=1514,
+        send_ring_capacity=send_capacity,
+        recv_ring_capacity=recv_capacity,
+        max_frames=max_frames,
+    )
+
+
+class TestRingWraparound:
+    def test_indices_grow_past_capacity(self):
+        ring = DescriptorRing(4)
+        for index in range(25):
+            ring.push(BufferDescriptor(address=1 + index, length=1, cookie=index))
+            assert ring.pop().cookie == index
+        assert ring.produced == ring.consumed == 25
+        assert ring.produced > ring.capacity  # genuinely wrapped
+
+    def test_partial_drain_across_wrap_keeps_fifo(self):
+        ring = DescriptorRing(5)
+        pushed = popped = 0
+        out = []
+        # Push 3 / pop 2 repeatedly: occupancy oscillates across the
+        # wrap boundary with the ring never empty and never full.
+        for _ in range(40):
+            for _ in range(3):
+                if not ring.is_full:
+                    ring.push(
+                        BufferDescriptor(address=1, length=1, cookie=pushed)
+                    )
+                    pushed += 1
+            for _ in range(2):
+                if not ring.is_empty:
+                    out.append(ring.pop().cookie)
+                    popped += 1
+        out.extend(ring.pop().cookie for _ in range(len(ring)))
+        assert out == list(range(pushed))
+
+    def test_send_ring_wraps_under_refill_consume(self):
+        driver = _driver(send_capacity=8)
+        consumed = []
+        # 50 iterations x 2 frames x 2 BDs = 200 BDs through an 8-slot
+        # ring: > 25 full wraps.
+        for _ in range(50):
+            driver.refill_send_ring()
+            consumed.extend(driver.consume_send_bds(4))  # two frames
+        cookies = [bd.cookie for bd in consumed]
+        # Two BDs (header, payload) per frame, frames in posted order.
+        assert cookies == [seq for seq in range(100) for _ in range(2)]
+        header_flags = [bd.is_header for bd in consumed]
+        assert header_flags == [True, False] * 100
+
+    def test_recv_ring_wraps_under_replenish_consume(self):
+        driver = _driver(recv_capacity=6)
+        consumed = []
+        driver.replenish_recv_ring()
+        for _ in range(30):
+            consumed.extend(driver.consume_recv_bds(3))
+            driver.replenish_recv_ring()
+            assert driver.recv_ring.is_full  # replenish always tops up
+        assert [bd.cookie for bd in consumed] == list(range(90))
+        assert driver.stats.recv_buffers_posted == 90 + 6
+
+
+class TestRefillConsumeInterleavings:
+    def test_refill_after_partial_consume_posts_only_free_slots(self):
+        driver = _driver(send_capacity=8)
+        assert driver.refill_send_ring() == 4  # 8 slots / 2 BDs per frame
+        driver.consume_send_bds(2)  # one frame leaves
+        assert driver.refill_send_ring() == 1  # exactly one frame of room
+        assert driver.send_bds_available() == 8
+        # One more BD of room is not enough for a 2-BD frame.
+        driver.consume_send_bds(1)
+        assert driver.refill_send_ring() == 0
+
+    def test_consume_to_empty_then_refill(self):
+        driver = _driver(send_capacity=4)
+        driver.refill_send_ring()
+        driver.consume_send_bds(driver.send_bds_available())
+        assert driver.send_ring.is_empty
+        assert driver.refill_send_ring() == 2
+        assert driver.send_bds_available() == 4
+
+    def test_flow_driven_budget_gates_refill(self):
+        # The fabric endpoint pattern: max_frames grows one post at a
+        # time and refill must never manufacture frames beyond it.
+        driver = _driver(send_capacity=16, max_frames=0)
+        assert driver.refill_send_ring() == 0
+        for budget in range(1, 6):
+            driver.max_frames = budget
+            assert driver.refill_send_ring() == 1
+            assert driver.refill_send_ring() == 0  # idempotent at budget
+        assert driver.send_bds_available() == 10
+        assert driver.stats.frames_posted == 5
+
+    def test_overconsume_raises(self):
+        driver = _driver(send_capacity=4)
+        driver.refill_send_ring()
+        with pytest.raises(IndexError):
+            driver.consume_send_bds(5)
+
+
+class TestCompletionsPerInterrupt:
+    def test_zero_interrupts_reports_zero(self):
+        # Completion counts without a single interrupt (coalescing
+        # window never closed) must not divide by zero.
+        stats = DriverStats()
+        assert stats.completions_per_interrupt == 0.0
+        driver = _driver()
+        driver.complete_sends(3, interrupt=False)
+        driver.complete_receives(2, interrupt=False)
+        assert driver.stats.interrupts == 0
+        assert driver.stats.completions_per_interrupt == 0.0
+
+    def test_coalescing_ratio(self):
+        driver = _driver()
+        driver.complete_sends(6, interrupt=True)
+        driver.complete_receives(4, interrupt=True)
+        assert driver.stats.completions_per_interrupt == 5.0

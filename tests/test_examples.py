@@ -39,7 +39,12 @@ class TestExamples:
     def test_micro_nic_end_to_end(self, capsys):
         out = run_example("micro_nic_end_to_end.py", ["--frames", "24"], capsys)
         assert "in order?" in out
-        assert "NO" not in out.split("in order?")[1]
+        assert "NO" not in out.split("in order?")[1].split("fabric")[0]
+        # The macro act: the fabric loopback must agree with the direct
+        # sim (the example asserts the 5% bound itself) and the RPC pair
+        # must produce latency percentiles.
+        assert "consistent: fabric path reproduces" in out
+        assert "RTT p50" in out
 
     def test_micro_nic_show_firmware(self, capsys):
         out = run_example(
