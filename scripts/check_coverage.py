@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Coverage ratchet: fail if line coverage drops below the pinned floor.
+
+CI runs the full suite under ``pytest --cov=repro --cov-report=json``
+and then this script, which compares the measured line coverage of
+``src/repro/`` against the floor pinned in ``scripts/coverage_floor.json``:
+
+.. code-block:: console
+
+    $ python -m pytest -q -m "" --cov=repro --cov-report=json
+    $ python scripts/check_coverage.py                # gate
+    $ python scripts/check_coverage.py --update       # ratchet the floor up
+
+The floor only ever rises (``--update`` refuses to lower it), so
+coverage can improve but never silently regress.  The script parses the
+JSON report with the stdlib only — it does not import ``coverage``
+itself, which keeps it runnable in environments without the package.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+RATCHET_PATH = os.path.join(os.path.dirname(__file__), "coverage_floor.json")
+
+
+def load_measured(report_path: str) -> float:
+    with open(report_path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    return float(report["totals"]["percent_covered"])
+
+
+def load_floor(path: str = RATCHET_PATH) -> float:
+    with open(path, "r", encoding="utf-8") as handle:
+        return float(json.load(handle)["floor_percent"])
+
+
+def write_floor(floor: float, path: str = RATCHET_PATH) -> None:
+    payload = {
+        "comment": (
+            "Line-coverage floor for src/repro/ (ratchet: may only rise; "
+            "bump with `python scripts/check_coverage.py --update` after "
+            "improving coverage)."
+        ),
+        "floor_percent": floor,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--report", default="coverage.json",
+                        help="pytest-cov JSON report (default: coverage.json)")
+    parser.add_argument("--floor-file", default=RATCHET_PATH)
+    parser.add_argument("--update", action="store_true",
+                        help="raise the floor to the measured value "
+                             "(never lowers it)")
+    args = parser.parse_args(argv)
+
+    if not os.path.exists(args.report):
+        print(f"no coverage report at {args.report}; run "
+              f"`python -m pytest -q -m \"\" --cov=repro --cov-report=json` "
+              f"first (requires pytest-cov)", file=sys.stderr)
+        return 2
+
+    measured = load_measured(args.report)
+    floor = load_floor(args.floor_file)
+
+    if args.update:
+        # Ratchet: round down to one decimal so flaky hundredths of a
+        # percent (executed-once lines moving between runs) don't churn.
+        candidate = int(measured * 10) / 10.0
+        if candidate > floor:
+            write_floor(candidate, args.floor_file)
+            print(f"floor raised {floor:.1f}% -> {candidate:.1f}% "
+                  f"(measured {measured:.2f}%)")
+        else:
+            print(f"floor stays at {floor:.1f}% "
+                  f"(measured {measured:.2f}% does not exceed it)")
+        return 0
+
+    if measured + 1e-9 < floor:
+        print(f"COVERAGE REGRESSION: {measured:.2f}% < floor {floor:.1f}% "
+              f"(src/repro line coverage)", file=sys.stderr)
+        print("add tests, or consciously lower the floor in "
+              f"{args.floor_file} with a justification", file=sys.stderr)
+        return 1
+    print(f"coverage OK: {measured:.2f}% >= floor {floor:.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

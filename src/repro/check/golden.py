@@ -1,0 +1,187 @@
+"""Golden-trace corpus: pinned digests of canonical seeded runs.
+
+``tests/golden/golden.json`` records a SHA-256 digest of the full
+result dictionary (sorted-key canonical JSON of ``to_dict()``) for a
+small set of canonical runs covering every simulator tier: throughput
+(RMW and software ordering), fault injection, and the multi-NIC fabric
+(direct and switched).  Because the simulators are deterministic, any
+behavioural change — intended or not — flips at least one digest, which
+makes unintentional drift impossible to miss and intentional drift an
+explicit, reviewable regeneration:
+
+.. code-block:: console
+
+    $ python -m repro.check.golden --update   # or: repro check --update-golden
+
+The corpus is the same mechanism the PR-level byte-identity smokes
+used, promoted into one maintained place.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from typing import Callable, Dict
+
+#: Windows long enough to saturate the pipeline, short enough for CI.
+WARMUP_S = 0.1e-3
+MEASURE_S = 0.3e-3
+
+DEFAULT_CORPUS_PATH = os.path.join("tests", "golden", "golden.json")
+
+
+def golden_digest(result) -> str:
+    """Canonical digest of a simulation result (order-independent)."""
+    payload = json.dumps(
+        result.to_dict(), sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Canonical runs (one per simulator tier)
+# ----------------------------------------------------------------------
+def _config():
+    from repro.nic.config import NicConfig
+    from repro.units import mhz
+
+    return NicConfig(cores=2, core_frequency_hz=mhz(133))
+
+
+def _run_throughput():
+    from repro.nic.throughput import ThroughputSimulator
+
+    return ThroughputSimulator(_config(), 1472).run(WARMUP_S, MEASURE_S)
+
+
+def _run_throughput_software():
+    from repro.firmware.ordering import OrderingMode
+    from repro.nic.throughput import ThroughputSimulator
+
+    config = dataclasses.replace(
+        _config(), ordering_mode=OrderingMode.SOFTWARE
+    )
+    return ThroughputSimulator(config, 1472).run(WARMUP_S, MEASURE_S)
+
+
+def _run_faulted():
+    from repro.faults import FaultPlan
+    from repro.nic.throughput import ThroughputSimulator
+
+    plan = FaultPlan(
+        seed=7, rx_fcs_rate=0.01, sdram_error_rate=0.002, pci_stall_rate=0.001
+    )
+    return ThroughputSimulator(_config(), 1472, fault_plan=plan).run(
+        WARMUP_S, MEASURE_S
+    )
+
+
+def _run_fabric():
+    from repro.fabric import FabricSimulator, FabricSpec
+
+    return FabricSimulator(_config(), FabricSpec.rpc_pair(seed=11)).run(
+        WARMUP_S, MEASURE_S
+    )
+
+
+def _run_fabric_switched():
+    from repro.fabric import FabricSimulator, FabricSpec
+
+    spec = dataclasses.replace(
+        FabricSpec.rpc_pair(seed=3), switch=True, port_queue_frames=4
+    )
+    return FabricSimulator(_config(), spec).run(WARMUP_S, MEASURE_S)
+
+
+def golden_specs() -> Dict[str, Callable]:
+    """Name → runner for every canonical run in the corpus."""
+    return {
+        "throughput-rmw": _run_throughput,
+        "throughput-software": _run_throughput_software,
+        "throughput-faulted": _run_faulted,
+        "fabric-rpc": _run_fabric,
+        "fabric-rpc-switched": _run_fabric_switched,
+    }
+
+
+# ----------------------------------------------------------------------
+# Corpus I/O
+# ----------------------------------------------------------------------
+def compute_digests() -> Dict[str, str]:
+    return {name: golden_digest(run()) for name, run in golden_specs().items()}
+
+
+def load_corpus(path: str = DEFAULT_CORPUS_PATH) -> Dict[str, str]:
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return dict(payload["digests"])
+
+
+def write_corpus(path: str = DEFAULT_CORPUS_PATH) -> Dict[str, str]:
+    digests = compute_digests()
+    payload = {
+        "comment": (
+            "Pinned digests of canonical seeded runs; regenerate with "
+            "`python -m repro.check.golden --update` after an intended "
+            "behavioural change (see docs/validation.md)."
+        ),
+        "windows": {"warmup_s": WARMUP_S, "measure_s": MEASURE_S},
+        "digests": digests,
+    }
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return digests
+
+
+def compare_corpus(path: str = DEFAULT_CORPUS_PATH) -> Dict[str, Dict[str, str]]:
+    """Re-run every canonical spec and diff against the pinned corpus.
+
+    Returns ``{name: {"pinned": ..., "actual": ...}}`` for mismatches
+    (missing entries count as mismatches with pinned ``"<absent>"``).
+    """
+    pinned = load_corpus(path)
+    actual = compute_digests()
+    mismatches: Dict[str, Dict[str, str]] = {}
+    for name, digest in actual.items():
+        expected = pinned.get(name, "<absent>")
+        if digest != expected:
+            mismatches[name] = {"pinned": expected, "actual": digest}
+    return mismatches
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Check or regenerate the golden-trace corpus."
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="regenerate tests/golden/golden.json from the current code",
+    )
+    parser.add_argument("--path", default=DEFAULT_CORPUS_PATH)
+    args = parser.parse_args(argv)
+    if args.update:
+        digests = write_corpus(args.path)
+        for name, digest in sorted(digests.items()):
+            print(f"  {name}: {digest[:16]}…")
+        print(f"wrote {len(digests)} golden digests to {args.path}")
+        return 0
+    mismatches = compare_corpus(args.path)
+    if not mismatches:
+        print(f"golden corpus matches ({len(load_corpus(args.path))} runs)")
+        return 0
+    for name, pair in sorted(mismatches.items()):
+        print(f"MISMATCH {name}: pinned {pair['pinned'][:16]}… "
+              f"actual {pair['actual'][:16]}…")
+    print("regenerate with `python -m repro.check.golden --update` if the "
+          "change is intended")
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,546 @@
+"""Runtime invariant monitors (null-object pattern, like ``Tracer``).
+
+The simulator's correctness story rests on properties that are easy to
+break silently: the kernel clock must never move backwards, every
+scheduled event ticket must be fired / cancelled / discarded exactly
+once, the ordering boards' commit pointers must advance monotonically
+and only across marked-or-skipped slots, locks must grant in FIFO
+reservation order, the distributed event queue must conserve
+``enqueues - dequeues == depth``, and the fabric wire must conserve
+``injected == forwarded + dropped``.
+
+This module provides the *monitoring* half of ``repro.check``:
+
+* :class:`NullInvariantMonitor` — the always-off default.  Every
+  instrumented object holds :data:`NULL_MONITOR` unless a monitor is
+  explicitly attached, and every hook site is gated by
+  ``if self.monitor.enabled:`` so a disabled run executes exactly the
+  same instruction stream (and produces byte-identical results) as a
+  build without this module.
+* :class:`InvariantMonitor` — the armed monitor.  Hooks record shadow
+  state (live ticket sets, per-board outstanding slots, per-lock grant
+  fronts) and raise :exc:`InvariantViolation` the moment an invariant
+  breaks, with enough context to localize the bug.
+
+This module deliberately imports nothing from ``repro`` — it sits
+*below* the kernel/firmware/mem/fabric layers that import it, exactly
+like ``repro.obs.tracer``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class InvariantViolation(AssertionError):
+    """An armed :class:`InvariantMonitor` detected a broken invariant.
+
+    Subclasses :class:`AssertionError` so test harnesses and pytest
+    treat it as an assertion failure, while still being catchable
+    specifically (the fuzz harness catches exactly this).
+    """
+
+    def __init__(self, invariant: str, message: str, **context: Any) -> None:
+        self.invariant = invariant
+        self.context = dict(context)
+        detail = ", ".join(f"{k}={v!r}" for k, v in sorted(self.context.items()))
+        super().__init__(f"[{invariant}] {message}" + (f" ({detail})" if detail else ""))
+
+
+class NullInvariantMonitor:
+    """Does nothing, as fast as possible.
+
+    ``enabled`` is a class attribute so the hot-path gate
+    ``if self.monitor.enabled:`` costs one attribute load and a branch
+    — the same pattern (and cost) as :class:`repro.obs.tracer.NullTracer`.
+    """
+
+    enabled = False
+
+    # -- kernel ---------------------------------------------------------
+    def event_scheduled(self, ticket: int, when_ps: int, now_ps: int) -> None:
+        pass
+
+    def event_fired(self, ticket: int, when_ps: int, now_ps: int) -> None:
+        pass
+
+    def event_cancelled(self, ticket: int) -> None:
+        pass
+
+    def event_discarded(self, ticket: int) -> None:
+        pass
+
+    # -- ordering boards ------------------------------------------------
+    def board_marked(self, board: Any, seq: int) -> None:
+        pass
+
+    def board_skipped(self, board: Any, seq: int) -> None:
+        pass
+
+    def board_committed(self, board: Any, old_seq: int, new_seq: int, count: int) -> None:
+        pass
+
+    # -- distributed event queue / event register -----------------------
+    def queue_pushed(self, queue: Any) -> None:
+        pass
+
+    def queue_popped(self, queue: Any) -> None:
+        pass
+
+    def register_claimed(self, register: Any, kind: Any, core_id: int) -> None:
+        pass
+
+    def register_released(self, register: Any, kind: Any, core_id: int) -> None:
+        pass
+
+    # -- locks / cores --------------------------------------------------
+    def lock_acquired(self, lock: Any, request_ps: int, grant_ps: int,
+                      free_at_ps: int) -> None:
+        pass
+
+    def core_claimed(self, owner: Any, core_id: int) -> None:
+        pass
+
+    def core_released(self, owner: Any, core_id: int) -> None:
+        pass
+
+    # -- memories -------------------------------------------------------
+    def scratchpad_access(self, scratchpad: Any, access: Any) -> None:
+        pass
+
+    def sdram_transfer(self, sdram: Any, request: Any, cycle: int,
+                       nbytes: int) -> None:
+        pass
+
+    # -- fabric wire ----------------------------------------------------
+    def wire_injected(self, wire: Any, src: int, dst: int) -> None:
+        pass
+
+    def wire_forwarded(self, wire: Any, src: int, dst: int, deliver_ps: int,
+                       switched: bool) -> None:
+        pass
+
+    def wire_dropped(self, wire: Any, dst: int) -> None:
+        pass
+
+    def wire_port_departure(self, wire: Any, port: int, out_start_ps: int,
+                            out_end_ps: int, prev_free_ps: int) -> None:
+        pass
+
+    # -- reporting ------------------------------------------------------
+    def report(self) -> Dict[str, int]:
+        return {}
+
+
+#: Shared no-op instance installed by default on every instrumented object.
+NULL_MONITOR = NullInvariantMonitor()
+
+
+class _BoardShadow:
+    """Monitor-side mirror of one :class:`OrderingBoard`."""
+
+    __slots__ = ("name", "ring_size", "commit_seq", "outstanding")
+
+    def __init__(self, name: str, ring_size: int, commit_seq: int) -> None:
+        self.name = name
+        self.ring_size = ring_size
+        self.commit_seq = commit_seq
+        # seq -> "mark" | "skip" for marked-but-uncommitted slots.
+        self.outstanding: Dict[int, str] = {}
+
+
+class InvariantMonitor(NullInvariantMonitor):
+    """Records shadow state and raises on the first broken invariant.
+
+    One monitor instance may watch an arbitrary set of objects — a whole
+    :class:`~repro.fabric.sim.FabricSimulator` with N endpoints sharing
+    one kernel is fine — because all shadow state is keyed by object
+    identity.  Attach with :func:`repro.check.attach_monitor`.
+
+    ``strict`` (default) raises :exc:`InvariantViolation` immediately;
+    with ``strict=False`` violations are collected in
+    :attr:`violations` instead, which the differential oracles use to
+    report *all* broken properties of a run rather than the first.
+    """
+
+    enabled = True
+
+    def __init__(self, strict: bool = True) -> None:
+        self.strict = strict
+        self.violations: List[InvariantViolation] = []
+        self.checks: Dict[str, int] = {}
+        # Kernel shadow: tickets physically live in some heap.
+        self._live_tickets: set = set()
+        self._cancelled_tickets: set = set()
+        self._last_fire_ps: int = 0
+        self.events_scheduled = 0
+        self.events_fired = 0
+        self.events_cancelled = 0
+        self.events_discarded = 0
+        # Ordering boards / locks / cores / memories, keyed by identity.
+        self._boards: Dict[int, _BoardShadow] = {}
+        self._lock_free: Dict[int, int] = {}
+        self._cores_busy: Dict[int, set] = {}
+        self._register_holders: Dict[Tuple[int, Any], int] = {}
+        self._sdram_bus_free: Dict[int, int] = {}
+        # Fabric wires, keyed by identity.
+        self._wire_counts: Dict[int, List[int]] = {}      # [injected, forwarded, dropped]
+        self._wire_delivery: Dict[Tuple[int, str, int], int] = {}
+        self._wire_port_free: Dict[Tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    def _fail(self, invariant: str, message: str, **context: Any) -> None:
+        violation = InvariantViolation(invariant, message, **context)
+        self.violations.append(violation)
+        if self.strict:
+            raise violation
+
+    def _count(self, invariant: str) -> None:
+        self.checks[invariant] = self.checks.get(invariant, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Kernel: clock monotonicity + ticket conservation
+    # ------------------------------------------------------------------
+    def event_scheduled(self, ticket: int, when_ps: int, now_ps: int) -> None:
+        self._count("kernel.schedule")
+        self.events_scheduled += 1
+        if when_ps < now_ps:
+            self._fail("kernel.schedule", "event scheduled in the past",
+                       ticket=ticket, when_ps=when_ps, now_ps=now_ps)
+        if ticket in self._live_tickets:
+            self._fail("kernel.schedule", "ticket reused while still live",
+                       ticket=ticket)
+        self._live_tickets.add(ticket)
+
+    def event_fired(self, ticket: int, when_ps: int, now_ps: int) -> None:
+        self._count("kernel.fire")
+        self.events_fired += 1
+        if when_ps < now_ps:
+            self._fail("kernel.clock", "clock would move backwards",
+                       ticket=ticket, when_ps=when_ps, now_ps=now_ps)
+        if when_ps < self._last_fire_ps:
+            self._fail("kernel.clock", "fire time precedes previous fire",
+                       ticket=ticket, when_ps=when_ps,
+                       last_fire_ps=self._last_fire_ps)
+        self._last_fire_ps = when_ps
+        if ticket not in self._live_tickets:
+            self._fail("kernel.ticket", "fired a ticket that was never live",
+                       ticket=ticket)
+        else:
+            self._live_tickets.discard(ticket)
+        if ticket in self._cancelled_tickets:
+            self._fail("kernel.ticket", "fired a cancelled ticket",
+                       ticket=ticket)
+
+    def event_cancelled(self, ticket: int) -> None:
+        self._count("kernel.cancel")
+        self.events_cancelled += 1
+        if ticket not in self._live_tickets:
+            self._fail("kernel.ticket", "cancelled a ticket not in the heap",
+                       ticket=ticket)
+        self._cancelled_tickets.add(ticket)
+
+    def event_discarded(self, ticket: int) -> None:
+        self._count("kernel.discard")
+        self.events_discarded += 1
+        if ticket not in self._cancelled_tickets:
+            self._fail("kernel.ticket", "discarded a ticket never cancelled",
+                       ticket=ticket)
+        else:
+            self._cancelled_tickets.discard(ticket)
+        self._live_tickets.discard(ticket)
+
+    def check_ticket_conservation(self) -> None:
+        """Post-run: scheduled == fired + discarded + still-live."""
+        self._count("kernel.conservation")
+        still_live = len(self._live_tickets)
+        if self.events_scheduled != (
+            self.events_fired + self.events_discarded + still_live
+        ):
+            self._fail(
+                "kernel.conservation",
+                "event tickets not conserved",
+                scheduled=self.events_scheduled,
+                fired=self.events_fired,
+                discarded=self.events_discarded,
+                live=still_live,
+            )
+
+    # ------------------------------------------------------------------
+    # Ordering boards: commit-pointer monotonicity + hole-skip safety
+    # ------------------------------------------------------------------
+    def _board(self, board: Any) -> _BoardShadow:
+        shadow = self._boards.get(id(board))
+        if shadow is None:
+            shadow = _BoardShadow(
+                getattr(board, "name", "board"),
+                board.ring_size,
+                board.commit_seq,
+            )
+            self._boards[id(board)] = shadow
+        return shadow
+
+    def board_marked(self, board: Any, seq: int) -> None:
+        self._count("board.mark")
+        shadow = self._board(board)
+        if seq < shadow.commit_seq:
+            self._fail("board.mark", "marked an already-committed sequence",
+                       board=shadow.name, seq=seq, commit_seq=shadow.commit_seq)
+        if seq >= shadow.commit_seq + shadow.ring_size:
+            self._fail("board.mark", "mark would lap the ring",
+                       board=shadow.name, seq=seq, commit_seq=shadow.commit_seq,
+                       ring_size=shadow.ring_size)
+        shadow.outstanding[seq] = "mark"
+
+    def board_skipped(self, board: Any, seq: int) -> None:
+        """Reclassify the just-marked ``seq`` as a hole (fault recovery)."""
+        self._count("board.skip")
+        shadow = self._board(board)
+        if shadow.outstanding.get(seq) != "mark":
+            self._fail("board.skip", "skip of a slot that was not just marked",
+                       board=shadow.name, seq=seq)
+        shadow.outstanding[seq] = "skip"
+
+    def board_committed(self, board: Any, old_seq: int, new_seq: int,
+                        count: int) -> None:
+        self._count("board.commit")
+        shadow = self._board(board)
+        if old_seq != shadow.commit_seq:
+            self._fail("board.commit", "commit pointer moved outside commit()",
+                       board=shadow.name, observed=old_seq,
+                       shadow=shadow.commit_seq)
+        if new_seq < old_seq:
+            self._fail("board.commit", "commit pointer moved backwards",
+                       board=shadow.name, old=old_seq, new=new_seq)
+        if new_seq - old_seq != count:
+            self._fail("board.commit", "committed count disagrees with pointer",
+                       board=shadow.name, old=old_seq, new=new_seq, count=count)
+        if new_seq - old_seq > shadow.ring_size:
+            self._fail("board.commit", "commit advanced more than one ring",
+                       board=shadow.name, old=old_seq, new=new_seq)
+        for seq in range(old_seq, new_seq):
+            kind = shadow.outstanding.pop(seq, None)
+            if kind is None:
+                self._fail("board.commit",
+                           "committed a slot never marked or skipped",
+                           board=shadow.name, seq=seq)
+        # Hole-skip safety / liveness: if the head slot is done (marked
+        # or skipped — including a hole), the scan must advance past it.
+        if count == 0 and old_seq in shadow.outstanding:
+            self._fail("board.commit",
+                       "commit scan wedged at a done slot",
+                       board=shadow.name, seq=old_seq,
+                       kind=shadow.outstanding[old_seq])
+        shadow.commit_seq = new_seq
+        if board.commit_seq != new_seq:
+            self._fail("board.commit", "board pointer disagrees with commit",
+                       board=shadow.name, pointer=board.commit_seq, new=new_seq)
+
+    # ------------------------------------------------------------------
+    # Distributed event queue: claim/complete conservation
+    # ------------------------------------------------------------------
+    def _check_queue(self, queue: Any, op: str) -> None:
+        depth = len(queue)
+        if queue.enqueues - queue.dequeues != depth:
+            self._fail("queue.conservation",
+                       "enqueues - dequeues != depth",
+                       op=op, enqueues=queue.enqueues,
+                       dequeues=queue.dequeues, depth=depth)
+        if depth > queue.max_depth:
+            self._fail("queue.depth", "queue deeper than its bound",
+                       depth=depth, max_depth=queue.max_depth)
+
+    def queue_pushed(self, queue: Any) -> None:
+        self._count("queue.push")
+        self._check_queue(queue, "push")
+
+    def queue_popped(self, queue: Any) -> None:
+        self._count("queue.pop")
+        self._check_queue(queue, "pop")
+
+    # ------------------------------------------------------------------
+    # Event register: claim/release pairing
+    # ------------------------------------------------------------------
+    def register_claimed(self, register: Any, kind: Any, core_id: int) -> None:
+        self._count("register.claim")
+        key = (id(register), kind)
+        holder = self._register_holders.get(key)
+        if holder is not None and holder != core_id:
+            self._fail("register.claim", "event type claimed by two cores",
+                       kind=str(kind), holder=holder, claimant=core_id)
+        self._register_holders[key] = core_id
+
+    def register_released(self, register: Any, kind: Any, core_id: int) -> None:
+        self._count("register.release")
+        key = (id(register), kind)
+        holder = self._register_holders.pop(key, None)
+        if holder != core_id:
+            self._fail("register.release",
+                       "release by a core that does not hold the claim",
+                       kind=str(kind), holder=holder, releaser=core_id)
+
+    # ------------------------------------------------------------------
+    # Locks: FIFO grant discipline
+    # ------------------------------------------------------------------
+    def lock_acquired(self, lock: Any, request_ps: int, grant_ps: int,
+                      free_at_ps: int) -> None:
+        self._count("lock.acquire")
+        prev_free = self._lock_free.get(id(lock), 0)
+        expected = request_ps if request_ps > prev_free else prev_free
+        if grant_ps != expected:
+            self._fail("lock.fifo", "grant is not max(request, previous-free)",
+                       lock=lock.name, request_ps=request_ps,
+                       grant_ps=grant_ps, prev_free_ps=prev_free)
+        if free_at_ps < grant_ps:
+            self._fail("lock.hold", "lock freed before it was granted",
+                       lock=lock.name, grant_ps=grant_ps, free_at_ps=free_at_ps)
+        if free_at_ps < prev_free:
+            self._fail("lock.fifo", "lock free point moved backwards",
+                       lock=lock.name, free_at_ps=free_at_ps,
+                       prev_free_ps=prev_free)
+        self._lock_free[id(lock)] = free_at_ps
+
+    # ------------------------------------------------------------------
+    # Cores: claim/complete conservation
+    # ------------------------------------------------------------------
+    def core_claimed(self, owner: Any, core_id: int) -> None:
+        self._count("core.claim")
+        busy = self._cores_busy.setdefault(id(owner), set())
+        if core_id in busy:
+            self._fail("core.claim", "core dispatched while already busy",
+                       core_id=core_id)
+        busy.add(core_id)
+
+    def core_released(self, owner: Any, core_id: int) -> None:
+        self._count("core.release")
+        busy = self._cores_busy.setdefault(id(owner), set())
+        if core_id not in busy:
+            self._fail("core.release", "idle core released", core_id=core_id)
+        busy.discard(core_id)
+
+    # ------------------------------------------------------------------
+    # Memories
+    # ------------------------------------------------------------------
+    def scratchpad_access(self, scratchpad: Any, access: Any) -> None:
+        self._count("scratchpad.access")
+        if not 0 <= access.bank < scratchpad.banks:
+            self._fail("scratchpad.bank", "bank index out of range",
+                       bank=access.bank, banks=scratchpad.banks)
+        if access.grant_cycle < access.request_cycle:
+            self._fail("scratchpad.grant", "granted before requested",
+                       request=access.request_cycle, grant=access.grant_cycle)
+        if access.data_cycle <= access.grant_cycle:
+            self._fail("scratchpad.data", "data returned at or before grant",
+                       grant=access.grant_cycle, data=access.data_cycle)
+
+    def sdram_transfer(self, sdram: Any, request: Any, cycle: int,
+                       nbytes: int) -> None:
+        self._count("sdram.transfer")
+        gran = sdram.ACCESS_GRANULARITY_BYTES
+        if request.transferred_bytes < nbytes:
+            self._fail("sdram.padding", "padded burst smaller than payload",
+                       nbytes=nbytes, padded=request.transferred_bytes)
+        if request.transferred_bytes % gran:
+            self._fail("sdram.padding", "burst not device-word aligned",
+                       padded=request.transferred_bytes, granularity=gran)
+        if request.start_cycle < cycle:
+            self._fail("sdram.timing", "burst started before it was issued",
+                       cycle=cycle, start=request.start_cycle)
+        if request.finish_cycle <= request.start_cycle:
+            self._fail("sdram.timing", "burst finished at or before start",
+                       start=request.start_cycle, finish=request.finish_cycle)
+        prev_free = self._sdram_bus_free.get(id(sdram), 0)
+        if sdram._bus_free_cycle < prev_free:
+            self._fail("sdram.bus", "bus free point moved backwards",
+                       free=sdram._bus_free_cycle, prev_free=prev_free)
+        self._sdram_bus_free[id(sdram)] = sdram._bus_free_cycle
+
+    # ------------------------------------------------------------------
+    # Fabric wire: conservation + per-port FIFO
+    # ------------------------------------------------------------------
+    def _wire(self, wire: Any) -> List[int]:
+        counts = self._wire_counts.get(id(wire))
+        if counts is None:
+            counts = [0, 0, 0]
+            self._wire_counts[id(wire)] = counts
+        return counts
+
+    def _check_wire_conservation(self, wire: Any, counts: List[int]) -> None:
+        injected, forwarded, dropped = counts
+        if injected != forwarded + dropped:
+            self._fail("wire.conservation",
+                       "injected != forwarded + dropped",
+                       injected=injected, forwarded=forwarded, dropped=dropped)
+        if wire.forwarded != forwarded or wire.drops != dropped:
+            self._fail("wire.conservation",
+                       "wire counters disagree with observed hooks",
+                       wire_forwarded=wire.forwarded, wire_drops=wire.drops,
+                       forwarded=forwarded, dropped=dropped)
+
+    def wire_injected(self, wire: Any, src: int, dst: int) -> None:
+        self._count("wire.inject")
+        self._wire(wire)[0] += 1
+
+    def wire_forwarded(self, wire: Any, src: int, dst: int, deliver_ps: int,
+                       switched: bool) -> None:
+        self._count("wire.forward")
+        counts = self._wire(wire)
+        counts[1] += 1
+        self._check_wire_conservation(wire, counts)
+        # Delivery order: per-source for direct links (each src MAC
+        # serializes), per-destination-port once a switch serializes.
+        key = (id(wire), "dst" if switched else "src", dst if switched else src)
+        prev = self._wire_delivery.get(key)
+        if prev is not None and deliver_ps < prev:
+            self._fail("wire.fifo", "delivery order inverted",
+                       switched=switched, src=src, dst=dst,
+                       deliver_ps=deliver_ps, prev_ps=prev)
+        self._wire_delivery[key] = deliver_ps
+
+    def wire_dropped(self, wire: Any, dst: int) -> None:
+        self._count("wire.drop")
+        counts = self._wire(wire)
+        counts[2] += 1
+        self._check_wire_conservation(wire, counts)
+
+    def wire_port_departure(self, wire: Any, port: int, out_start_ps: int,
+                            out_end_ps: int, prev_free_ps: int) -> None:
+        self._count("wire.port")
+        if out_end_ps <= out_start_ps:
+            self._fail("wire.port", "zero-time serialization",
+                       port=port, start=out_start_ps, end=out_end_ps)
+        if out_start_ps < prev_free_ps:
+            self._fail("wire.port", "port serialized two frames at once",
+                       port=port, start=out_start_ps, prev_free=prev_free_ps)
+        shadow_key = (id(wire), port)
+        shadow_free = self._wire_port_free.get(shadow_key, 0)
+        if prev_free_ps != shadow_free:
+            self._fail("wire.port", "port free point disagrees with shadow",
+                       port=port, prev_free=prev_free_ps, shadow=shadow_free)
+        self._wire_port_free[shadow_key] = out_end_ps
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def report(self) -> Dict[str, int]:
+        """Checks exercised per invariant family (for CLI summaries)."""
+        return dict(sorted(self.checks.items()))
+
+    def total_checks(self) -> int:
+        return sum(self.checks.values())
+
+    def summary(self) -> str:
+        families = len(self.checks)
+        return (
+            f"{self.total_checks()} checks across {families} invariant "
+            f"families, {len(self.violations)} violation(s)"
+        )
+
+
+def monitor_or_null(monitor: Optional[NullInvariantMonitor]) -> NullInvariantMonitor:
+    """Normalize an optional monitor argument to the null singleton."""
+    return NULL_MONITOR if monitor is None else monitor

@@ -1,0 +1,267 @@
+"""Attaching monitors to simulators and post-run conservation checks.
+
+Two entry points:
+
+* :func:`attach_monitor` wires one monitor instance into every
+  instrumented object a simulator owns — the event kernel, the ordering
+  boards, the distributed event queue, the SDRAM model, and (for a
+  fabric) the wire plus every endpoint, all sharing one monitor so
+  cross-object invariants (ticket conservation on a shared kernel) hold
+  globally.
+* :func:`verify_conservation` checks the *end-state* identities that
+  per-event hooks cannot see: frame/byte conservation through the
+  queue → boards → MAC datapath, buffer-space bounds, and the faulted
+  accounting identity ``delivered + holes + drops + in_flight ==
+  injected``.
+
+Both work on :class:`~repro.nic.throughput.ThroughputSimulator` and
+:class:`~repro.fabric.sim.FabricSimulator` (duck-typed on
+``.endpoints``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.check.monitor import (
+    NULL_MONITOR,
+    InvariantMonitor,
+    InvariantViolation,
+    NullInvariantMonitor,
+)
+
+
+def _is_fabric(simulator: Any) -> bool:
+    return hasattr(simulator, "endpoints") and hasattr(simulator, "wire")
+
+
+def attach_monitor(simulator: Any, monitor: NullInvariantMonitor) -> None:
+    """Install ``monitor`` on every instrumented object of ``simulator``.
+
+    Pass :data:`~repro.check.monitor.NULL_MONITOR` to detach.  Safe to
+    call before :meth:`start`/:meth:`run`; attaching mid-run is not
+    supported (shadow state would disagree with live state).
+    """
+    if _is_fabric(simulator):
+        simulator.sim.monitor = monitor
+        simulator.wire.monitor = monitor
+        for endpoint in simulator.endpoints:
+            _attach_throughput(endpoint, monitor)
+        return
+    _attach_throughput(simulator, monitor)
+
+
+def _attach_throughput(simulator: Any, monitor: NullInvariantMonitor) -> None:
+    simulator.monitor = monitor
+    simulator.sim.monitor = monitor
+    simulator.queue.monitor = monitor
+    simulator.sdram.monitor = monitor
+    for board in (
+        simulator.board_tx_mac,
+        simulator.board_tx_notify,
+        simulator.board_rx,
+    ):
+        board.monitor = monitor
+
+
+# ----------------------------------------------------------------------
+# Post-run conservation identities
+# ----------------------------------------------------------------------
+class _Checker:
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self.checked: Dict[str, Any] = {}
+        self.failures: List[str] = []
+
+    def check(self, name: str, ok: bool, detail: str) -> None:
+        self.checked[name] = bool(ok)
+        if not ok:
+            self.failures.append(f"{self.label}{name}: {detail}")
+
+    def equal(self, name: str, lhs: Any, rhs: Any, formula: str) -> None:
+        self.check(name, lhs == rhs, f"{formula} ({lhs!r} != {rhs!r})")
+
+
+def _verify_throughput(simulator: Any, checker: _Checker) -> None:
+    board_rx = simulator.board_rx
+    mac_rx = simulator.mac_rx
+    config = simulator.config
+
+    # Receive-side frame conservation.
+    checker.equal(
+        "rx.commit_accounting",
+        board_rx.commit_seq,
+        simulator._rx_done_frames + simulator._rx_hole_frames,
+        "commit_seq == rx_done + rx_holes",
+    )
+    checker.equal(
+        "rx.seq_conservation",
+        mac_rx._next_seq,
+        mac_rx.frames_accepted + simulator._rx_dropped,
+        "next_seq == accepted + tail_dropped",
+    )
+    # Accepted frames (holes included — FCS drops happen after the MAC
+    # consumed the sequence) not yet committed are in flight.
+    in_flight = mac_rx.frames_accepted - board_rx.commit_seq
+    checker.check(
+        "rx.in_flight",
+        in_flight >= 0,
+        f"accepted frames behind deliveries (in_flight={in_flight})",
+    )
+    # Faulted accounting identity (also holds fault-free with holes=0):
+    # every consumed sequence number is delivered, a hole, tail-dropped,
+    # or still in flight.
+    checker.equal(
+        "rx.fault_identity",
+        mac_rx._next_seq,
+        simulator._rx_done_frames
+        + simulator._rx_hole_frames
+        + simulator._rx_dropped
+        + in_flight,
+        "injected == delivered + holes + drops + in_flight",
+    )
+
+    # Transmit-side conservation.
+    checker.equal(
+        "tx.outstanding",
+        simulator._tx_mac_seq - simulator._tx_done_frames,
+        simulator._tx_outstanding_mac,
+        "mac_seq - done == outstanding",
+    )
+    checker.check(
+        "tx.outstanding_bound",
+        0 <= simulator._tx_outstanding_mac <= 2,
+        f"MAC double-buffer bound violated ({simulator._tx_outstanding_mac})",
+    )
+
+    # Buffer-byte conservation (claims are refunded exactly once).
+    checker.check(
+        "tx.buffer_bounds",
+        0 <= simulator._tx_space <= config.tx_buffer_bytes,
+        f"tx buffer space {simulator._tx_space} outside "
+        f"[0, {config.tx_buffer_bytes}]",
+    )
+    checker.check(
+        "rx.buffer_bounds",
+        0 <= simulator._rx_space <= config.rx_buffer_bytes,
+        f"rx buffer space {simulator._rx_space} outside "
+        f"[0, {config.rx_buffer_bytes}]",
+    )
+
+    # Event queue claim/complete conservation.
+    queue = simulator.queue
+    checker.equal(
+        "queue.conservation",
+        queue.enqueues - queue.dequeues,
+        len(queue),
+        "enqueues - dequeues == depth",
+    )
+
+    # Ordering boards: bitmap population == marked + skipped - committed.
+    for board in (
+        simulator.board_tx_mac,
+        simulator.board_tx_notify,
+        simulator.board_rx,
+    ):
+        outstanding = board.marked + board.skipped - board.committed
+        checker.equal(
+            f"board.{board.name}.pending",
+            board.pending,
+            outstanding,
+            "pending == marked + skipped - committed",
+        )
+        checker.check(
+            f"board.{board.name}.window",
+            0 <= outstanding <= board.ring_size,
+            f"outstanding {outstanding} outside ring window",
+        )
+
+    # Core scheduling conservation.
+    checker.equal(
+        "cores.free_list",
+        simulator._idle_cores,
+        len(simulator._free_core_ids),
+        "idle count == free-list length",
+    )
+    checker.check(
+        "cores.bound",
+        0 <= simulator._idle_cores <= config.cores,
+        f"idle cores {simulator._idle_cores} outside [0, {config.cores}]",
+    )
+
+    # SDRAM byte conservation: every transferred byte is useful payload,
+    # wasted retry payload, or alignment padding — never negative padding.
+    sdram = simulator.sdram
+    checker.check(
+        "sdram.bytes",
+        sdram.transferred_bytes >= sdram.useful_bytes + sdram.wasted_retry_bytes,
+        f"transferred {sdram.transferred_bytes} < useful "
+        f"{sdram.useful_bytes} + retries {sdram.wasted_retry_bytes}",
+    )
+
+
+def _verify_fabric(fabric: Any, checker: _Checker) -> None:
+    wire = fabric.wire
+    checker.check(
+        "wire.counters",
+        wire.forwarded >= 0 and wire.drops >= 0,
+        f"negative wire counters ({wire.forwarded}, {wire.drops})",
+    )
+    for flow in fabric.flows.values():
+        accounted = flow.delivered + flow.lost
+        checker.check(
+            f"flow.{flow.name}.accounting",
+            0 <= accounted <= flow.posted,
+            f"delivered {flow.delivered} + lost {flow.lost} vs "
+            f"posted {flow.posted}",
+        )
+    for index, endpoint in enumerate(fabric.endpoints):
+        sub = _Checker(f"{checker.label}nic{index}.")
+        _verify_throughput(endpoint, sub)
+        checker.checked.update(
+            {f"nic{index}.{k}": v for k, v in sub.checked.items()}
+        )
+        checker.failures.extend(sub.failures)
+
+
+def verify_conservation(
+    simulator: Any,
+    monitor: Optional[InvariantMonitor] = None,
+    raise_on_failure: bool = True,
+) -> Dict[str, Any]:
+    """Check end-state conservation identities of a finished run.
+
+    Returns the dict of identities checked (name → ok).  With
+    ``raise_on_failure`` (default) an :exc:`InvariantViolation` listing
+    every broken identity is raised instead of returning failures.
+
+    When the run's armed ``monitor`` is passed, kernel event-ticket
+    conservation (scheduled == fired + discarded + live) is checked too.
+    """
+    checker = _Checker("")
+    if _is_fabric(simulator):
+        _verify_fabric(simulator, checker)
+    else:
+        _verify_throughput(simulator, checker)
+
+    if monitor is not None and monitor.enabled:
+        before = len(monitor.violations)
+        strict, monitor.strict = monitor.strict, False
+        try:
+            monitor.check_ticket_conservation()
+        finally:
+            monitor.strict = strict
+        new = monitor.violations[before:]
+        checker.check(
+            "kernel.ticket_conservation",
+            not new,
+            "; ".join(str(v) for v in new),
+        )
+
+    if checker.failures and raise_on_failure:
+        raise InvariantViolation(
+            "conservation",
+            f"{len(checker.failures)} identity(ies) broken: "
+            + " | ".join(checker.failures),
+        )
+    return checker.checked

@@ -7,6 +7,7 @@ Subcommands::
     repro faults   throughput under injected faults (run or rate sweep)
     repro fabric   multi-NIC fabric: RPC/stream flows, latency percentiles
     repro report   regenerate the paper's whole evaluation
+    repro check    conformance: oracles, golden corpus, fuzz, replay
     repro asm      assemble and run a MIPS firmware file
     repro ilp      IPC-limit analysis of a firmware trace
 
@@ -210,6 +211,37 @@ def _add_report_parser(subparsers) -> None:
     parser.add_argument("--output", type=str, default="")
 
 
+def _add_check_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "check",
+        help="conformance checks: differential oracles, golden corpus, "
+             "seeded fuzzing with replay (docs/validation.md)",
+    )
+    parser.add_argument("--fuzz", type=int, default=0, metavar="N",
+                        help="fuzz N random experiment points with "
+                             "invariant monitors armed (0 = skip)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="fuzz corpus seed (same seed => same points)")
+    parser.add_argument("--replay-dir", type=str, default="", metavar="DIR",
+                        help="write a deterministic replay file per fuzz "
+                             "failure into this directory")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="skip shrinking fuzz failures to minimal repros")
+    parser.add_argument("--replay", type=str, default="", metavar="FILE",
+                        help="re-execute one failure from its replay file "
+                             "and exit")
+    parser.add_argument("--skip-oracles", action="store_true",
+                        help="skip the differential-oracle battery")
+    parser.add_argument("--skip-golden", action="store_true",
+                        help="skip the golden-trace corpus comparison")
+    parser.add_argument("--update-golden", action="store_true",
+                        help="regenerate tests/golden/golden.json from the "
+                             "current code and exit")
+    parser.add_argument("--golden-path", type=str, default="",
+                        metavar="PATH", help="golden corpus file to check "
+                                             "or regenerate")
+
+
 def _add_asm_parser(subparsers) -> None:
     parser = subparsers.add_parser("asm", help="assemble and run a MIPS file")
     parser.add_argument("file", help="assembly source file")
@@ -245,6 +277,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_faults_parser(subparsers)
     _add_fabric_parser(subparsers)
     _add_report_parser(subparsers)
+    _add_check_parser(subparsers)
     _add_asm_parser(subparsers)
     _add_ilp_parser(subparsers)
     return parser
@@ -770,6 +803,65 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    from repro.check import golden as golden_mod
+
+    golden_path = args.golden_path or golden_mod.DEFAULT_CORPUS_PATH
+
+    # -- replay one failure and exit --------------------------------------
+    if args.replay:
+        from repro.check.fuzz import replay as run_replay
+
+        outcome = run_replay(args.replay)
+        print(outcome.summary())
+        return 1 if outcome.reproduced else 0
+
+    # -- regenerate the golden corpus and exit ----------------------------
+    if args.update_golden:
+        return golden_mod.main(["--update", "--path", golden_path])
+
+    failed = False
+
+    # -- differential oracles ---------------------------------------------
+    if not args.skip_oracles:
+        from repro.check.oracles import run_all_oracles
+
+        for report in run_all_oracles(seed=args.seed):
+            print(report.summary())
+            failed = failed or not report.ok
+
+    # -- golden-trace corpus ----------------------------------------------
+    if not args.skip_golden:
+        import os
+
+        if not os.path.exists(golden_path):
+            print(f"golden corpus missing ({golden_path}); regenerate with "
+                  f"`repro check --update-golden`", file=sys.stderr)
+            failed = True
+        elif golden_mod.main(["--path", golden_path]) != 0:
+            failed = True
+
+    # -- seeded fuzzing ----------------------------------------------------
+    if args.fuzz > 0:
+        from repro.check.fuzz import fuzz as run_fuzz
+
+        report = run_fuzz(
+            args.fuzz,
+            seed=args.seed,
+            replay_dir=args.replay_dir or None,
+            progress=sys.stderr,
+            shrink=not args.no_shrink,
+        )
+        print(report.summary())
+        for failure in report.failures:
+            print(f"  case {failure.index}: {failure.error}"
+                  + (f" (replay: {failure.replay_path})"
+                     if failure.replay_path else ""))
+        failed = failed or bool(report.failures)
+
+    return 1 if failed else 0
+
+
 def _cmd_asm(args) -> int:
     from repro.isa import assemble
     from repro.isa.debugger import Debugger
@@ -857,6 +949,7 @@ _COMMANDS = {
     "faults": _cmd_faults,
     "fabric": _cmd_fabric,
     "report": _cmd_report,
+    "check": _cmd_check,
     "asm": _cmd_asm,
     "ilp": _cmd_ilp,
 }

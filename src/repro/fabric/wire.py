@@ -25,6 +25,7 @@ from typing import Deque, Dict, List
 from collections import deque
 
 from repro.assists.mac import WireEvent
+from repro.check.monitor import NULL_MONITOR
 from repro.fabric.flows import FabricFrame
 from repro.fabric.spec import FabricSpec
 
@@ -56,12 +57,16 @@ class FabricWire:
         self.forwarded = 0
         self.drops = 0
         self._ports: List[_SwitchPort] = [_SwitchPort() for _ in range(spec.nics)]
+        #: Invariant monitor (null by default; see ``repro.check``).
+        self.monitor = NULL_MONITOR
 
     # ------------------------------------------------------------------
     def transmit(self, src: int, frame: FabricFrame, wire: WireEvent) -> None:
         """Source NIC ``src`` put ``frame`` on the wire (``wire`` is its
         MAC timing).  Routes, queues, possibly drops, and ultimately
         schedules the destination's :meth:`rx_arrive`."""
+        if self.monitor.enabled:
+            self.monitor.wire_injected(self, src, frame.dst)
         if self.spec.switch:
             self._transmit_switched(src, frame, wire)
         else:
@@ -71,6 +76,10 @@ class FabricWire:
     # -- direct links ---------------------------------------------------
     def _deliver(self, frame: FabricFrame, available_ps: int, span_start_ps: int) -> None:
         self.forwarded += 1
+        if self.monitor.enabled:
+            self.monitor.wire_forwarded(
+                self, frame.src, frame.dst, available_ps, self.spec.switch
+            )
         fabric = self.fabric
         destination = fabric.endpoints[frame.dst]
 
@@ -97,6 +106,8 @@ class FabricWire:
         port = self._ports[frame.dst]
         if port.occupancy(ready_ps) >= spec.port_queue_frames:
             self.drops += 1
+            if self.monitor.enabled:
+                self.monitor.wire_dropped(self, frame.dst)
             fabric = self.fabric
             destination = fabric.endpoints[frame.dst]
 
@@ -114,6 +125,10 @@ class FabricWire:
             return
         out_start = max(ready_ps, port.free_ps)
         out_end = out_start + self.fabric.timing.frame_time_ps(frame.frame_bytes)
+        if self.monitor.enabled:
+            self.monitor.wire_port_departure(
+                self, frame.dst, out_start, out_end, port.free_ps
+            )
         port.free_ps = out_end
         port.departures.append(out_end)
         # The destination MAC re-serializes from the first bit leaving

@@ -22,6 +22,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Mapping, Optional
 
+from repro.check.monitor import NULL_MONITOR
+
 
 class EventKind(enum.Enum):
     """Processing steps from Figures 1 and 2, as event types."""
@@ -74,6 +76,8 @@ class DistributedEventQueue:
         self.dequeues = 0
         self.retries = 0
         self.high_water = 0
+        #: Invariant monitor (null by default; see ``repro.check``).
+        self.monitor = NULL_MONITOR
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -106,6 +110,8 @@ class DistributedEventQueue:
         self._queue.append(event)
         self.enqueues += 1
         self.high_water = max(self.high_water, len(self._queue))
+        if self.monitor.enabled:
+            self.monitor.queue_pushed(self)
 
     def push_retry(self, event: FrameEvent) -> None:
         event.retries += 1
@@ -116,7 +122,10 @@ class DistributedEventQueue:
         if not self._queue:
             return None
         self.dequeues += 1
-        return self._queue.popleft()
+        event = self._queue.popleft()
+        if self.monitor.enabled:
+            self.monitor.queue_popped(self)
+        return event
 
 
 class EventRegister:
@@ -134,6 +143,8 @@ class EventRegister:
         }
         self.set_operations = 0
         self.blocked_claims = 0
+        #: Invariant monitor (null by default; see ``repro.check``).
+        self.monitor = NULL_MONITOR
 
     def raise_event(self, kind: EventKind) -> None:
         """Hardware (or firmware) signals that work of ``kind`` exists."""
@@ -161,6 +172,8 @@ class EventRegister:
             self.blocked_claims += 1
             return False
         self._claimed_by[kind] = core_id
+        if self.monitor.enabled:
+            self.monitor.register_claimed(self, kind, core_id)
         return True
 
     def release(self, kind: EventKind, core_id: int) -> None:
@@ -168,6 +181,8 @@ class EventRegister:
             raise RuntimeError(
                 f"core {core_id} releasing {kind} held by {self._claimed_by[kind]}"
             )
+        if self.monitor.enabled:
+            self.monitor.register_released(self, kind, core_id)
         self._claimed_by[kind] = None
 
     def claimable_kinds(self, core_id: int) -> List[EventKind]:

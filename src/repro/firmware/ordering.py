@@ -34,6 +34,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.check.monitor import NULL_MONITOR
 from repro.isa.machine import Memory, apply_setb, apply_update
 
 
@@ -86,7 +87,13 @@ _POINTER_UPDATE = OrderingCost(instructions=3.0, loads=0.0, stores=1.0)
 class OrderingBoard:
     """One direction's status bitmap + commit pointer."""
 
-    def __init__(self, ring_size: int, mode: OrderingMode, hw_pointer: bool = False) -> None:
+    def __init__(
+        self,
+        ring_size: int,
+        mode: OrderingMode,
+        hw_pointer: bool = False,
+        name: str = "board",
+    ) -> None:
         if ring_size < 32 or ring_size % 32:
             raise ValueError(
                 f"ring size must be a positive multiple of 32, got {ring_size}"
@@ -94,6 +101,9 @@ class OrderingBoard:
         self.ring_size = ring_size
         self.mode = mode
         self.hw_pointer = hw_pointer
+        self.name = name
+        #: Invariant monitor (null by default; see ``repro.check``).
+        self.monitor = NULL_MONITOR
         self._bitmap = Memory(ring_size // 8)
         self.commit_seq = 0          # next sequence number to commit
         self.marked = 0
@@ -118,6 +128,8 @@ class OrderingBoard:
             )
         apply_setb(self._bitmap, 0, seq % self.ring_size)
         self.marked += 1
+        if self.monitor.enabled:
+            self.monitor.board_marked(self, seq)
         return _SW_MARK if self.mode is OrderingMode.SOFTWARE else _RMW_MARK
 
     def skip(self, seq: int) -> OrderingCost:
@@ -134,6 +146,8 @@ class OrderingBoard:
         cost = self.mark_done(seq)
         self.marked -= 1
         self.skipped += 1
+        if self.monitor.enabled:
+            self.monitor.board_skipped(self, seq)
         return cost
 
     def is_marked(self, seq: int) -> bool:
@@ -148,9 +162,14 @@ class OrderingBoard:
         Returns ``(newly_committed_count, OrderingCost)``.
         """
         self.commit_calls += 1
+        old_seq = self.commit_seq
         if self.mode is OrderingMode.RMW:
-            return self._commit_rmw()
-        return self._commit_software()
+            result = self._commit_rmw()
+        else:
+            result = self._commit_software()
+        if self.monitor.enabled:
+            self.monitor.board_committed(self, old_seq, self.commit_seq, result[0])
+        return result
 
     def _commit_rmw(self) -> tuple:
         cost = _RMW_COMMIT_BASE

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.check.monitor import NULL_MONITOR
 from repro.isa.machine import Memory, apply_setb, apply_update
 from repro.mem.crossbar import Crossbar, TOTAL_ACCESS_LATENCY
 from repro.units import KIB
@@ -67,6 +68,8 @@ class Scratchpad:
         self.accesses = 0
         self.conflict_cycles = 0
         self.rmw_ops = 0
+        #: Invariant monitor (null by default; see ``repro.check``).
+        self.monitor = NULL_MONITOR
 
     # -- addressing ------------------------------------------------------
     def bank_of(self, address: int) -> int:
@@ -93,12 +96,15 @@ class Scratchpad:
         grant = self.crossbar.request(bank, requester, cycle)
         self.accesses += 1
         self.conflict_cycles += grant - cycle
-        return ScratchpadAccess(
+        result = ScratchpadAccess(
             bank=bank,
             request_cycle=cycle,
             grant_cycle=grant,
             data_cycle=grant + TOTAL_ACCESS_LATENCY,
         )
+        if self.monitor.enabled:
+            self.monitor.scratchpad_access(self, result)
+        return result
 
     # -- data (functional view shared with the ISA machine) --------------
     def load_word(self, address: int) -> int:

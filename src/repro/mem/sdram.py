@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.check.monitor import NULL_MONITOR
 from repro.units import align_down, align_up
 
 
@@ -70,6 +71,8 @@ class GddrSdram:
         self.wasted_retry_bytes = 0
         self.row_activations = 0
         self.requests = 0
+        #: Invariant monitor (null by default; see ``repro.check``).
+        self.monitor = NULL_MONITOR
 
     # ------------------------------------------------------------------
     def _bank_of(self, address: int) -> int:
@@ -117,13 +120,16 @@ class GddrSdram:
             self.wasted_retry_bytes += nbytes
         self.transferred_bytes += padded
         self.requests += 1
-        return SdramRequest(
+        request = SdramRequest(
             start_cycle=start,
             finish_cycle=finish,
             useful_bytes=nbytes,
             transferred_bytes=padded,
             row_activated=activated,
         )
+        if self.monitor.enabled:
+            self.monitor.sdram_transfer(self, request, cycle, nbytes)
+        return request
 
     # -- bandwidth accounting (Table 4) ----------------------------------
     def peak_bandwidth_bps(self) -> float:

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Set
 from repro.assists.dma import DmaAssist
 from repro.assists.mac import MacReceiver, MacTransmitter
 from repro.assists.pci import PciInterface
+from repro.check.monitor import NULL_MONITOR
 from repro.cpu.costmodel import ContentionModel, HandlerCost, OpProfile
 from repro.faults import FaultInjector, FaultPlan
 from repro.firmware.events import DistributedEventQueue, EventKind, FrameEvent
@@ -339,6 +340,10 @@ class ThroughputSimulator:
 
         self.config = config
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Invariant monitor (null by default).  Attach an armed monitor
+        #: with :func:`repro.check.attach_monitor`, which also wires the
+        #: kernel / boards / queue / memories this simulator owns.
+        self.monitor = NULL_MONITOR
         self.fault_plan = fault_plan
         self.faults: Optional[FaultInjector] = (
             FaultInjector(fault_plan, tracer=self.tracer)
@@ -416,9 +421,13 @@ class ThroughputSimulator:
         )
 
         mode = config.ordering_mode
-        self.board_tx_mac = OrderingBoard(config.ordering_ring, mode, hw_pointer=True)
-        self.board_tx_notify = OrderingBoard(config.ordering_ring, mode)
-        self.board_rx = OrderingBoard(config.ordering_ring, mode)
+        self.board_tx_mac = OrderingBoard(
+            config.ordering_ring, mode, hw_pointer=True, name="tx_mac"
+        )
+        self.board_tx_notify = OrderingBoard(
+            config.ordering_ring, mode, name="tx_notify"
+        )
+        self.board_rx = OrderingBoard(config.ordering_ring, mode, name="rx")
 
         queue_depth = 4096
         if self.faults is not None and fault_plan.event_queue_depth:
@@ -575,6 +584,8 @@ class ThroughputSimulator:
         wait_cycles = (start_ps - now_ps) / period
         lock.free_at_ps = start_ps + round(hold_cycles * period)
         lock.acquisitions += 1
+        if self.monitor.enabled:
+            self.monitor.lock_acquired(lock, now_ps, start_ps, lock.free_at_ps)
         if wait_cycles > 0:
             acquire_ps = now_ps + self.core_clock.cycles_to_ps(cycles_so_far)
             blocked_cycles = (start_ps - acquire_ps) / period
@@ -691,6 +702,8 @@ class ThroughputSimulator:
             self._task_claims[event.kind] = True
             self._idle_cores -= 1
             core_id = self._free_core_ids.pop()
+            if self.monitor.enabled:
+                self.monitor.core_claimed(self, core_id)
             self._current_core = core_id
             cycles = self._run_handler(event)
             duration_ps = self.core_clock.cycles_to_ps(max(1.0, cycles))
@@ -710,6 +723,8 @@ class ThroughputSimulator:
             )
 
     def _handler_done(self, kind: EventKind, core_id: int) -> None:
+        if self.monitor.enabled:
+            self.monitor.core_released(self, core_id)
         self._idle_cores += 1
         self._free_core_ids.append(core_id)
         self._task_claims[kind] = False

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Callable, Dict, List, Optional
 
+from repro.check.monitor import NULL_MONITOR
 from repro.units import cycle_time_ps
 
 
@@ -91,6 +92,8 @@ class Simulator:
         self._stopped = False
         self.events_processed = 0
         self._profiler = None  # duck-typed: .record(callback, wall_seconds)
+        #: Invariant monitor (null by default; see ``repro.check``).
+        self.monitor = NULL_MONITOR
 
     # ------------------------------------------------------------------
     # Clock management
@@ -128,6 +131,8 @@ class Simulator:
         when = self.now_ps + delay_ps
         heapq.heappush(self._queue, (when, priority, ticket, callback))
         self._live.add(ticket)
+        if self.monitor.enabled:
+            self.monitor.event_scheduled(ticket, when, self.now_ps)
         return Event(when, priority, ticket)
 
     def schedule_at(
@@ -159,6 +164,8 @@ class Simulator:
         O(n) for the rest of the simulation.
         """
         if event.ticket in self._live:
+            if self.monitor.enabled:
+                self.monitor.event_cancelled(event.ticket)
             self._cancelled.add(event.ticket)
 
     def stop(self) -> None:
@@ -192,6 +199,7 @@ class Simulator:
         self._stopped = False
         processed = 0
         profiler = self._profiler
+        monitor = self.monitor
         while self._queue:
             if self._stopped:
                 break
@@ -209,7 +217,11 @@ class Simulator:
             self._live.discard(ticket)
             if ticket in self._cancelled:
                 self._cancelled.discard(ticket)
+                if monitor.enabled:
+                    monitor.event_discarded(ticket)
                 continue
+            if monitor.enabled:
+                monitor.event_fired(ticket, when, self.now_ps)
             self.now_ps = when
             if profiler is None:
                 callback()
@@ -231,6 +243,8 @@ class Simulator:
             _, _, ticket, _ = heapq.heappop(self._queue)
             self._live.discard(ticket)
             self._cancelled.discard(ticket)
+            if self.monitor.enabled:
+                self.monitor.event_discarded(ticket)
         if not self._queue:
             return None
         return self._queue[0][0]

@@ -9,6 +9,8 @@ import runpy
 import sys
 from pathlib import Path
 
+import pytest
+
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 
@@ -52,6 +54,7 @@ class TestExamples:
         )
         assert "setb" in out and "update" in out
 
+    @pytest.mark.slow
     def test_design_space_sweep_quick(self, capsys):
         out = run_example("design_space_sweep.py", ["--quick"], capsys)
         assert "cheapest line-rate design" in out
@@ -64,6 +67,7 @@ class TestExamples:
         assert "peak frame rate" in out
         assert "IMIX extension" in out
 
+    @pytest.mark.slow
     def test_reproduce_paper_fast(self, capsys, tmp_path):
         report_path = tmp_path / "evaluation.txt"
         out = run_example(

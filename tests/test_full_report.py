@@ -4,6 +4,10 @@ import pytest
 
 from repro.analysis.full_report import generate_full_report
 
+# Regenerating the whole evaluation takes seconds even in fast mode:
+# excluded from tier-1 (`-m "not slow"`), always run in CI (`-m ""`).
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def report():

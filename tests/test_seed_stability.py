@@ -1,0 +1,53 @@
+"""Seed-stability matrix: same seed, byte-identical results, every tier.
+
+One parametrized test replaces the per-PR "run it twice and diff"
+smokes that used to be copy-pasted alongside each new subsystem
+(throughput, faults, fabric): the canonical runs are the golden
+corpus's own specs (:func:`repro.check.golden.golden_specs`), so the
+matrix and the pinned digests can never drift apart.  A sweep-engine
+tier checks that the cache serves byte-identical results too.
+"""
+
+import pytest
+
+from repro.check.golden import golden_digest, golden_specs
+
+
+@pytest.mark.parametrize("tier", sorted(golden_specs()))
+def test_repeat_runs_byte_identical(tier):
+    runner = golden_specs()[tier]
+    first, second = runner(), runner()
+    assert first.to_dict() == second.to_dict()
+    assert golden_digest(first) == golden_digest(second)
+
+
+def test_fresh_simulator_state_does_not_leak(tier_order=("fabric-rpc", "throughput-rmw")):
+    """Interleaving tiers does not change either tier's digest."""
+    specs = golden_specs()
+    lone = {tier: golden_digest(specs[tier]()) for tier in tier_order}
+    interleaved = {}
+    for tier in tier_order:
+        interleaved[tier] = golden_digest(specs[tier]())
+    assert interleaved == lone
+
+
+def test_sweep_cache_serves_byte_identical_results(tmp_path):
+    from repro.exp import Sweep, SweepRunner
+
+    def outcome():
+        sweep = Sweep.grid(
+            "stability", core_counts=[1, 2], frequencies_mhz=[133],
+            warmup_s=0.05e-3, measure_s=0.2e-3,
+        )
+        runner = SweepRunner(jobs=1, cache_dir=str(tmp_path), progress=None)
+        return sweep.run(runner)
+
+    first = outcome()
+    second = outcome()          # entirely cache-served
+    assert second.cache_hits == len(second)
+    assert [r.to_dict() for r in first.results] == [
+        r.to_dict() for r in second.results
+    ]
+    assert [golden_digest(r) for r in first.results] == [
+        golden_digest(r) for r in second.results
+    ]
