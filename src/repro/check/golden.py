@@ -81,9 +81,12 @@ def _run_faulted():
 def _run_fabric():
     from repro.fabric import FabricSimulator, FabricSpec
 
-    return FabricSimulator(_config(), FabricSpec.rpc_pair(seed=11)).run(
-        WARMUP_S, MEASURE_S
-    )
+    # estimator="exact": the corpus digests full result dicts, and only
+    # exact nearest-rank percentiles are byte-stable across estimator
+    # tuning (docs/observability.md, "Streaming quantiles").
+    return FabricSimulator(
+        _config(), FabricSpec.rpc_pair(seed=11), estimator="exact"
+    ).run(WARMUP_S, MEASURE_S)
 
 
 def _run_fabric_switched():
@@ -92,7 +95,9 @@ def _run_fabric_switched():
     spec = dataclasses.replace(
         FabricSpec.rpc_pair(seed=3), switch=True, port_queue_frames=4
     )
-    return FabricSimulator(_config(), spec).run(WARMUP_S, MEASURE_S)
+    return FabricSimulator(_config(), spec, estimator="exact").run(
+        WARMUP_S, MEASURE_S
+    )
 
 
 def golden_specs() -> Dict[str, Callable]:

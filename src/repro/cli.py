@@ -8,6 +8,7 @@ Subcommands::
     repro fabric   multi-NIC fabric: RPC/stream flows, latency percentiles
     repro report   regenerate the paper's whole evaluation
     repro check    conformance: oracles, golden corpus, fuzz, replay
+    repro bench    benchmark observatory: run benches, emit/compare BENCH JSON
     repro asm      assemble and run a MIPS firmware file
     repro ilp      IPC-limit analysis of a firmware trace
 
@@ -56,7 +57,9 @@ def _add_run_parser(subparsers) -> None:
                              "microseconds (default: 50)")
     parser.add_argument("--profile-sim", action="store_true",
                         help="profile the simulator itself: per-callback "
-                             "wall-time attribution, top-N report")
+                             "wall-time attribution, top-N report; with "
+                             "--json, embeds the machine-readable profile "
+                             "as 'sim_profile'")
 
 
 def _add_sweep_parser(subparsers) -> None:
@@ -182,6 +185,12 @@ def _add_fabric_parser(subparsers) -> None:
     parser.add_argument("--warmup-millis", type=float, default=0.2)
     parser.add_argument("--seed", type=int, default=0,
                         help="fabric seed (salts per-endpoint fault streams)")
+    parser.add_argument("--estimator", choices=["streaming", "exact"],
+                        default="streaming",
+                        help="latency percentile estimator: 'streaming' "
+                             "(bounded memory, documented relative-error "
+                             "bound) or 'exact' (full sample buffers; "
+                             "single-run path only)")
     # -- sweep mode -------------------------------------------------------
     parser.add_argument("--sweep-loads", type=float, nargs="+", default=[],
                         metavar="FRACTION",
@@ -242,6 +251,46 @@ def _add_check_parser(subparsers) -> None:
                                              "or regenerate")
 
 
+def _add_bench_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "bench",
+        help="benchmark observatory: run benchmarks/bench_*.py, emit "
+             "BENCH_<name>.json, compare trajectory points "
+             "(docs/observability.md)",
+    )
+    parser.add_argument("--bench-dir", type=str, default="benchmarks",
+                        metavar="DIR",
+                        help="directory holding bench_*.py modules "
+                             "(default: ./benchmarks)")
+    parser.add_argument("--out-dir", type=str, default="bench-results",
+                        metavar="DIR",
+                        help="where BENCH_<name>.json reports are written")
+    parser.add_argument("--quick", action="store_true",
+                        help="run only the fast overhead/perf subset "
+                             "(suitable for per-PR CI)")
+    parser.add_argument("--only", type=str, nargs="+", default=[],
+                        metavar="SUBSTR",
+                        help="run only benches whose module name contains "
+                             "one of these substrings")
+    parser.add_argument("--rounds", type=int, default=None, metavar="K",
+                        help="rounds per benchmark function for median-of-k "
+                             "(default: 3 full, 2 with --quick)")
+    parser.add_argument("--list", action="store_true", dest="listing",
+                        help="list discovered benches and exit")
+    parser.add_argument("--compare", type=str, nargs=2, default=None,
+                        metavar=("OLD", "NEW"),
+                        help="compare two trajectory points (BENCH_*.json "
+                             "files or directories of them) and exit "
+                             "nonzero on regression; no benches are run")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="default relative regression tolerance for "
+                             "--compare (default: 0.25; per-metric "
+                             "tolerances in the reports take precedence)")
+    parser.add_argument("--stat", choices=["median", "min"], default="median",
+                        help="which statistic --compare diffs "
+                             "(default: median, the noise-aware choice)")
+
+
 def _add_asm_parser(subparsers) -> None:
     parser = subparsers.add_parser("asm", help="assemble and run a MIPS file")
     parser.add_argument("file", help="assembly source file")
@@ -278,6 +327,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fabric_parser(subparsers)
     _add_report_parser(subparsers)
     _add_check_parser(subparsers)
+    _add_bench_parser(subparsers)
     _add_asm_parser(subparsers)
     _add_ilp_parser(subparsers)
     return parser
@@ -334,7 +384,10 @@ def _cmd_run(args) -> int:
     if args.json:
         import json
 
-        print(json.dumps(result.to_dict(), indent=2))
+        payload = result.to_dict()
+        if profiler is not None:
+            payload["sim_profile"] = profiler.to_dict(top_n=25)
+        print(json.dumps(payload, indent=2))
         return 0
     print(f"{config.label}  payload {args.payload} B")
     print(f"  throughput: {result.udp_throughput_gbps:.2f} Gb/s "
@@ -656,7 +709,8 @@ def _fabric_single(args, config, spec) -> int:
         from repro.obs import Tracer
 
         tracer = Tracer()
-    fabric = FabricSimulator(config, spec, tracer=tracer)
+    fabric = FabricSimulator(config, spec, tracer=tracer,
+                             estimator=args.estimator)
     result = fabric.run(
         warmup_s=args.warmup_millis * 1e-3, measure_s=args.millis * 1e-3
     )
@@ -862,6 +916,60 @@ def _cmd_check(args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.obs import bench as bench_mod
+
+    # -- compare two trajectory points and exit ----------------------------
+    if args.compare:
+        old_path, new_path = args.compare
+        try:
+            comparison = bench_mod.compare_reports(
+                old_path,
+                new_path,
+                tolerance=(bench_mod.DEFAULT_TOLERANCE
+                           if args.tolerance is None else args.tolerance),
+                stat=f"{args.stat}_s",
+            )
+        except (OSError, ValueError) as error:
+            print(f"bench compare failed: {error}", file=sys.stderr)
+            return 2
+        print(comparison.summary())
+        return 0 if comparison.ok else 1
+
+    try:
+        names = bench_mod.select_benches(
+            args.bench_dir, quick=args.quick, only=args.only
+        )
+    except (OSError, ValueError) as error:
+        print(f"bench discovery failed: {error}", file=sys.stderr)
+        return 2
+    if args.listing:
+        for name in names:
+            marker = "quick" if name in bench_mod.QUICK_BENCHES else "full"
+            print(f"{name}  [{marker}]")
+        return 0
+
+    rounds = args.rounds
+    if rounds is None:
+        rounds = 2 if args.quick else bench_mod.DEFAULT_ROUNDS
+    failed = False
+    for name in names:
+        print(f"bench {name} ...", file=sys.stderr, flush=True)
+        report = bench_mod.run_bench(
+            name, args.bench_dir, rounds=rounds, progress=sys.stderr
+        )
+        path = bench_mod.write_report(report, args.out_dir)
+        status = "ok" if report.ok else "FAILED"
+        print(f"  {status}: {len(report.functions)} metrics, "
+              f"{report.wall_s:.1f}s -> {path}", file=sys.stderr)
+        for record in report.functions.values():
+            if record.status == "failed":
+                print(f"    {record.name}: {record.error}", file=sys.stderr)
+                failed = True
+    print(f"bench: {len(names)} modules -> {args.out_dir}", file=sys.stderr)
+    return 1 if failed else 0
+
+
 def _cmd_asm(args) -> int:
     from repro.isa import assemble
     from repro.isa.debugger import Debugger
@@ -950,6 +1058,7 @@ _COMMANDS = {
     "fabric": _cmd_fabric,
     "report": _cmd_report,
     "check": _cmd_check,
+    "bench": _cmd_bench,
     "asm": _cmd_asm,
     "ilp": _cmd_ilp,
 }

@@ -32,7 +32,10 @@ from repro.nic.config import NicConfig
 #: Bump when the meaning of cached results changes in a way the
 #: automatic constant-hashing below cannot see (e.g. a simulator
 #: algorithm change with identical calibration constants).
-CACHE_SCHEMA_VERSION = 1
+#: v2: fabric runs default to the streaming latency estimator, so
+#: fabric percentiles differ (within the documented error bound) from
+#: v1's exact-sample values.
+CACHE_SCHEMA_VERSION = 2
 
 
 # ----------------------------------------------------------------------

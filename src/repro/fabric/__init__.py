@@ -25,7 +25,9 @@ the ``repro fabric`` CLI subcommand for JSON/CSV reports.
 
 from repro.fabric.endpoint import FabricMacReceiver, NicEndpoint, RecordedSizeModel
 from repro.fabric.flows import (
+    ESTIMATORS,
     FabricFrame,
+    LATENCY_SIGNIFICANT_DIGITS,
     LatencySummary,
     exact_percentile,
 )
@@ -34,6 +36,7 @@ from repro.fabric.spec import FabricSpec, RpcFlowSpec, StreamFlowSpec
 from repro.fabric.wire import FabricWire
 
 __all__ = [
+    "ESTIMATORS",
     "FabricFrame",
     "FabricMacReceiver",
     "FabricResult",
@@ -41,6 +44,7 @@ __all__ = [
     "FabricSpec",
     "FabricWire",
     "FlowResult",
+    "LATENCY_SIGNIFICANT_DIGITS",
     "LatencySummary",
     "NicEndpoint",
     "RecordedSizeModel",

@@ -15,13 +15,26 @@ throughput accounting cannot produce.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.net.ethernet import frame_bytes_for_udp_payload
 from repro.net.workload import ConstantSize, ImixSize
 from repro.fabric.spec import RpcFlowSpec, StreamFlowSpec
+from repro.obs.hist import StreamingHistogram, exact_percentile
+
+#: Latency-estimator modes a fabric can run with.  ``"streaming"`` (the
+#: default) keeps one bounded-memory quantile sketch per flow —
+#: O(buckets) state however many frames are delivered, percentiles
+#: within :data:`LATENCY_SIGNIFICANT_DIGITS` significant digits.
+#: ``"exact"`` keeps every sample (unbounded memory) and computes exact
+#: nearest-rank percentiles — required wherever results must be
+#: byte-identical across code versions (the golden-trace corpus).
+ESTIMATORS = ("streaming", "exact")
+
+#: Resolution of the streaming latency sketches: 3 significant digits
+#: = 0.1% relative error on every reported percentile.
+LATENCY_SIGNIFICANT_DIGITS = 3
 
 
 @dataclass
@@ -43,22 +56,23 @@ class FabricFrame:
         self.frame_bytes = frame_bytes_for_udp_payload(self.udp_payload_bytes)
 
 
-def exact_percentile(sorted_samples: List[float], fraction: float) -> float:
-    """Nearest-rank percentile over raw samples.
-
-    Unlike :meth:`repro.sim.stats.Histogram.percentile` (bucket upper
-    bounds — fine for dashboards, degenerate for assertions like
-    ``p99 > p50``), this is exact: the value at ceil(q·n) rank.
-    """
-    if not sorted_samples:
-        return 0.0
-    rank = max(1, math.ceil(fraction * len(sorted_samples)))
-    return sorted_samples[min(len(sorted_samples), rank) - 1]
+# ``exact_percentile`` moved to :mod:`repro.obs.hist` (one nearest-rank
+# implementation repo-wide); re-exported here for backward compatibility.
 
 
 @dataclass
 class LatencySummary:
-    """Exact-sample latency statistics, in microseconds."""
+    """Latency statistics, in microseconds.
+
+    ``estimator`` records how the percentiles were computed:
+    ``"exact"`` (nearest rank over every sample) or ``"streaming"``
+    (bounded-memory sketch, within 10^-3 relative error; see
+    :class:`repro.obs.hist.StreamingHistogram`).  ``count``, ``mean``,
+    ``min`` and ``max`` are exact in both modes.  The field is
+    deliberately excluded from :meth:`to_dict` so exact-mode result
+    dicts stay byte-identical to the pre-streaming layout (golden
+    corpus, cached sweep results).
+    """
 
     count: int = 0
     mean_us: float = 0.0
@@ -68,6 +82,7 @@ class LatencySummary:
     p999_us: float = 0.0
     min_us: float = 0.0
     max_us: float = 0.0
+    estimator: str = "exact"
 
     @staticmethod
     def from_samples_us(samples: List[float]) -> "LatencySummary":
@@ -83,6 +98,24 @@ class LatencySummary:
             p999_us=exact_percentile(ordered, 0.999),
             min_us=ordered[0],
             max_us=ordered[-1],
+        )
+
+    @staticmethod
+    def from_streaming(histogram: StreamingHistogram) -> "LatencySummary":
+        """Summary of a bounded-memory sketch (percentiles within the
+        sketch's documented relative-error bound)."""
+        if histogram.total == 0:
+            return LatencySummary(estimator="streaming")
+        return LatencySummary(
+            count=histogram.total,
+            mean_us=histogram.mean,
+            p50_us=histogram.percentile(0.50),
+            p90_us=histogram.percentile(0.90),
+            p99_us=histogram.percentile(0.99),
+            p999_us=histogram.percentile(0.999),
+            min_us=histogram.min if histogram.min is not None else 0.0,
+            max_us=histogram.max if histogram.max is not None else 0.0,
+            estimator="streaming",
         )
 
     def to_dict(self) -> Dict[str, float]:
@@ -107,19 +140,38 @@ LATENCY_BUCKETS_US = (
 
 
 class FlowRuntime:
-    """Common bookkeeping for one live flow."""
+    """Common bookkeeping for one live flow.
+
+    Latency state depends on the fabric's estimator mode: in the
+    default ``"streaming"`` mode each flow holds one bounded-memory
+    :class:`~repro.obs.hist.StreamingHistogram` per distribution
+    (O(buckets) however long the run — the ROADMAP 2a requirement for
+    million-flow fabrics), registered with the fabric's
+    :class:`~repro.sim.stats.StatRegistry` so warm-up resets and sweep
+    mergers see it.  In ``"exact"`` mode every sample is kept and the
+    sample lists drive exact nearest-rank percentiles (golden-trace
+    byte-identity).
+    """
 
     kind = "flow"
 
     def __init__(self, fabric, name: str) -> None:
         self.fabric = fabric
         self.name = name
+        self.streaming = fabric.estimator == "streaming"
         self.posted = 0
         self.delivered = 0
         self.lost = 0
         self.retransmitted = 0
         self.delivered_payload_bytes = 0
         self.oneway_samples_us: List[float] = []
+        self.oneway_stream = (
+            fabric.stats.streaming_histogram(
+                f"flow.{name}.oneway_us", LATENCY_SIGNIFICANT_DIGITS
+            )
+            if self.streaming
+            else None
+        )
         self.oneway_histogram = fabric.stats.histogram(
             f"flow.{name}.oneway_us", LATENCY_BUCKETS_US
         )
@@ -135,6 +187,20 @@ class FlowRuntime:
             "oneway_index": len(self.oneway_samples_us),
         }
 
+    def oneway_summary(self, since_index: int) -> LatencySummary:
+        """Measured-window latency summary.
+
+        Streaming mode reads the sketch (which the registry's
+        warm-up ``reset_window(histograms=True)`` restarted at the
+        window boundary); exact mode slices the sample list from the
+        snapshot index.
+        """
+        if self.streaming:
+            return LatencySummary.from_streaming(self.oneway_stream)
+        return LatencySummary.from_samples_us(
+            self.oneway_samples_us[since_index:]
+        )
+
     # -- fabric callbacks -----------------------------------------------
     def start(self) -> None:
         raise NotImplementedError
@@ -144,7 +210,10 @@ class FlowRuntime:
         self.delivered += 1
         self.delivered_payload_bytes += frame.udp_payload_bytes
         oneway_us = (now_ps - frame.created_ps) / 1e6
-        self.oneway_samples_us.append(oneway_us)
+        if self.streaming:
+            self.oneway_stream.record(oneway_us)
+        else:
+            self.oneway_samples_us.append(oneway_us)
         self.oneway_histogram.record(oneway_us)
 
     def on_lost(self, frame: FabricFrame, now_ps: int) -> None:
@@ -167,6 +236,13 @@ class RpcFlowRuntime(FlowRuntime):
         self.spec = spec
         self.completed = 0
         self.rtt_samples_us: List[float] = []
+        self.rtt_stream = (
+            fabric.stats.streaming_histogram(
+                f"flow.{name}.rtt_us", LATENCY_SIGNIFICANT_DIGITS
+            )
+            if self.streaming
+            else None
+        )
         self.rtt_histogram = fabric.stats.histogram(
             f"flow.{name}.rtt_us", LATENCY_BUCKETS_US
         )
@@ -177,6 +253,14 @@ class RpcFlowRuntime(FlowRuntime):
         snap["completed"] = self.completed
         snap["rtt_index"] = len(self.rtt_samples_us)
         return snap
+
+    def rtt_summary(self, since_index: int) -> LatencySummary:
+        """Measured-window RTT summary (see :meth:`oneway_summary`)."""
+        if self.streaming:
+            return LatencySummary.from_streaming(self.rtt_stream)
+        return LatencySummary.from_samples_us(
+            self.rtt_samples_us[since_index:]
+        )
 
     def start(self) -> None:
         for _ in range(self.spec.concurrency):
@@ -221,7 +305,10 @@ class RpcFlowRuntime(FlowRuntime):
         # Client side: one exchange completed.
         self.completed += 1
         rtt_us = (now_ps - frame.rtt_start_ps) / 1e6
-        self.rtt_samples_us.append(rtt_us)
+        if self.streaming:
+            self.rtt_stream.record(rtt_us)
+        else:
+            self.rtt_samples_us.append(rtt_us)
         self.rtt_histogram.record(rtt_us)
         if self.spec.think_ps:
             self.fabric.sim.schedule(self.spec.think_ps, self._issue_request)
@@ -307,10 +394,12 @@ def build_runtimes(fabric) -> "Dict[str, FlowRuntime]":
 
 
 __all__ = [
+    "ESTIMATORS",
     "FabricFrame",
     "FlowRuntime",
     "LatencySummary",
     "LATENCY_BUCKETS_US",
+    "LATENCY_SIGNIFICANT_DIGITS",
     "RpcFlowRuntime",
     "StreamFlowRuntime",
     "build_runtimes",

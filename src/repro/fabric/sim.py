@@ -22,6 +22,7 @@ from typing import Dict, List, Optional
 
 from repro.fabric.endpoint import NicEndpoint
 from repro.fabric.flows import (
+    ESTIMATORS,
     FabricFrame,
     FlowRuntime,
     LatencySummary,
@@ -135,10 +136,20 @@ class FabricSimulator:
         spec: FabricSpec,
         tracer=None,
         fault_plan: Optional[FaultPlan] = None,
+        estimator: str = "streaming",
     ) -> None:
         spec.flow_names()  # validates uniqueness early
+        if estimator not in ESTIMATORS:
+            raise ValueError(
+                f"estimator must be one of {ESTIMATORS}, got {estimator!r}"
+            )
         self.config = config
         self.spec = spec
+        #: Latency-estimator mode: ``"streaming"`` keeps O(buckets)
+        #: quantile sketches per flow (the default; docs/observability.md
+        #: documents the 10^-3 relative-error bound), ``"exact"`` keeps
+        #: every sample for byte-identical results (golden corpus).
+        self.estimator = estimator
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.timing = EthernetTiming()
         self.sim = Simulator()
@@ -235,9 +246,6 @@ class FabricSimulator:
         for name, flow in self.flows.items():
             snap = flow_snaps[name]
             payload = flow.delivered_payload_bytes - snap["delivered_payload_bytes"]
-            oneway = LatencySummary.from_samples_us(
-                flow.oneway_samples_us[snap["oneway_index"]:]
-            )
             result = FlowResult(
                 name=name,
                 kind=flow.kind,
@@ -246,13 +254,11 @@ class FabricSimulator:
                 retransmits=flow.retransmitted - snap["retransmitted"],
                 delivered_payload_bytes=payload,
                 goodput_gbps=payload * 8 / measure_seconds / 1e9,
-                oneway=oneway,
+                oneway=flow.oneway_summary(snap["oneway_index"]),
             )
             if isinstance(flow, RpcFlowRuntime):
                 result.completed = flow.completed - snap["completed"]
-                result.rtt = LatencySummary.from_samples_us(
-                    flow.rtt_samples_us[snap["rtt_index"]:]
-                )
+                result.rtt = flow.rtt_summary(snap["rtt_index"])
             flow_results[name] = result
         nic_results = [
             endpoint._build_result(snap, measure_ps)

@@ -11,19 +11,34 @@ code:
   -style snapshots over simulated time, exported as JSON/CSV or the
   Prometheus text format (:func:`prometheus_text`);
 * :class:`SimProfiler` — host wall-time attribution of the event
-  kernel's callbacks, for profiling the simulator itself;
+  kernel's callbacks (per-site, per-phase and per-module), for
+  profiling the simulator itself;
 * :class:`ProgressReporter` — host-side progress/ETA lines for the
   experiment engine's sweeps (:mod:`repro.exp`), counting cache hits
-  separately from executed points.
+  separately from executed points;
+* :class:`StreamingHistogram` (:mod:`repro.obs.hist`) — mergeable,
+  bounded-memory quantile sketches with a documented relative-error
+  bound, the default latency estimator of the fabric;
+* :mod:`repro.obs.bench` — the benchmark observatory: discovers
+  ``benchmarks/bench_*.py``, emits structured ``BENCH_<name>.json``
+  trajectory points and compares two runs with noise-aware
+  thresholds (``repro bench`` / ``repro bench --compare``).
 """
 
+from repro.obs.hist import (
+    StreamingHistogram,
+    exact_percentile,
+    merge_all,
+    nearest_rank,
+    rank_bucket,
+)
 from repro.obs.metrics import (
     MetricsSampler,
     prometheus_metric_name,
     prometheus_text,
 )
 from repro.obs.perfetto import chrome_trace_dict, write_chrome_trace
-from repro.obs.profiler import SimProfiler, describe_callback
+from repro.obs.profiler import SimProfiler, describe_callback, phase_of
 from repro.obs.progress import ProgressReporter
 from repro.obs.tracer import (
     NULL_TRACER,
@@ -47,12 +62,18 @@ __all__ = [
     "RX_STAGE_ORDER",
     "STAGE_ORDERS",
     "SimProfiler",
+    "StreamingHistogram",
     "TX_STAGE_ORDER",
     "TraceEvent",
     "Tracer",
     "chrome_trace_dict",
     "describe_callback",
+    "exact_percentile",
+    "merge_all",
+    "nearest_rank",
+    "phase_of",
     "prometheus_metric_name",
     "prometheus_text",
+    "rank_bucket",
     "write_chrome_trace",
 ]

@@ -12,6 +12,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.obs.hist import StreamingHistogram, rank_bucket
 from repro.units import ps_to_seconds
 
 
@@ -98,19 +99,19 @@ class Histogram:
         return self.sum / self.total if self.total else 0.0
 
     def percentile(self, fraction: float) -> float:
-        """Approximate percentile using bucket upper bounds."""
+        """Approximate percentile using bucket upper bounds.
+
+        The cumulative-rank scan is the shared
+        :func:`repro.obs.hist.rank_bucket` helper (also behind
+        :class:`~repro.obs.hist.StreamingHistogram` and
+        :func:`~repro.obs.hist.exact_percentile`)."""
         if not 0 <= fraction <= 1:
             raise ValueError(f"fraction must be in [0, 1], got {fraction}")
         if self.total == 0:
             return 0.0
-        target = math.ceil(fraction * self.total)
-        seen = 0
-        for index, count in enumerate(self.counts):
-            seen += count
-            if seen >= target:
-                if index < len(self.bounds):
-                    return self.bounds[index]
-                return self.max if self.max is not None else self.bounds[-1]
+        index = rank_bucket(self.counts, math.ceil(fraction * self.total))
+        if index is not None and index < len(self.bounds):
+            return self.bounds[index]
         return self.max if self.max is not None else self.bounds[-1]
 
 
@@ -121,6 +122,7 @@ class StatRegistry:
         self.counters: Dict[str, Counter] = {}
         self.meters: Dict[str, RateMeter] = {}
         self.histograms: Dict[str, Histogram] = {}
+        self.streaming: Dict[str, StreamingHistogram] = {}
 
     def counter(self, name: str) -> Counter:
         if name not in self.counters:
@@ -136,6 +138,27 @@ class StatRegistry:
         if name not in self.histograms:
             self.histograms[name] = Histogram(name, bucket_bounds)
         return self.histograms[name]
+
+    def streaming_histogram(
+        self, name: str, significant_digits: int = 3
+    ) -> StreamingHistogram:
+        """A bounded-memory quantile sketch (O(buckets), mergeable;
+        see :class:`repro.obs.hist.StreamingHistogram`)."""
+        if name not in self.streaming:
+            self.streaming[name] = StreamingHistogram(
+                significant_digits, name=name
+            )
+        return self.streaming[name]
+
+    def merge_streaming(self, other: "StatRegistry") -> None:
+        """Fold another registry's streaming histograms into this one —
+        how sweep workers / fabric shards aggregate per-point latency
+        sketches into one cross-run distribution."""
+        for name, histogram in other.streaming.items():
+            if name in self.streaming:
+                self.streaming[name].merge(histogram)
+            else:
+                self.streaming[name] = histogram.copy()
 
     def reset_meters(self, now_ps: int) -> None:
         """Restart every rate meter's observation window (end of warm-up)."""
@@ -157,6 +180,8 @@ class StatRegistry:
         if histograms:
             for histogram in self.histograms.values():
                 histogram.reset()
+            for streaming in self.streaming.values():
+                streaming.reset()
 
     def snapshot(self) -> Dict[str, float]:
         """Flat name → value view of counters, meter totals, and
@@ -174,6 +199,9 @@ class StatRegistry:
             values[f"histogram.{name}.max"] = (
                 histogram.max if histogram.max is not None else 0.0
             )
+        for name, streaming in self.streaming.items():
+            for stat, value in streaming.summary().items():
+                values[f"shist.{name}.{stat}"] = value
         return values
 
     def items(self) -> List[Tuple[str, float]]:

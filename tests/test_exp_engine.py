@@ -162,7 +162,8 @@ class TestContentKey:
     def test_calibration_constant_change_misses(self, monkeypatch):
         # Editing a model constant must invalidate every cached result.
         base_key = fast_spec().key
-        monkeypatch.setattr(spec_module, "CACHE_SCHEMA_VERSION", 2)
+        monkeypatch.setattr(spec_module, "CACHE_SCHEMA_VERSION",
+                            spec_module.CACHE_SCHEMA_VERSION + 1)
         assert fast_spec().key != base_key
 
     def test_profile_constant_feeds_key(self, monkeypatch):
