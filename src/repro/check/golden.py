@@ -50,58 +50,68 @@ def _config():
     return NicConfig(cores=2, core_frequency_hz=mhz(133))
 
 
-def _run_throughput():
+def _run_throughput(fast: bool = False):
     from repro.nic.throughput import ThroughputSimulator
 
-    return ThroughputSimulator(_config(), 1472).run(WARMUP_S, MEASURE_S)
+    return ThroughputSimulator(_config(), 1472, fast=fast).run(
+        WARMUP_S, MEASURE_S
+    )
 
 
-def _run_throughput_software():
+def _run_throughput_software(fast: bool = False):
     from repro.firmware.ordering import OrderingMode
     from repro.nic.throughput import ThroughputSimulator
 
     config = dataclasses.replace(
         _config(), ordering_mode=OrderingMode.SOFTWARE
     )
-    return ThroughputSimulator(config, 1472).run(WARMUP_S, MEASURE_S)
+    return ThroughputSimulator(config, 1472, fast=fast).run(
+        WARMUP_S, MEASURE_S
+    )
 
 
-def _run_faulted():
+def _run_faulted(fast: bool = False):
     from repro.faults import FaultPlan
     from repro.nic.throughput import ThroughputSimulator
 
     plan = FaultPlan(
         seed=7, rx_fcs_rate=0.01, sdram_error_rate=0.002, pci_stall_rate=0.001
     )
-    return ThroughputSimulator(_config(), 1472, fault_plan=plan).run(
-        WARMUP_S, MEASURE_S
-    )
+    return ThroughputSimulator(
+        _config(), 1472, fault_plan=plan, fast=fast
+    ).run(WARMUP_S, MEASURE_S)
 
 
-def _run_fabric():
+def _run_fabric(fast: bool = False):
     from repro.fabric import FabricSimulator, FabricSpec
 
     # estimator="exact": the corpus digests full result dicts, and only
     # exact nearest-rank percentiles are byte-stable across estimator
     # tuning (docs/observability.md, "Streaming quantiles").
     return FabricSimulator(
-        _config(), FabricSpec.rpc_pair(seed=11), estimator="exact"
+        _config(), FabricSpec.rpc_pair(seed=11), estimator="exact", fast=fast
     ).run(WARMUP_S, MEASURE_S)
 
 
-def _run_fabric_switched():
+def _run_fabric_switched(fast: bool = False):
     from repro.fabric import FabricSimulator, FabricSpec
 
     spec = dataclasses.replace(
         FabricSpec.rpc_pair(seed=3), switch=True, port_queue_frames=4
     )
-    return FabricSimulator(_config(), spec, estimator="exact").run(
+    return FabricSimulator(_config(), spec, estimator="exact", fast=fast).run(
         WARMUP_S, MEASURE_S
     )
 
 
 def golden_specs() -> Dict[str, Callable]:
-    """Name → runner for every canonical run in the corpus."""
+    """Name → runner for every canonical run in the corpus.
+
+    Every runner accepts ``fast=True`` to execute the same spec on the
+    batched kernel path; the corpus pins one digest per run because the
+    fast path is required to be byte-identical (the ``--fast`` checks
+    in CI and ``tests/test_batch_fast_path.py`` enforce it).
+    """
     return {
         "throughput-rmw": _run_throughput,
         "throughput-software": _run_throughput_software,
@@ -114,8 +124,11 @@ def golden_specs() -> Dict[str, Callable]:
 # ----------------------------------------------------------------------
 # Corpus I/O
 # ----------------------------------------------------------------------
-def compute_digests() -> Dict[str, str]:
-    return {name: golden_digest(run()) for name, run in golden_specs().items()}
+def compute_digests(fast: bool = False) -> Dict[str, str]:
+    return {
+        name: golden_digest(run(fast=fast))
+        for name, run in golden_specs().items()
+    }
 
 
 def load_corpus(path: str = DEFAULT_CORPUS_PATH) -> Dict[str, str]:
@@ -142,14 +155,19 @@ def write_corpus(path: str = DEFAULT_CORPUS_PATH) -> Dict[str, str]:
     return digests
 
 
-def compare_corpus(path: str = DEFAULT_CORPUS_PATH) -> Dict[str, Dict[str, str]]:
+def compare_corpus(
+    path: str = DEFAULT_CORPUS_PATH, fast: bool = False
+) -> Dict[str, Dict[str, str]]:
     """Re-run every canonical spec and diff against the pinned corpus.
 
     Returns ``{name: {"pinned": ..., "actual": ...}}`` for mismatches
     (missing entries count as mismatches with pinned ``"<absent>"``).
+    With ``fast=True`` the runs execute on the batched kernel path and
+    are diffed against the *same* pinned digests — the fast path's
+    byte-identity contract makes one corpus serve both modes.
     """
     pinned = load_corpus(path)
-    actual = compute_digests()
+    actual = compute_digests(fast=fast)
     mismatches: Dict[str, Dict[str, str]] = {}
     for name, digest in actual.items():
         expected = pinned.get(name, "<absent>")
@@ -169,6 +187,11 @@ def main(argv=None) -> int:
         help="regenerate tests/golden/golden.json from the current code",
     )
     parser.add_argument("--path", default=DEFAULT_CORPUS_PATH)
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="run the canonical specs on the batched kernel fast path "
+             "(diffed against the same pinned digests)",
+    )
     args = parser.parse_args(argv)
     if args.update:
         digests = write_corpus(args.path)
@@ -176,9 +199,11 @@ def main(argv=None) -> int:
             print(f"  {name}: {digest[:16]}…")
         print(f"wrote {len(digests)} golden digests to {args.path}")
         return 0
-    mismatches = compare_corpus(args.path)
+    mismatches = compare_corpus(args.path, fast=args.fast)
     if not mismatches:
-        print(f"golden corpus matches ({len(load_corpus(args.path))} runs)")
+        mode = "fast path" if args.fast else "reference path"
+        print(f"golden corpus matches ({len(load_corpus(args.path))} runs, "
+              f"{mode})")
         return 0
     for name, pair in sorted(mismatches.items()):
         print(f"MISMATCH {name}: pinned {pair['pinned'][:16]}… "

@@ -36,6 +36,10 @@ def _add_run_parser(subparsers) -> None:
     parser.add_argument("--ordering", choices=["rmw", "software"], default="rmw")
     parser.add_argument("--payload", type=int, default=1472)
     parser.add_argument("--millis", type=float, default=1.0)
+    parser.add_argument(
+        "--fast", action=argparse.BooleanOptionalAction, default=False,
+        help="batched event-kernel fast path; results are byte-identical "
+             "to the reference path (--no-fast, the default)")
     parser.add_argument("--offered", type=float, default=1.0,
                         help="offered receive load as a fraction of line rate")
     parser.add_argument("--json", action="store_true",
@@ -185,6 +189,10 @@ def _add_fabric_parser(subparsers) -> None:
     parser.add_argument("--warmup-millis", type=float, default=0.2)
     parser.add_argument("--seed", type=int, default=0,
                         help="fabric seed (salts per-endpoint fault streams)")
+    parser.add_argument(
+        "--fast", action=argparse.BooleanOptionalAction, default=False,
+        help="batched event-kernel fast path; results are byte-identical "
+             "to the reference path (--no-fast, the default)")
     parser.add_argument("--estimator", choices=["streaming", "exact"],
                         default="streaming",
                         help="latency percentile estimator: 'streaming' "
@@ -249,6 +257,12 @@ def _add_check_parser(subparsers) -> None:
     parser.add_argument("--golden-path", type=str, default="",
                         metavar="PATH", help="golden corpus file to check "
                                              "or regenerate")
+    parser.add_argument("--fast", action=argparse.BooleanOptionalAction,
+                        default=False,
+                        help="run the simulator-backed oracles and the "
+                             "golden comparison on the batched fast path "
+                             "(digests must still match the reference "
+                             "corpus)")
 
 
 def _add_bench_parser(subparsers) -> None:
@@ -353,7 +367,8 @@ def _cmd_run(args) -> int:
 
         tracer = Tracer()
     simulator = ThroughputSimulator(
-        config, args.payload, offered_fraction=args.offered, tracer=tracer
+        config, args.payload, offered_fraction=args.offered, tracer=tracer,
+        fast=args.fast,
     )
     sampler = None
     if args.metrics_out:
@@ -696,6 +711,13 @@ def _cmd_fabric(args) -> int:
         print(f"invalid fabric: {error}", file=sys.stderr)
         return 2
     if args.sweep_loads:
+        if args.fast:
+            # Sweep points run through the cached experiment engine,
+            # whose RunSpec hashes don't (and shouldn't) encode an
+            # execution mode that cannot change results.
+            print("note: --sweep-loads points run via the experiment "
+                  "engine; --fast applies per spawned run, not here",
+                  file=sys.stderr)
         return _fabric_sweep(args, config, spec)
     return _fabric_single(args, config, spec)
 
@@ -710,7 +732,7 @@ def _fabric_single(args, config, spec) -> int:
 
         tracer = Tracer()
     fabric = FabricSimulator(config, spec, tracer=tracer,
-                             estimator=args.estimator)
+                             estimator=args.estimator, fast=args.fast)
     result = fabric.run(
         warmup_s=args.warmup_millis * 1e-3, measure_s=args.millis * 1e-3
     )
@@ -880,7 +902,7 @@ def _cmd_check(args) -> int:
     if not args.skip_oracles:
         from repro.check.oracles import run_all_oracles
 
-        for report in run_all_oracles(seed=args.seed):
+        for report in run_all_oracles(seed=args.seed, fast=args.fast):
             print(report.summary())
             failed = failed or not report.ok
 
@@ -892,8 +914,12 @@ def _cmd_check(args) -> int:
             print(f"golden corpus missing ({golden_path}); regenerate with "
                   f"`repro check --update-golden`", file=sys.stderr)
             failed = True
-        elif golden_mod.main(["--path", golden_path]) != 0:
-            failed = True
+        else:
+            golden_argv = ["--path", golden_path]
+            if args.fast:
+                golden_argv.append("--fast")
+            if golden_mod.main(golden_argv) != 0:
+                failed = True
 
     # -- seeded fuzzing ----------------------------------------------------
     if args.fuzz > 0:

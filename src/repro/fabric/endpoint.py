@@ -230,7 +230,7 @@ class NicEndpoint(ThroughputSimulator):
             return
         arrival = mac.next_arrival_ps()
         if arrival > now:
-            self.sim.schedule_at(arrival, self._rx_pump)
+            self._schedule_rx_pump(arrival)
             return
         self._rx_space -= frame_size
         wire = mac.take_frame(now, frame_size)
@@ -246,7 +246,7 @@ class NicEndpoint(ThroughputSimulator):
             )
         self.sim.schedule_at(wire.wire_end_ps, lambda s=wire.seq: self._rx_store(s))
         if mac.has_pending:
-            self.sim.schedule_at(max(now, mac.next_arrival_ps()), self._rx_pump)
+            self._schedule_rx_pump(max(now, mac.next_arrival_ps()))
         else:
             self._rx_pump_active = False
 

@@ -14,12 +14,39 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
+import operator
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Callable, Dict, List, Optional
 
 from repro.check.monitor import NULL_MONITOR
 from repro.units import cycle_time_ps
+
+
+def _coerce_delay(value, what: str = "delay_ps"):
+    """Normalize a scheduling delay/timestamp to a built-in ``int``.
+
+    Heap keys must stay homogeneous: a float ``delay_ps`` would produce
+    a float ``when`` that compares against int keys and then leaks into
+    ``now_ps`` the moment the event fires, silently turning every
+    downstream timestamp into a float.  Whole-valued floats (and any
+    ``__index__``-able integer type, e.g. ``numpy.int64``) are accepted
+    and converted; fractional values are rejected loudly.
+    """
+    if isinstance(value, float):
+        if value.is_integer():
+            return int(value)
+        raise TypeError(
+            f"{what} must be a whole number of picoseconds, got {value!r}"
+        )
+    try:
+        return operator.index(value)
+    except TypeError:
+        raise TypeError(
+            f"{what} must be an integer picosecond count, got "
+            f"{type(value).__name__} {value!r}"
+        ) from None
 
 
 @dataclass(frozen=True)
@@ -49,8 +76,19 @@ class ClockDomain:
         self.period_ps = cycle_time_ps(frequency_hz)
 
     def cycles_to_ps(self, cycles: float) -> int:
-        """Duration of ``cycles`` clock cycles, in picoseconds."""
-        return round(cycles * self.period_ps)
+        """Duration of ``cycles`` clock cycles, in picoseconds.
+
+        Rounding policy: **round half up**.  Costs landing exactly on a
+        half picosecond always round to the *later* picosecond, for any
+        clock.  Python's built-in ``round`` (banker's rounding, half to
+        even) is deliberately not used: it rounds half-cycle costs to
+        the nearest even picosecond, so two otherwise-symmetric
+        configurations whose costs straddle an odd/even boundary drift
+        apart by ±1 ps — an invisible asymmetry that a vectorized fast
+        path would have baked in.  Durations are non-negative, so
+        ``floor(x + 0.5)`` implements the policy exactly.
+        """
+        return math.floor(cycles * self.period_ps + 0.5)
 
     def ps_to_cycles(self, time_ps: int) -> float:
         """Express a picosecond duration in (fractional) cycles."""
@@ -94,6 +132,11 @@ class Simulator:
         self._profiler = None  # duck-typed: .record(callback, wall_seconds)
         #: Invariant monitor (null by default; see ``repro.check``).
         self.monitor = NULL_MONITOR
+        # Active batched event sources (see ``repro.sim.batch``).  The
+        # run loop merges them with the heap by (time, priority, tie
+        # ticket); an empty list keeps the classic path branch-cheap.
+        self._batch_sources: List = []
+        self._batch_scheduler = None
 
     # ------------------------------------------------------------------
     # Clock management
@@ -124,7 +167,13 @@ class Simulator:
         """Run ``callback`` after ``delay_ps`` picoseconds.
 
         Lower ``priority`` runs first among events at the same instant.
+        ``delay_ps`` must be a whole number of picoseconds: whole-valued
+        floats and ``__index__``-able integers (e.g. ``numpy.int64``)
+        are normalized to ``int`` at this boundary, fractional values
+        raise ``TypeError`` (see :func:`_coerce_delay`).
         """
+        if type(delay_ps) is not int:
+            delay_ps = _coerce_delay(delay_ps)
         if delay_ps < 0:
             raise ValueError(f"cannot schedule in the past (delay {delay_ps})")
         ticket = next(self._tickets)
@@ -167,10 +216,63 @@ class Simulator:
             if self.monitor.enabled:
                 self.monitor.event_cancelled(event.ticket)
             self._cancelled.add(event.ticket)
+            # Opportunistic ghost compaction: once cancelled entries
+            # dominate the heap, one O(n) rebuild reclaims them all —
+            # the same work ``peek_next_time``'s pruning loop does at
+            # the head, applied to the whole queue.  Amortized O(1) per
+            # cancel, and it keeps cancel-heavy runs from dragging a
+            # heap full of dead weight through every push and pop.
+            if len(self._cancelled) > 64 and \
+                    2 * len(self._cancelled) > len(self._queue):
+                self._compact_ghosts()
+
+    def _compact_ghosts(self) -> None:
+        """Drop every cancelled entry from the heap in one pass.
+
+        Mutates ``_queue`` in place (slice assignment) so any local
+        alias held by a running ``run()`` loop stays valid.
+        """
+        cancelled = self._cancelled
+        if self.monitor.enabled:
+            for ticket in cancelled:
+                self.monitor.event_discarded(ticket)
+        self._queue[:] = [
+            entry for entry in self._queue if entry[2] not in cancelled
+        ]
+        heapq.heapify(self._queue)
+        self._live.difference_update(cancelled)
+        cancelled.clear()
 
     def stop(self) -> None:
         """Stop the event loop after the current callback returns."""
         self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Batched fast path
+    # ------------------------------------------------------------------
+    @property
+    def batch(self):
+        """The :class:`repro.sim.batch.BatchScheduler` for this kernel.
+
+        Factory for batched event sources (chained timers, periodic
+        chunk streams) that drain through this same run loop — see
+        ``repro.sim.batch`` for the conformance rules.
+        """
+        if self._batch_scheduler is None:
+            from repro.sim.batch import BatchScheduler
+
+            self._batch_scheduler = BatchScheduler(self)
+        return self._batch_scheduler
+
+    def _activate_source(self, source) -> None:
+        if source not in self._batch_sources:
+            self._batch_sources.append(source)
+
+    def _deactivate_source(self, source) -> None:
+        try:
+            self._batch_sources.remove(source)
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------------
     # Profiling
@@ -200,12 +302,62 @@ class Simulator:
         processed = 0
         profiler = self._profiler
         monitor = self.monitor
-        while self._queue:
+        queue = self._queue
+        while queue or self._batch_sources:
             if self._stopped:
                 break
             if max_events is not None and processed >= max_events:
                 break
-            when, _priority, ticket, callback = self._queue[0]
+            # Pick the next due dispatcher: the heap head or the
+            # earliest batch source, ordered by (time, priority, tie
+            # ticket).  ChainedTimer carries a real kernel ticket, so
+            # its ties resolve exactly as the heap chain it replaces;
+            # BatchSource carries an infinite tie rank, so same-instant
+            # heap events always run first.
+            source = None
+            if self._batch_sources:
+                sources = self._batch_sources
+                source = sources[0]
+                source_key = (
+                    source.next_time_ps, source.priority, source.tie_ticket
+                )
+                for other in sources[1:]:
+                    other_key = (
+                        other.next_time_ps, other.priority, other.tie_ticket
+                    )
+                    if other_key < source_key:
+                        source, source_key = other, other_key
+                limit_key = None
+                if queue:
+                    head = queue[0]
+                    head_key = (head[0], head[1], head[2])
+                    if head_key < source_key:
+                        source = None
+                    else:
+                        limit_key = head_key
+            if source is not None:
+                when = source.next_time_ps
+                if until_ps is not None and when > until_ps:
+                    self.now_ps = max(self.now_ps, until_ps)
+                    break
+                # The drain horizon is the next pending event anywhere
+                # else — heap head or a later batch source.
+                for other in self._batch_sources:
+                    if other is not source:
+                        other_key = (
+                            other.next_time_ps, other.priority,
+                            other.tie_ticket,
+                        )
+                        if limit_key is None or other_key < limit_key:
+                            limit_key = other_key
+                budget = (
+                    None if max_events is None else max_events - processed
+                )
+                fired = source.drain(limit_key, until_ps, budget)
+                processed += fired
+                self.events_processed += fired
+                continue
+            when, _priority, ticket, callback = queue[0]
             if until_ps is not None and when > until_ps:
                 # Clamp instead of assigning unconditionally: a caller
                 # passing ``until_ps < now_ps`` must not move simulated
@@ -213,7 +365,7 @@ class Simulator:
                 # guards the same way).
                 self.now_ps = max(self.now_ps, until_ps)
                 break
-            heapq.heappop(self._queue)
+            heapq.heappop(queue)
             self._live.discard(ticket)
             if ticket in self._cancelled:
                 self._cancelled.discard(ticket)
@@ -232,7 +384,7 @@ class Simulator:
             processed += 1
             self.events_processed += 1
         else:
-            # Queue drained completely.
+            # Queue and batch sources drained completely.
             if until_ps is not None and self.now_ps < until_ps:
                 self.now_ps = until_ps
         return processed
@@ -245,21 +397,27 @@ class Simulator:
             self._cancelled.discard(ticket)
             if self.monitor.enabled:
                 self.monitor.event_discarded(ticket)
-        if not self._queue:
-            return None
-        return self._queue[0][0]
+        best = self._queue[0][0] if self._queue else None
+        for source in self._batch_sources:
+            when = source.next_time_ps
+            if best is None or when < best:
+                best = when
+        return best
 
     @property
     def pending_events(self) -> int:
-        """Number of *live* events still queued.
+        """Number of *live* events still queued — O(1).
 
-        Cancelled events linger in the heap as ghosts until their pop;
-        counting them would make observability reports overstate queue
-        depth, so they are excluded here.  (Tickets in ``_cancelled``
-        that are still in the heap are exactly the ghosts: a fired
-        event's ticket never re-enters the queue.)
+        Cancelled events linger in the heap as ghosts until their pop
+        (or a compaction); counting them would make observability
+        reports overstate queue depth, so they are excluded.  The count
+        is an exact subtraction rather than a scan: ``cancel()`` only
+        records tickets still physically in the heap and every pop or
+        compaction removes the ticket from both structures, so
+        ``_cancelled`` is always a subset of the heap's tickets.
+        Active batch sources report their remaining quanta on top.
         """
-        if not self._cancelled:
-            return len(self._queue)
-        cancelled = self._cancelled
-        return sum(1 for entry in self._queue if entry[2] not in cancelled)
+        pending = len(self._queue) - len(self._cancelled)
+        for source in self._batch_sources:
+            pending += source.pending
+        return pending

@@ -1,0 +1,330 @@
+"""Batched fast path: chained timers, chunk sources, conformance.
+
+The contract under test is byte-identity: every observable sequence —
+event order, tie-breaking against heap events, monitor ticket
+accounting, golden-corpus digests — must match the reference per-event
+heap path exactly.  See docs/observability.md ("Batched fast path").
+"""
+
+import os
+
+import pytest
+
+from repro.check import golden as golden_mod
+from repro.check.monitor import InvariantMonitor
+from repro.net.workload import ConstantSize, ImixSize
+from repro.sim import Simulator
+from repro.sim import batch as batch_mod
+from repro.sim.stats import Histogram
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden", "golden.json")
+
+
+# ----------------------------------------------------------------------
+# ChainedTimer: the ticket-faithful single-slot chain replacement
+# ----------------------------------------------------------------------
+class TestChainedTimer:
+    def test_fires_at_armed_time(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.batch.timer(lambda: fired.append(sim.now_ps))
+        timer.arm(250)
+        sim.run()
+        assert fired == [250]
+        assert sim.events_processed == 1
+
+    def test_callback_may_rearm(self):
+        sim = Simulator()
+        fired = []
+
+        def pump():
+            fired.append(sim.now_ps)
+            if len(fired) < 5:
+                timer.arm(sim.now_ps + 100)
+
+        timer = sim.batch.timer(pump)
+        timer.arm(0)
+        sim.run()
+        assert fired == [0, 100, 200, 300, 400]
+        assert sim.events_processed == 5
+
+    def test_double_arm_raises(self):
+        sim = Simulator()
+        timer = sim.batch.timer(lambda: None)
+        timer.arm(10)
+        with pytest.raises(RuntimeError):
+            timer.arm(20)
+
+    def test_arm_in_past_raises(self):
+        sim = Simulator()
+        sim.schedule(100, lambda: None)
+        sim.run()
+        timer = sim.batch.timer(lambda: None)
+        with pytest.raises(ValueError):
+            timer.arm(50)
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.batch.timer(lambda: fired.append(sim.now_ps))
+        timer.arm(10)
+        assert timer.pending == 1
+        timer.cancel()
+        timer.cancel()
+        assert timer.pending == 0
+        sim.run()
+        assert fired == []
+
+    def test_tie_order_matches_schedule_order(self):
+        # The timer allocates a real kernel ticket at arm() time, so a
+        # same-(time, priority) race against heap events resolves in
+        # program order — exactly like the schedule_at chain it replaces.
+        sim = Simulator()
+        order = []
+        sim.schedule_at(100, lambda: order.append("heap-first"))
+        timer = sim.batch.timer(lambda: order.append("timer"))
+        timer.arm(100)
+        sim.schedule_at(100, lambda: order.append("heap-second"))
+        sim.run()
+        assert order == ["heap-first", "timer", "heap-second"]
+
+    def test_monitor_ticket_conservation(self):
+        sim = Simulator()
+        sim.monitor = InvariantMonitor()
+        fired = []
+
+        def pump():
+            fired.append(sim.now_ps)
+            if len(fired) < 3:
+                timer.arm(sim.now_ps + 7)
+
+        timer = sim.batch.timer(pump)
+        timer.arm(0)
+        cancelled = sim.batch.timer(lambda: None)
+        cancelled.arm(1)
+        cancelled.cancel()
+        sim.run()
+        sim.monitor.check_ticket_conservation()
+        assert not sim.monitor.violations
+        assert fired == [0, 7, 14]
+
+
+# ----------------------------------------------------------------------
+# BatchSource: precomputed-quanta chunk draining
+# ----------------------------------------------------------------------
+class TestBatchSource:
+    def test_chunk_drain_covers_every_quantum(self):
+        sim = Simulator()
+        chunks = []
+        sim.batch.periodic(
+            5, 10, 1000,
+            chunk_fn=lambda start, times: chunks.append((start, list(times))),
+            window=256,
+        )
+        sim.run()
+        flat = [t for _start, times in chunks for t in times]
+        assert flat == [5 + 10 * k for k in range(1000)]
+        assert chunks[0][0] == 0
+        assert sum(len(times) for _start, times in chunks) == 1000
+        assert sim.events_processed == 1000
+        assert sim.now_ps == 5 + 10 * 999
+
+    def test_heap_event_splits_the_chunk(self):
+        sim = Simulator()
+        order = []
+        sim.batch.periodic(
+            0, 10, 10,
+            chunk_fn=lambda start, times: order.extend(
+                ("batch", int(t)) for t in times
+            ),
+        )
+        sim.schedule_at(35, lambda: order.append(("heap", 35)))
+        sim.run()
+        assert order.index(("heap", 35)) == 4  # after quanta 0,10,20,30
+        assert [item for item in order if item[0] == "batch"] == [
+            ("batch", 10 * k) for k in range(10)
+        ]
+
+    def test_same_instant_heap_event_wins_tie(self):
+        # TIE_LOSER rank: a heap event at the exact quantum time always
+        # fires before the batch consumes that quantum.
+        sim = Simulator()
+        order = []
+        sim.batch.periodic(
+            0, 10, 5,
+            chunk_fn=lambda start, times: order.extend(int(t) for t in times),
+        )
+        sim.schedule_at(20, lambda: order.append("heap@20"))
+        sim.run()
+        assert order == [0, 10, "heap@20", 20, 30, 40]
+
+    def test_until_ps_clamps_and_resumes(self):
+        sim = Simulator()
+        seen = []
+        sim.batch.periodic(
+            0, 10, 10,
+            chunk_fn=lambda start, times: seen.extend(int(t) for t in times),
+        )
+        sim.run(until_ps=45)
+        assert seen == [0, 10, 20, 30, 40]
+        assert sim.now_ps == 45
+        assert sim.pending_events == 5
+        sim.run()
+        assert seen == [10 * k for k in range(10)]
+
+    def test_max_events_budget_limits_chunks(self):
+        sim = Simulator()
+        seen = []
+        sim.batch.periodic(
+            0, 10, 100,
+            chunk_fn=lambda start, times: seen.extend(int(t) for t in times),
+        )
+        processed = sim.run(max_events=7)
+        assert processed == 7
+        assert seen == [10 * k for k in range(7)]
+        sim.run()
+        assert len(seen) == 100
+
+    def test_stop_from_chunk(self):
+        sim = Simulator()
+        seen = []
+
+        def chunk(start, times):
+            seen.extend(int(t) for t in times)
+            if seen[-1] >= 30:
+                sim.stop()
+
+        # A heap event every quantum keeps chunks at width one, so the
+        # stop request takes effect mid-stream.
+        sim.batch.periodic(0, 10, 10, chunk_fn=chunk)
+        for k in range(10):
+            sim.schedule_at(10 * k, lambda: None)
+        sim.run()
+        assert seen[-1] == 30
+
+    def test_at_times_explicit_list(self):
+        sim = Simulator()
+        seen = []
+        sim.batch.at_times(
+            [3, 7, 7, 20],
+            chunk_fn=lambda start, times: seen.extend(int(t) for t in times),
+        )
+        sim.run()
+        assert seen == [3, 7, 7, 20]
+
+    def test_per_event_fn_mode(self):
+        sim = Simulator()
+        seen = []
+        sim.batch.periodic(0, 5, 4, fn=lambda index, when: seen.append(
+            (index, when, sim.now_ps)
+        ))
+        sim.run()
+        assert seen == [(0, 0, 0), (1, 5, 5), (2, 10, 10), (3, 15, 15)]
+
+    def test_pending_and_peek_include_source(self):
+        sim = Simulator()
+        sim.batch.periodic(40, 10, 3, chunk_fn=lambda start, times: None)
+        sim.schedule(100, lambda: None)
+        assert sim.pending_events == 4
+        assert sim.peek_next_time() == 40
+
+    def test_monitor_forces_per_event_conformance(self):
+        # With a monitor attached the source degrades to one-quantum
+        # dispatch with per-event tickets — conservation must hold and
+        # the event order must match the monitor-off run exactly.
+        def trace(with_monitor):
+            sim = Simulator()
+            if with_monitor:
+                sim.monitor = InvariantMonitor()
+            order = []
+            sim.batch.periodic(
+                0, 10, 20,
+                chunk_fn=lambda start, times: order.extend(
+                    int(t) for t in times
+                ),
+            )
+            sim.schedule_at(50, lambda: order.append("heap"))
+            sim.run()
+            if with_monitor:
+                sim.monitor.check_ticket_conservation()
+                assert not sim.monitor.violations
+            return order
+
+        assert trace(True) == trace(False)
+
+    def test_pure_python_fallback_matches_numpy(self, monkeypatch):
+        if not batch_mod.HAVE_NUMPY:
+            pytest.skip("numpy unavailable; the fallback IS the path")
+
+        def trace():
+            sim = Simulator()
+            order = []
+            sim.batch.periodic(
+                0, 7, 5001,
+                chunk_fn=lambda start, times: order.append(
+                    (start, [int(t) for t in times])
+                ),
+                window=512,
+            )
+            sim.schedule_at(7 * 2500, lambda: order.append("heap"))
+            sim.run()
+            return order, sim.events_processed, sim.now_ps
+
+        with_numpy = trace()
+        monkeypatch.setattr(batch_mod, "_np", None)
+        without = trace()
+        assert with_numpy == without
+
+
+# ----------------------------------------------------------------------
+# Vectorized helpers: exact equivalence with their scalar twins
+# ----------------------------------------------------------------------
+class TestVectorizedHelpers:
+    @pytest.mark.parametrize("model", [ConstantSize(1472), ImixSize()])
+    def test_size_arrays_match_scalar_reads(self, model):
+        assert model.supports_batch
+        start, count = 3, 50
+        payloads = model.payload_bytes_array(start, count)
+        frames = model.frame_bytes_array(start, count)
+        assert [int(v) for v in payloads] == [
+            model.payload_bytes(start + k) for k in range(count)
+        ]
+        assert [int(v) for v in frames] == [
+            model.frame_bytes(start + k) for k in range(count)
+        ]
+
+    def test_recorded_model_opts_out(self):
+        from repro.fabric.endpoint import RecordedSizeModel
+
+        assert not RecordedSizeModel().supports_batch
+
+    def test_histogram_record_many_matches_scalar(self):
+        import random
+
+        rng = random.Random(11)
+        samples = [rng.uniform(0, 2e-6) for _ in range(500)]
+        bounds = [k * 1e-7 for k in range(1, 20)]
+        one = Histogram("latency", bounds)
+        two = Histogram("latency", bounds)
+        for value in samples:
+            one.record(value)
+        two.record_many(samples)
+        assert one.counts == two.counts
+        assert one.sum == two.sum
+        assert one.total == two.total
+        assert one.min == two.min and one.max == two.max
+
+
+# ----------------------------------------------------------------------
+# End-to-end byte-identity: the acceptance gate
+# ----------------------------------------------------------------------
+class TestFastPathGolden:
+    def test_fast_corpus_matches_pinned_digests(self):
+        """Every canonical golden spec, run with ``fast=True``, must
+        produce the byte-identical digest pinned for the reference
+        path.  One corpus serves both modes — that IS the contract."""
+        mismatches = golden_mod.compare_corpus(GOLDEN_PATH, fast=True)
+        assert mismatches == {}, (
+            f"fast path diverged from the golden corpus in "
+            f"{sorted(mismatches)}"
+        )

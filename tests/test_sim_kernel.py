@@ -36,6 +36,15 @@ class TestClockDomain:
         clock = ClockDomain("core", mhz(200))
         assert clock.next_edge(10001) == 15000
 
+    def test_cycles_to_ps_rounds_half_up(self):
+        # Regression: round() uses banker's rounding, which maps 2.5 to
+        # 2 — a half-quantum that silently shortens every other odd
+        # half-cycle charge.  The policy is round-half-up.
+        clock = ClockDomain("core", mhz(200))  # 5000 ps period
+        assert clock.cycles_to_ps(0.0005) == 3   # 2.5 ps -> 3, not 2
+        assert clock.cycles_to_ps(0.0007) == 4   # 3.5 ps -> 4 (agrees)
+        assert clock.cycles_to_ps(0.0004) == 2   # 2.0 ps exact
+
 
 class TestScheduling:
     def test_events_run_in_time_order(self):
@@ -336,3 +345,124 @@ class TestClocks:
         sim.schedule_cycles(sdram, 2, lambda: order.append("sdram"))
         sim.run()
         assert order == ["sdram", "core"]  # 4000 ps before 5000 ps
+
+
+class TestDelayNormalization:
+    """Regression: float delays used to flow into the heap unchecked,
+    splitting the integer-ps timeline into float timestamps."""
+
+    def test_whole_float_delay_normalizes_to_int(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now_ps))
+        sim.run()
+        assert seen == [5]
+        assert type(seen[0]) is int
+
+    def test_fractional_float_delay_raises(self):
+        sim = Simulator()
+        with pytest.raises(TypeError):
+            sim.schedule(5.5, lambda: None)
+
+    def test_fractional_absolute_time_raises(self):
+        sim = Simulator()
+        with pytest.raises(TypeError):
+            sim.schedule_at(10.25, lambda: None)
+
+    def test_integer_like_types_accepted(self):
+        numpy = pytest.importorskip("numpy")
+        sim = Simulator()
+        seen = []
+        sim.schedule(numpy.int64(7), lambda: seen.append(sim.now_ps))
+        sim.run()
+        assert seen == [7]
+        assert type(sim.now_ps) is int
+
+    def test_bool_and_junk_rejected(self):
+        sim = Simulator()
+        with pytest.raises(TypeError):
+            sim.schedule("10", lambda: None)
+
+
+class TestGhostCompaction:
+    """``pending_events`` is O(1) and mass cancellation physically
+    shrinks the heap instead of leaving ghost entries behind."""
+
+    def test_pending_events_is_live_count(self):
+        sim = Simulator()
+        events = [sim.schedule(k + 1, lambda: None) for k in range(200)]
+        for event in events[:150]:
+            sim.cancel(event)
+        assert sim.pending_events == 50
+
+    def test_mass_cancel_compacts_the_heap(self):
+        sim = Simulator()
+        events = [sim.schedule(k + 1, lambda: None) for k in range(200)]
+        for event in events[:150]:
+            sim.cancel(event)
+        # Compaction is amortized (it runs when ghosts outnumber half
+        # the heap), so at least one sweep must have fired by now.
+        assert len(sim._queue) < 150
+        assert len(sim._cancelled) < 64
+        seen = []
+        sim.schedule(500, lambda: seen.append(sim.now_ps))
+        sim.run()
+        assert sim.events_processed == 51
+        assert seen == [500]
+
+    def test_compaction_under_monitor_conserves_tickets(self):
+        from repro.check.monitor import InvariantMonitor
+
+        sim = Simulator()
+        sim.monitor = InvariantMonitor()
+        events = [sim.schedule(k + 1, lambda: None) for k in range(200)]
+        for event in events[::2]:
+            sim.cancel(event)
+        sim.run()
+        sim.monitor.check_ticket_conservation()
+        assert not sim.monitor.violations
+
+
+class TestKernelEdgeCases:
+    def test_max_events_and_until_interleave(self):
+        sim = Simulator()
+        seen = []
+        for index in range(10):
+            sim.schedule(10 * (index + 1), lambda i=index: seen.append(i))
+        # Budget binds first...
+        assert sim.run(until_ps=85, max_events=3) == 3
+        assert seen == [0, 1, 2]
+        assert sim.now_ps == 30
+        # ...then the horizon binds, clamping the clock between events.
+        assert sim.run(until_ps=85, max_events=50) == 5
+        assert seen == [0, 1, 2, 3, 4, 5, 6, 7]
+        assert sim.now_ps == 85
+        sim.run()
+        assert seen == list(range(10))
+
+    def test_schedule_at_exactly_now_fires_this_run(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            sim.schedule_at(sim.now_ps, lambda: seen.append("same-instant"))
+            seen.append("first")
+
+        sim.schedule(10, first)
+        sim.run()
+        assert seen == ["first", "same-instant"]
+        assert sim.now_ps == 10
+
+    def test_cancel_then_reschedule_with_monitor(self):
+        from repro.check.monitor import InvariantMonitor
+
+        sim = Simulator()
+        sim.monitor = InvariantMonitor()
+        seen = []
+        event = sim.schedule(10, lambda: seen.append("old"))
+        sim.cancel(event)
+        sim.schedule(10, lambda: seen.append("new"))
+        sim.run()
+        sim.monitor.check_ticket_conservation()
+        assert not sim.monitor.violations
+        assert seen == ["new"]
