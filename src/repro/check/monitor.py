@@ -112,6 +112,15 @@ class NullInvariantMonitor:
                        nbytes: int) -> None:
         pass
 
+    # -- multi-queue host rings -----------------------------------------
+    def ring_posted(self, host: Any, ring_index: int, direction: str,
+                    count: int) -> None:
+        pass
+
+    def ring_completed(self, host: Any, ring_index: int, direction: str,
+                       count: int) -> None:
+        pass
+
     # -- fabric wire ----------------------------------------------------
     def wire_injected(self, wire: Any, src: int, dst: int) -> None:
         pass
@@ -187,6 +196,21 @@ class InvariantMonitor(NullInvariantMonitor):
         self._wire_counts: Dict[int, List[int]] = {}      # [injected, forwarded, dropped]
         self._wire_delivery: Dict[Tuple[int, str, int], int] = {}
         self._wire_port_free: Dict[Tuple[int, int], int] = {}
+        # Multi-queue host rings: (host id, ring, direction) ->
+        # [posted, completed] descriptor counts.
+        self._ring_counts: Dict[Tuple[int, int, str], List[int]] = {}
+        # Strong references to every object with identity-keyed shadow
+        # state.  ``id()`` values are only unique among *live* objects:
+        # without the pin, a garbage-collected board's id can be reused
+        # by a replacement board (N rings/boards churning against one
+        # shared monitor make this likely), which would then inherit the
+        # dead object's shadow and fail with a phantom violation.  The
+        # mutation test in tests/test_check_monitor.py demonstrates the
+        # pre-fix failure.
+        self._pins: Dict[int, Any] = {}
+
+    def _pin(self, obj: Any) -> None:
+        self._pins.setdefault(id(obj), obj)
 
     # ------------------------------------------------------------------
     def _fail(self, invariant: str, message: str, **context: Any) -> None:
@@ -272,6 +296,7 @@ class InvariantMonitor(NullInvariantMonitor):
     def _board(self, board: Any) -> _BoardShadow:
         shadow = self._boards.get(id(board))
         if shadow is None:
+            self._pin(board)
             shadow = _BoardShadow(
                 getattr(board, "name", "board"),
                 board.ring_size,
@@ -363,6 +388,7 @@ class InvariantMonitor(NullInvariantMonitor):
     # ------------------------------------------------------------------
     def register_claimed(self, register: Any, kind: Any, core_id: int) -> None:
         self._count("register.claim")
+        self._pin(register)
         key = (id(register), kind)
         holder = self._register_holders.get(key)
         if holder is not None and holder != core_id:
@@ -385,6 +411,7 @@ class InvariantMonitor(NullInvariantMonitor):
     def lock_acquired(self, lock: Any, request_ps: int, grant_ps: int,
                       free_at_ps: int) -> None:
         self._count("lock.acquire")
+        self._pin(lock)
         prev_free = self._lock_free.get(id(lock), 0)
         expected = request_ps if request_ps > prev_free else prev_free
         if grant_ps != expected:
@@ -405,6 +432,7 @@ class InvariantMonitor(NullInvariantMonitor):
     # ------------------------------------------------------------------
     def core_claimed(self, owner: Any, core_id: int) -> None:
         self._count("core.claim")
+        self._pin(owner)
         busy = self._cores_busy.setdefault(id(owner), set())
         if core_id in busy:
             self._fail("core.claim", "core dispatched while already busy",
@@ -413,6 +441,7 @@ class InvariantMonitor(NullInvariantMonitor):
 
     def core_released(self, owner: Any, core_id: int) -> None:
         self._count("core.release")
+        self._pin(owner)
         busy = self._cores_busy.setdefault(id(owner), set())
         if core_id not in busy:
             self._fail("core.release", "idle core released", core_id=core_id)
@@ -449,6 +478,7 @@ class InvariantMonitor(NullInvariantMonitor):
         if request.finish_cycle <= request.start_cycle:
             self._fail("sdram.timing", "burst finished at or before start",
                        start=request.start_cycle, finish=request.finish_cycle)
+        self._pin(sdram)
         prev_free = self._sdram_bus_free.get(id(sdram), 0)
         if sdram._bus_free_cycle < prev_free:
             self._fail("sdram.bus", "bus free point moved backwards",
@@ -456,11 +486,83 @@ class InvariantMonitor(NullInvariantMonitor):
         self._sdram_bus_free[id(sdram)] = sdram._bus_free_cycle
 
     # ------------------------------------------------------------------
+    # Multi-queue host rings: per-ring descriptor conservation
+    # ------------------------------------------------------------------
+    def _ring(self, host: Any, ring_index: int, direction: str,
+              posted_delta: int, completed_delta: int) -> List[int]:
+        key = (id(host), ring_index, direction)
+        counts = self._ring_counts.get(key)
+        if counts is None:
+            # Monitors attach after construction (and the initial
+            # receive fill), so the baseline is the live counters minus
+            # the delta being reported by this very hook.
+            self._pin(host)
+            ring = host.rings[ring_index]
+            if direction == "rx":
+                posted, completed = ring.rx_posted, ring.rx_completed
+            else:
+                posted, completed = ring.tx_posted, ring.tx_completed
+            counts = [posted - posted_delta, completed - completed_delta]
+            self._ring_counts[key] = counts
+        return counts
+
+    def _check_ring(self, host: Any, ring_index: int, direction: str,
+                    counts: List[int]) -> None:
+        ring = host.rings[ring_index]
+        posted, completed = counts
+        in_flight = posted - completed
+        if in_flight < 0:
+            self._fail("ring.conservation",
+                       "completed descriptors exceed posted",
+                       ring=ring_index, direction=direction,
+                       posted=posted, completed=completed)
+        if direction == "rx":
+            live = (ring.rx_posted, ring.rx_completed)
+            capacity = ring.recv_ring.capacity
+            held = len(ring.recv_ring)
+        else:
+            live = (ring.tx_posted, ring.tx_completed)
+            capacity = ring.send_ring.capacity // 2
+            held = len(ring.send_ring) // 2
+        if live != (posted, completed):
+            self._fail("ring.conservation",
+                       "ring counters disagree with observed hooks",
+                       ring=ring_index, direction=direction,
+                       live_posted=live[0], live_completed=live[1],
+                       posted=posted, completed=completed)
+        # The conservation identity itself: every posted descriptor is
+        # either completed or still held in the ring (in flight).
+        if in_flight != held:
+            self._fail("ring.conservation",
+                       "posted != completed + in-flight",
+                       ring=ring_index, direction=direction,
+                       posted=posted, completed=completed, in_flight=held)
+        if in_flight > capacity:
+            self._fail("ring.bound", "in-flight descriptors exceed capacity",
+                       ring=ring_index, direction=direction,
+                       in_flight=in_flight, capacity=capacity)
+
+    def ring_posted(self, host: Any, ring_index: int, direction: str,
+                    count: int) -> None:
+        self._count("ring.post")
+        counts = self._ring(host, ring_index, direction, count, 0)
+        counts[0] += count
+        self._check_ring(host, ring_index, direction, counts)
+
+    def ring_completed(self, host: Any, ring_index: int, direction: str,
+                       count: int) -> None:
+        self._count("ring.complete")
+        counts = self._ring(host, ring_index, direction, 0, count)
+        counts[1] += count
+        self._check_ring(host, ring_index, direction, counts)
+
+    # ------------------------------------------------------------------
     # Fabric wire: conservation + per-port FIFO
     # ------------------------------------------------------------------
     def _wire(self, wire: Any) -> List[int]:
         counts = self._wire_counts.get(id(wire))
         if counts is None:
+            self._pin(wire)
             counts = [0, 0, 0]
             self._wire_counts[id(wire)] = counts
         return counts

@@ -62,6 +62,9 @@ def _attach_throughput(simulator: Any, monitor: NullInvariantMonitor) -> None:
         simulator.board_rx,
     ):
         board.monitor = monitor
+    rss_host = getattr(simulator, "rss_host", None)
+    if rss_host is not None:
+        rss_host.monitor = monitor
 
 
 # ----------------------------------------------------------------------
@@ -198,6 +201,24 @@ def _verify_throughput(simulator: Any, checker: _Checker) -> None:
         f"transferred {sdram.transferred_bytes} < useful "
         f"{sdram.useful_bytes} + retries {sdram.wasted_retry_bytes}",
     )
+
+    # Multi-queue host rings: per-ring descriptor conservation — every
+    # posted descriptor is completed or still held in the ring.
+    rss_host = getattr(simulator, "rss_host", None)
+    if rss_host is not None:
+        for ring in rss_host.rings:
+            checker.equal(
+                f"rss.ring{ring.index}.rx_conservation",
+                ring.rx_posted,
+                ring.rx_completed + len(ring.recv_ring),
+                "rx posted == completed + in_flight",
+            )
+            checker.equal(
+                f"rss.ring{ring.index}.tx_conservation",
+                2 * ring.tx_posted,
+                2 * ring.tx_completed + len(ring.send_ring),
+                "tx posted BDs == completed + in_flight",
+            )
 
 
 def _verify_fabric(fabric: Any, checker: _Checker) -> None:

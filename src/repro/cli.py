@@ -220,6 +220,57 @@ def _add_fabric_parser(subparsers) -> None:
                         help="sweep mode: write per-point rows as CSV")
 
 
+def _add_rss_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "rss",
+        help="paper-vs-modern host-interface ablation: single ring vs "
+             "multi-queue RSS (docs/fabric.md)",
+    )
+    # -- NIC configuration ------------------------------------------------
+    parser.add_argument("--cores", type=int, default=6)
+    parser.add_argument("--mhz", type=float, default=166)
+    parser.add_argument("--banks", type=int, default=4)
+    parser.add_argument("--ordering", choices=["rmw", "software"], default="rmw")
+    # -- ablation arms ----------------------------------------------------
+    parser.add_argument("--rings", type=int, nargs="+", default=[1, 2, 4, 8],
+                        metavar="N",
+                        help="ring counts for the multi-queue arms (each "
+                             "runs the task-level firmware; the paper's "
+                             "frame-level single-ring baseline always "
+                             "rides along)")
+    parser.add_argument("--hash-seed", type=int, default=0,
+                        help="Toeplitz hash-key seed (0 = the published "
+                             "verification-suite key)")
+    parser.add_argument("--coalesce", type=int, default=8,
+                        help="per-ring interrupt coalescing window")
+    # -- workload ---------------------------------------------------------
+    parser.add_argument("--workload", choices=["rpc", "imix", "saturation"],
+                        default="rpc",
+                        help="fabric RPC flows (default), fabric IMIX "
+                             "streams, or the paper's analytic "
+                             "saturation workload")
+    parser.add_argument("--nics", type=int, default=2,
+                        help="fabric endpoints (fabric workloads only)")
+    parser.add_argument("--concurrency", type=int, default=8,
+                        help="RPC outstanding-request window")
+    parser.add_argument("--load", type=float, default=0.7,
+                        help="IMIX per-direction offered fraction")
+    parser.add_argument("--seed", type=int, default=0)
+    # -- windows / engine -------------------------------------------------
+    parser.add_argument("--millis", type=float, default=0.8,
+                        help="measurement window in simulated milliseconds")
+    parser.add_argument("--warmup-millis", type=float, default=0.4)
+    parser.add_argument("--jobs", type=int, default=None, metavar="N")
+    parser.add_argument("--cache-dir", type=str, default=None, metavar="DIR")
+    parser.add_argument("--no-cache", action="store_true")
+    # -- output -----------------------------------------------------------
+    parser.add_argument("--json", type=str, default="", metavar="PATH",
+                        dest="json_out", nargs="?", const="-",
+                        help="emit per-arm rows as JSON ('-' = stdout)")
+    parser.add_argument("--csv", type=str, default="", metavar="PATH",
+                        dest="csv_out")
+
+
 def _add_report_parser(subparsers) -> None:
     parser = subparsers.add_parser(
         "report", help="regenerate the paper's evaluation section"
@@ -339,6 +390,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sweep_parser(subparsers)
     _add_faults_parser(subparsers)
     _add_fabric_parser(subparsers)
+    _add_rss_parser(subparsers)
     _add_report_parser(subparsers)
     _add_check_parser(subparsers)
     _add_bench_parser(subparsers)
@@ -867,6 +919,166 @@ def _fabric_sweep(args, config, spec) -> int:
     return 0
 
 
+def _cmd_rss(args) -> int:
+    """The paper-vs-modern host-interface ablation (ISSUE 8 tentpole).
+
+    One sweep with the paper baseline (single descriptor-ring pair,
+    frame-level parallel firmware) plus one multi-queue arm per
+    requested ring count (task-level firmware, Toeplitz-steered rings,
+    per-ring interrupt moderation, host-core contention).  All points
+    run through the cached experiment engine, so re-running an ablation
+    is free and seeded runs are reproducible byte-for-byte.
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.analysis import format_table
+    from repro.exp import (
+        RunSpec,
+        Sweep,
+        SweepRunner,
+        WorkloadSpec,
+        default_cache_dir,
+    )
+    from repro.host.rss import RssSpec
+    from repro.nic import NicConfig
+
+    config = NicConfig(
+        cores=args.cores,
+        core_frequency_hz=mhz(args.mhz),
+        scratchpad_banks=args.banks,
+        ordering_mode=_ordering(args.ordering),
+    )
+    fabric_spec = None
+    if args.workload != "saturation":
+        from repro.fabric import FabricSpec, RpcFlowSpec, StreamFlowSpec
+
+        peer = min(1, args.nics - 1)
+        if args.workload == "rpc":
+            flows = dict(
+                rpc_flows=(
+                    RpcFlowSpec(
+                        client=0,
+                        server=peer,
+                        concurrency=args.concurrency,
+                        name="rpc0",
+                    ),
+                ),
+            )
+        else:
+            flows = dict(
+                stream_flows=(
+                    StreamFlowSpec(src=0, dst=peer, imix=True,
+                                   offered_fraction=args.load, name="imix0"),
+                    StreamFlowSpec(src=peer, dst=0, imix=True,
+                                   offered_fraction=args.load, name="imix1"),
+                ),
+            )
+        fabric_spec = FabricSpec(nics=args.nics, seed=args.seed, **flows)
+
+    warmup_s = args.warmup_millis * 1e-3
+    measure_s = args.millis * 1e-3
+    template = RssSpec(
+        hash_seed=args.hash_seed,
+        interrupt_coalesce_frames=args.coalesce,
+    )
+    task_config = dc_replace(config, task_level_firmware=True)
+    specs = [
+        RunSpec(
+            config=config,
+            workload=WorkloadSpec(),
+            warmup_s=warmup_s,
+            measure_s=measure_s,
+            label="paper-1ring",
+            fabric_spec=fabric_spec,
+        )
+    ]
+    for rings in args.rings:
+        specs.append(
+            RunSpec(
+                config=task_config,
+                workload=WorkloadSpec(),
+                warmup_s=warmup_s,
+                measure_s=measure_s,
+                label=f"rss-{rings}ring",
+                fabric_spec=fabric_spec,
+                rss=dc_replace(template, rings=int(rings)),
+            )
+        )
+    sweep = Sweep(f"rss-{args.workload}", specs)
+    cache_dir = args.cache_dir if args.cache_dir is not None else default_cache_dir()
+    runner = SweepRunner(
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        use_cache=not args.no_cache,
+        progress=sys.stderr,
+        label=sweep.name,
+    )
+    outcome = sweep.run(runner)
+    records = Sweep.rows(outcome)
+
+    emitted_to_stdout = False
+    if args.json_out:
+        import json
+
+        text = json.dumps({"name": sweep.name, "points": records}, indent=2)
+        if args.json_out == "-":
+            print(text)
+            emitted_to_stdout = True
+        else:
+            with open(args.json_out, "w") as handle:
+                handle.write(text + "\n")
+            print(f"results written to {args.json_out}", file=sys.stderr)
+    if args.csv_out:
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.DictWriter(
+            buffer, fieldnames=list(records[0].keys()), lineterminator="\n"
+        )
+        writer.writeheader()
+        writer.writerows(records)
+        if args.csv_out == "-":
+            print(buffer.getvalue(), end="")
+            emitted_to_stdout = True
+        else:
+            with open(args.csv_out, "w") as handle:
+                handle.write(buffer.getvalue())
+            print(f"results written to {args.csv_out}", file=sys.stderr)
+
+    if not emitted_to_stdout:
+        if fabric_spec is not None:
+            goodput_key, goodput_head = "aggregate_goodput_gbps", "goodput Gb/s"
+        else:
+            goodput_key, goodput_head = "udp_throughput_gbps", "UDP Gb/s"
+        rows = []
+        for record in records:
+            busy = record.get("host_core_busy_max")
+            compl = record.get("host_completions_per_s")
+            rows.append([
+                record["label"],
+                record["rss_rings"],
+                f"{record[goodput_key]:.2f}",
+                f"{busy:.2f}" if busy is not None else "-",
+                f"{compl / 1e6:.2f}" if compl is not None else "-",
+                "yes" if record["cached"] else "no",
+            ])
+        firmware = "frame-level (paper) vs task-level (rss arms)"
+        print(format_table(
+            ["arm", "rings", goodput_head, "host busy max",
+             "host Mcompl/s", "cached"],
+            rows,
+            title=f"host-interface ablation, {config.label}, "
+                  f"{args.workload} workload — {firmware}",
+        ))
+    print(
+        f"rss: {len(outcome)} points, {outcome.cache_hits} cache hits, "
+        f"{outcome.executed} executed in {outcome.elapsed_s:.1f}s",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.analysis.full_report import generate_full_report
 
@@ -1082,6 +1294,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "faults": _cmd_faults,
     "fabric": _cmd_fabric,
+    "rss": _cmd_rss,
     "report": _cmd_report,
     "check": _cmd_check,
     "bench": _cmd_bench,

@@ -56,7 +56,8 @@ def execute_spec(spec: RunSpec):
         from repro.fabric import FabricSimulator
 
         fabric = FabricSimulator(
-            spec.config, spec.fabric_spec, fault_plan=spec.fault_plan
+            spec.config, spec.fabric_spec, fault_plan=spec.fault_plan,
+            rss=spec.rss,
         )
         return fabric.run(spec.warmup_s, spec.measure_s)
     workload = spec.workload
@@ -67,6 +68,7 @@ def execute_spec(spec: RunSpec):
         size_model=workload.build_size_model(),
         rx_burst_frames=workload.rx_burst_frames,
         fault_plan=spec.fault_plan,
+        rss=spec.rss,
     )
     return simulator.run(spec.warmup_s, spec.measure_s)
 

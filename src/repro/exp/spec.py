@@ -26,6 +26,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.fabric.spec import FabricSpec
 from repro.faults import FaultPlan
+from repro.host.rss import RssSpec
 from repro.net.workload import ConstantSize, FrameSizeModel, ImixSize
 from repro.nic.config import NicConfig
 
@@ -162,6 +163,11 @@ class RunSpec:
     #: run (N NICs + wire + flows) instead of a single-NIC throughput
     #: run; ``workload`` is ignored (traffic comes from the flows).
     fabric_spec: Optional[FabricSpec] = None
+    #: When set, the host interface is the multi-queue RSS model
+    #: (:class:`~repro.host.rss.RssSpec`) instead of the paper's single
+    #: descriptor-ring pair.  Applies to both single-NIC and fabric
+    #: points.
+    rss: Optional[RssSpec] = None
 
     def __post_init__(self) -> None:
         if self.warmup_s < 0 or self.measure_s <= 0:
@@ -185,6 +191,10 @@ class RunSpec:
         # pre-fabric-layer hashes byte-identical.
         if self.fabric_spec is not None:
             inputs["fabric_spec"] = describe(self.fabric_spec)
+        # And for multi-queue points: single-ring specs keep their
+        # pre-RSS-layer hashes byte-identical.
+        if self.rss is not None:
+            inputs["rss"] = describe(self.rss)
         return inputs
 
     @property

@@ -19,6 +19,7 @@ from repro.exp.spec import RunSpec, WorkloadSpec
 from repro.fabric.spec import FabricSpec
 from repro.faults import FaultPlan
 from repro.firmware.ordering import OrderingMode
+from repro.host.rss import RssSpec
 from repro.nic.config import NicConfig
 from repro.units import mhz
 
@@ -203,6 +204,60 @@ class Sweep:
         ]
         return cls(name, specs)
 
+    @classmethod
+    def rss_grid(
+        cls,
+        name: str,
+        ring_counts: Sequence[int],
+        base_config: Optional[NicConfig] = None,
+        base_rss: Optional[RssSpec] = None,
+        fabric: Optional[FabricSpec] = None,
+        udp_payload_bytes: int = 1472,
+        task_level_rss: bool = True,
+        warmup_s: float = 0.4e-3,
+        measure_s: float = 0.8e-3,
+    ) -> "Sweep":
+        """Paper-vs-modern host-interface ablation over ring counts.
+
+        Points with ``rings <= 1`` are issued with ``rss=None`` — the
+        paper's single-ring host interface and frame-level parallel
+        firmware, sharing cache entries (and the exact simulation path)
+        with every pre-RSS result.  Multi-ring points carry an
+        :class:`~repro.host.rss.RssSpec` derived from ``base_rss`` and,
+        by default, the task-level firmware organization — the modern
+        multi-queue NIC the comparison targets.  Pass ``fabric`` to run
+        every point against a fabric topology (RPC/IMIX flows) instead
+        of the analytic single-NIC workload.
+        """
+        base = base_config if base_config is not None else NicConfig()
+        template = base_rss if base_rss is not None else RssSpec()
+        specs = []
+        for rings in ring_counts:
+            if rings <= 1:
+                config = base
+                rss = None
+                label = "1ring-paper"
+            else:
+                config = (
+                    replace(base, task_level_firmware=True)
+                    if task_level_rss
+                    else base
+                )
+                rss = replace(template, rings=int(rings))
+                label = f"{rings}ring-rss"
+            specs.append(
+                RunSpec(
+                    config=config,
+                    workload=WorkloadSpec(udp_payload_bytes=udp_payload_bytes),
+                    warmup_s=warmup_s,
+                    measure_s=measure_s,
+                    label=label,
+                    fabric_spec=fabric,
+                    rss=rss,
+                )
+            )
+        return cls(name, specs)
+
     # ------------------------------------------------------------------
     def run(self, runner: Optional[SweepRunner] = None, **runner_kwargs) -> SweepOutcome:
         """Execute every point; ``runner_kwargs`` build a runner if none
@@ -214,10 +269,34 @@ class Sweep:
 
     # ------------------------------------------------------------------
     @staticmethod
+    def _rss_columns(spec: RunSpec, result) -> Dict[str, object]:
+        """Host-interface columns for sweeps containing RSS points."""
+        row: Dict[str, object] = {
+            "rss_rings": spec.rss.rings if spec.rss is not None else 1,
+        }
+        if spec.fabric_spec is not None:
+            reports = [nic.rss for nic in result.nics if nic.rss is not None]
+        else:
+            reports = [result.rss] if getattr(result, "rss", None) else []
+        if reports:
+            cores = [core for rep in reports for core in rep["per_core"]]
+            row["host_core_busy_max"] = max(c["busy_fraction"] for c in cores)
+            row["host_completions_per_s"] = sum(
+                c["completions_per_s"] for c in cores
+            )
+        else:
+            row["host_core_busy_max"] = None
+            row["host_completions_per_s"] = None
+        return row
+
+    @staticmethod
     def rows(outcome: SweepOutcome) -> List[Dict[str, object]]:
         """Flatten an outcome into records for JSON/CSV export."""
         rows: List[Dict[str, object]] = []
         faulted_sweep = any(spec.fault_plan is not None for spec in outcome.specs)
+        # RSS columns only materialize for sweeps carrying an RssSpec
+        # somewhere, so legacy exports keep their exact schema.
+        rss_sweep = any(spec.rss is not None for spec in outcome.specs)
         for spec, result, key, cached in zip(
             outcome.specs, outcome.results, outcome.keys, outcome.cached_flags
         ):
@@ -249,6 +328,8 @@ class Sweep:
                     "rtt_p99_us": flow.rtt.p99_us if flow.rtt else None,
                     "rtt_p999_us": flow.rtt.p999_us if flow.rtt else None,
                 }
+                if rss_sweep:
+                    row.update(Sweep._rss_columns(spec, result))
                 rows.append(row)
                 continue
             row: Dict[str, object] = {
@@ -284,5 +365,7 @@ class Sweep:
                 row["pci_stalls"] = counters.get("pci_stalls", 0)
                 row["queue_overflows"] = counters.get("queue_overflows", 0)
                 row["queue_drops"] = counters.get("queue_drops", 0)
+            if rss_sweep:
+                row.update(Sweep._rss_columns(spec, result))
             rows.append(row)
         return rows

@@ -26,6 +26,7 @@ request/response sizes to be timed exactly.
 
 from __future__ import annotations
 
+import zlib
 from collections import deque
 from typing import Callable, Deque, Dict, Optional, Tuple
 
@@ -162,6 +163,9 @@ class NicEndpoint(ThroughputSimulator):
         self._tx_frames: Dict[int, FabricFrame] = {}
         self._rx_frames: Dict[int, FabricFrame] = {}
         self._tx_post_seq = 0
+        # RSS steering resolved at post time (the frame record may be
+        # gone by completion time); keyed by tx sequence number.
+        self._tx_ring_cache: Dict[int, int] = {}
         # Correlation hooks into the refactored base pipeline.
         self._tx_wire_hook = self._on_tx_wire
         self._rx_commit_hook = self._on_rx_commit
@@ -176,13 +180,13 @@ class NicEndpoint(ThroughputSimulator):
         self.tx_sizes.record(seq, frame.udp_payload_bytes)
         self._tx_frames[seq] = frame
         self.driver.max_frames = self._tx_post_seq
-        self.driver.refill_send_ring()
+        self._refill_send()
         self._maybe_fetch_send_bds()
 
     def _maybe_fetch_send_bds(self) -> None:
         # Partial-batch descriptor fetches: the saturation workload
         # always has 16 frames queued, a 4-deep RPC window does not.
-        self.driver.refill_send_ring()
+        self._refill_send()
         room = (
             self.config.tx_bd_buffer_frames
             - self._tx_bd_onboard
@@ -202,6 +206,33 @@ class NicEndpoint(ThroughputSimulator):
     def _on_tx_wire(self, seq: int, wire: WireEvent) -> None:
         frame = self._tx_frames.pop(seq)
         self.fabric.wire.transmit(self.index, frame, wire)
+
+    # ==================================================================
+    # RSS steering from real flow identities
+    # ==================================================================
+    @staticmethod
+    def _flow_tuple(frame: FabricFrame) -> Tuple[int, int, int, int]:
+        # Fabric node ids become addresses, the flow name a stable port:
+        # every frame of a flow hashes to the same ring, while request
+        # and response directions (swapped src/dst) steer independently.
+        port = 0x8000 | (zlib.crc32(frame.flow.encode("ascii")) & 0x7FFF)
+        return (
+            0x0A00_0000 + frame.src + 1,
+            0x0A00_0000 + frame.dst + 1,
+            port,
+            9999,
+        )
+
+    def _tx_ring_for_seq(self, seq: int) -> int:
+        ring = self._tx_ring_cache.get(seq)
+        if ring is None:
+            ring = self.rss_host.ring_for(*self._flow_tuple(self._tx_frames[seq]))
+            self._tx_ring_cache[seq] = ring
+        return ring
+
+    def _rx_ring_for_seq(self, seq: int) -> int:
+        # Called in _commit_rx before the commit hook pops the frame.
+        return self.rss_host.ring_for(*self._flow_tuple(self._rx_frames[seq]))
 
     # ==================================================================
     # Receive side: wire -> driver

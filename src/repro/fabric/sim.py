@@ -32,6 +32,7 @@ from repro.fabric.flows import (
 from repro.fabric.spec import FabricSpec
 from repro.fabric.wire import FabricWire
 from repro.faults import FaultPlan
+from repro.host.rss import RssSpec
 from repro.net.ethernet import EthernetTiming
 from repro.nic.config import NicConfig
 from repro.nic.throughput import ThroughputResult
@@ -110,18 +111,24 @@ class FabricResult:
             "switch_drops": self.switch_drops,
             "mac_drops": self.mac_drops,
             "fault_counters": dict(self.fault_counters),
-            "nics": [
-                {
-                    "tx_frames": nic.tx_frames,
-                    "rx_frames": nic.rx_frames,
-                    "tx_payload_bytes": nic.tx_payload_bytes,
-                    "rx_payload_bytes": nic.rx_payload_bytes,
-                    "rx_dropped": nic.rx_dropped,
-                    "core_utilization": nic.core_utilization,
-                }
-                for nic in self.nics
-            ],
+            "nics": [self._nic_dict(nic) for nic in self.nics],
         }
+
+    @staticmethod
+    def _nic_dict(nic: ThroughputResult) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "tx_frames": nic.tx_frames,
+            "rx_frames": nic.rx_frames,
+            "tx_payload_bytes": nic.tx_payload_bytes,
+            "rx_payload_bytes": nic.rx_payload_bytes,
+            "rx_dropped": nic.rx_dropped,
+            "core_utilization": nic.core_utilization,
+        }
+        # Multi-queue runs carry the per-ring/per-core report; legacy
+        # single-ring JSON stays byte-identical.
+        if nic.rss is not None:
+            out["rss"] = nic.rss
+        return out
 
 
 # ----------------------------------------------------------------------
@@ -138,6 +145,7 @@ class FabricSimulator:
         fault_plan: Optional[FaultPlan] = None,
         estimator: str = "streaming",
         fast: bool = False,
+        rss: Optional[RssSpec] = None,
     ) -> None:
         spec.flow_names()  # validates uniqueness early
         if estimator not in ESTIMATORS:
@@ -156,6 +164,9 @@ class FabricSimulator:
         #: documents the 10^-3 relative-error bound), ``"exact"`` keeps
         #: every sample for byte-identical results (golden corpus).
         self.estimator = estimator
+        #: Multi-queue host interface applied to every endpoint;
+        #: ``None`` keeps the paper's single-ring hosts byte-identical.
+        self.rss = rss
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.timing = EthernetTiming()
         self.sim = Simulator()
@@ -182,6 +193,7 @@ class FabricSimulator:
                     tracer=endpoint_tracer,
                     fault_plan=endpoint_plan,
                     fast=self.fast,
+                    rss=rss,
                 )
             )
         self.wire = FabricWire(self, spec)

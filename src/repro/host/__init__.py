@@ -9,6 +9,14 @@ experience.  This package follows the same contract.
 from repro.host.descriptors import BufferDescriptor, DescriptorRing
 from repro.host.driver import DriverModel, DriverStats
 from repro.host.memory import HostMemoryLayout
+from repro.host.rss import (
+    HostQueueModel,
+    HostRing,
+    RssSpec,
+    ToeplitzHash,
+    flow_key_bytes,
+    toeplitz_key,
+)
 
 __all__ = [
     "BufferDescriptor",
@@ -16,4 +24,10 @@ __all__ = [
     "DriverModel",
     "DriverStats",
     "HostMemoryLayout",
+    "HostQueueModel",
+    "HostRing",
+    "RssSpec",
+    "ToeplitzHash",
+    "flow_key_bytes",
+    "toeplitz_key",
 ]

@@ -38,6 +38,64 @@ class DriverStats:
     send_completions: int = 0
     recv_completions: int = 0
     interrupts: int = 0
+    #: Measurement-window baselines (see :meth:`reset_window`).
+    window_send_base: int = 0
+    window_recv_base: int = 0
+    window_interrupt_base: int = 0
+    #: Completions recorded since the last interrupt — the coalescing
+    #: window still open.  ``reset_window`` must leave these in the new
+    #: window (their interrupt has not fired yet); snapshotting raw
+    #: totals instead would credit the interrupt to one window and its
+    #: completions to the previous one, skewing the per-window
+    #: ``completions_per_interrupt`` ratio low.
+    pending_send: int = 0
+    pending_recv: int = 0
+
+    # -- recording ------------------------------------------------------
+    def record_sends(self, count: int) -> None:
+        self.send_completions += count
+        self.pending_send += count
+
+    def record_receives(self, count: int) -> None:
+        self.recv_completions += count
+        self.pending_recv += count
+
+    def note_interrupt(self) -> None:
+        self.interrupts += 1
+        self.pending_send = 0
+        self.pending_recv = 0
+
+    # -- measurement windows --------------------------------------------
+    def reset_window(self) -> None:
+        """Start a new measurement window.
+
+        Completions whose coalesced interrupt is still pending are
+        attributed to the *new* window (where their interrupt will
+        land), keeping the windowed ratio exact even when the reset
+        falls between a completion batch and its interrupt — the
+        regression in ``tests/test_driver_rings.py`` pins this.
+        """
+        self.window_send_base = self.send_completions - self.pending_send
+        self.window_recv_base = self.recv_completions - self.pending_recv
+        self.window_interrupt_base = self.interrupts
+
+    @property
+    def window_send_completions(self) -> int:
+        return self.send_completions - self.window_send_base
+
+    @property
+    def window_recv_completions(self) -> int:
+        return self.recv_completions - self.window_recv_base
+
+    @property
+    def window_interrupts(self) -> int:
+        return self.interrupts - self.window_interrupt_base
+
+    @property
+    def window_completions_per_interrupt(self) -> float:
+        total = self.window_send_completions + self.window_recv_completions
+        interrupts = self.window_interrupts
+        return total / interrupts if interrupts else 0.0
 
     @property
     def completions_per_interrupt(self) -> float:
@@ -77,10 +135,17 @@ class DriverModel:
         self._payload_bytes = max(1, frame_bytes - TX_HEADER_REGION_BYTES - 4)
 
     # -- send side -------------------------------------------------------
-    def refill_send_ring(self) -> int:
-        """Post descriptors for as many new frames as fit; returns frames."""
+    def refill_send_ring(self, limit: Optional[int] = None) -> int:
+        """Post descriptors for as many new frames as fit; returns frames.
+
+        ``limit`` caps the frames posted (the multi-queue host model
+        posts against per-ring credit); ``None`` keeps the legacy
+        fill-to-capacity behaviour exactly.
+        """
         posted = 0
         while self.send_ring.free_slots >= 2:
+            if limit is not None and posted >= limit:
+                break
             if (
                 self.max_frames is not None
                 and self._next_send_seq >= self.max_frames
@@ -113,10 +178,16 @@ class DriverModel:
         return self.send_ring.pop_many(count)
 
     # -- receive side ------------------------------------------------------
-    def replenish_recv_ring(self) -> int:
-        """Allocate free buffers up to ring capacity; returns buffers."""
+    def replenish_recv_ring(self, limit: Optional[int] = None) -> int:
+        """Allocate free buffers up to ring capacity; returns buffers.
+
+        ``limit`` caps the buffers posted (multi-queue receive credit);
+        ``None`` keeps the legacy fill-to-capacity behaviour exactly.
+        """
         posted = 0
         while not self.recv_ring.is_full:
+            if limit is not None and posted >= limit:
+                break
             index = self._next_recv_buffer
             descriptor = BufferDescriptor(
                 address=self.layout.rx_buffer_address(index),
@@ -138,11 +209,11 @@ class DriverModel:
 
     # -- completions -------------------------------------------------------
     def complete_sends(self, count: int, interrupt: bool) -> None:
-        self.stats.send_completions += count
+        self.stats.record_sends(count)
         if interrupt:
-            self.stats.interrupts += 1
+            self.stats.note_interrupt()
 
     def complete_receives(self, count: int, interrupt: bool) -> None:
-        self.stats.recv_completions += count
+        self.stats.record_receives(count)
         if interrupt:
-            self.stats.interrupts += 1
+            self.stats.note_interrupt()

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.assists.dma import DmaAssist
 from repro.assists.mac import MacReceiver, MacTransmitter
@@ -47,6 +47,7 @@ from repro.firmware.profiles import (
 )
 from repro.host.descriptors import DESCRIPTOR_BYTES
 from repro.host.driver import DriverModel
+from repro.host.rss import HostQueueModel, RssSpec
 from repro.mem.sdram import GddrSdram
 from repro.net.ethernet import (
     EthernetTiming,
@@ -152,6 +153,9 @@ class ThroughputResult:
     p99_rx_commit_latency_s: float = 0.0
     rx_holes: int = 0
     fault_counters: Dict[str, float] = field(default_factory=dict)
+    #: Multi-queue host report (per-ring / per-core); ``None`` on
+    #: single-ring runs so legacy JSON stays byte-identical.
+    rss: Optional[Dict[str, object]] = None
 
     # -- headline rates ---------------------------------------------------
     @property
@@ -257,6 +261,9 @@ class ThroughputResult:
         # fault-free JSON byte-identical to pre-fault-layer output.
         if self.fault_counters:
             data["faults"] = self.fault_report()
+        # Likewise only multi-queue runs grow an "rss" section.
+        if self.rss is not None:
+            data["rss"] = self.rss
         return data
 
     # -- Table 4 ----------------------------------------------------------
@@ -316,6 +323,7 @@ class ThroughputSimulator:
         sim: Optional[Simulator] = None,
         clock_prefix: str = "",
         fast: bool = False,
+        rss: Optional[RssSpec] = None,
     ) -> None:
         """``size_model`` (a :class:`repro.net.workload.FrameSizeModel`)
         overrides the constant ``udp_payload_bytes`` with per-frame
@@ -350,7 +358,14 @@ class ThroughputSimulator:
         fast-path substitution is integer-exact and ticket-faithful, so
         results are byte-identical to the reference path (the golden
         corpus pins both; see docs/observability.md, "Batched fast
-        path")."""
+        path").
+
+        ``rss`` (a :class:`repro.host.rss.RssSpec`) replaces the
+        paper's single descriptor-ring pair with N independent host
+        rings behind a Toeplitz flow hash, per-ring interrupt
+        moderation, and a host-core contention model.  Left ``None``
+        the single-ring host interface runs exactly as before —
+        byte-identical results and cache keys."""
         from repro.net.workload import ConstantSize
 
         self.config = config
@@ -440,6 +455,23 @@ class ThroughputSimulator:
             recv_ring_capacity=config.recv_ring_capacity,
             max_frames=self._driver_max_frames,
         )
+        #: Multi-queue host model (the modern-RSS comparison arm);
+        #: ``None`` keeps the paper's single-ring host interface with
+        #: byte-identical behaviour.
+        self.rss = rss
+        self.rss_host: Optional[HostQueueModel] = None
+        if rss is not None:
+            self.rss_host = HostQueueModel(
+                rss,
+                sim=self.sim,
+                frame_bytes=self.driver.frame_bytes,
+                send_ring_capacity=config.send_ring_capacity,
+                recv_ring_capacity=config.recv_ring_capacity,
+                fast=self.fast,
+                name=clock_prefix + "rss",
+            )
+            self.rss_host.on_rx_processed = self._rss_rx_processed
+            self.rss_host.on_tx_processed = self._rss_tx_processed
 
         mode = config.ordering_mode
         self.board_tx_mac = OrderingBoard(
@@ -536,8 +568,52 @@ class ThroughputSimulator:
         self._contention_window_accesses = 0.0
         self._contention_window_start_ps = 0
 
-        self.driver.replenish_recv_ring()
-        self.driver.refill_send_ring()
+        self._replenish_recv()
+        self._refill_send()
+
+    # ==================================================================
+    # Multi-queue host interface (RSS)
+    # ==================================================================
+    def _refill_send(self) -> None:
+        """Post send descriptors: legacy fill-to-capacity, or (with a
+        multi-queue host) steered, credit-gated per-ring posting."""
+        if self.rss_host is not None:
+            self.rss_host.refill_send(self.driver, self._tx_ring_for_seq)
+        else:
+            self.driver.refill_send_ring()
+
+    def _replenish_recv(self) -> None:
+        if self.rss_host is not None:
+            self.rss_host.replenish_recv(self.driver)
+        else:
+            self.driver.replenish_recv_ring()
+
+    def _tx_flow_tuple(self, seq: int) -> Tuple[int, int, int, int]:
+        """Synthetic flow population for the standalone simulator; the
+        fabric endpoint overrides this with real flow identities."""
+        flow = seq % self.rss_host.spec.synthetic_flows
+        return (0x0A000001, 0x0A000002, 0x8000 + flow, 9999)
+
+    def _rx_flow_tuple(self, seq: int) -> Tuple[int, int, int, int]:
+        flow = seq % self.rss_host.spec.synthetic_flows
+        return (0x0A000002, 0x0A000001, 9999, 0x8000 + flow)
+
+    def _tx_ring_for_seq(self, seq: int) -> int:
+        return self.rss_host.ring_for(*self._tx_flow_tuple(seq))
+
+    def _rx_ring_for_seq(self, seq: int) -> int:
+        return self.rss_host.ring_for(*self._rx_flow_tuple(seq))
+
+    def _rss_rx_processed(self, count: int) -> None:
+        # A host core recycled receive buffers: credit is back, so the
+        # NIC may be able to fetch receive BDs again.
+        self._maybe_fetch_recv_bds()
+
+    def _rss_tx_processed(self, count: int) -> None:
+        # Send credit returned: post the next frames and let the NIC
+        # fetch their descriptors.
+        self._refill_send()
+        self._maybe_fetch_send_bds()
 
     # ==================================================================
     # Cost charging
@@ -805,7 +881,7 @@ class ThroughputSimulator:
         ):
             return  # scratchpad BD staging buffer is full
         if self.driver.send_bds_available() < SEND_BDS_PER_FETCH:
-            self.driver.refill_send_ring()
+            self._refill_send()
         if self.driver.send_bds_available() < SEND_BDS_PER_FETCH:
             return
         self._tx_fetch_inflight += SEND_FRAMES_PER_BD_FETCH
@@ -1024,11 +1100,19 @@ class ThroughputSimulator:
             done_ps = now + self.core_clock.cycles_to_ps(cycles_so_far + cycles)
             self.dma_write.descriptor_transfer(done_ps, DESCRIPTOR_BYTES)
             self._assist_touch(self.config.assist_accesses_per_dma)
-            interrupt = (
-                self.board_tx_notify.commit_seq % self.config.interrupt_coalesce_frames
-            ) < notified
-            self.driver.complete_sends(notified, interrupt)
-            self.driver.refill_send_ring()
+            if self.rss_host is not None:
+                first = self.board_tx_notify.commit_seq - notified
+                self.rss_host.complete_tx(
+                    first, notified, self._tx_ring_for_seq, done_ps
+                )
+                self._refill_send()
+            else:
+                interrupt = (
+                    self.board_tx_notify.commit_seq
+                    % self.config.interrupt_coalesce_frames
+                ) < notified
+                self.driver.complete_sends(notified, interrupt)
+                self.driver.refill_send_ring()
         if committed:
             self.sim.schedule(
                 self.core_clock.cycles_to_ps(cycles_so_far + cycles), self._mac_tx_pump
@@ -1376,6 +1460,12 @@ class ThroughputSimulator:
         freed_bytes = 0
         holes = 0
         trace_on = self.tracer.enabled
+        rss_on = self.rss_host is not None
+        # Contiguous (ring, count) runs of delivered frames, in commit
+        # order.  Steering is resolved *before* the commit hook fires —
+        # the fabric endpoint's steering reads the frame record the hook
+        # consumes.
+        ring_runs: List[List[int]] = []
         for seq in range(self.board_rx.commit_seq - committed, self.board_rx.commit_seq):
             if self.faults is not None and seq in self._rx_holes_uncommitted:
                 # A hole commits (the pointer passes it) but delivers
@@ -1383,6 +1473,12 @@ class ThroughputSimulator:
                 self._rx_holes_uncommitted.discard(seq)
                 holes += 1
                 continue
+            if rss_on:
+                ring = self._rx_ring_for_seq(seq)
+                if ring_runs and ring_runs[-1][0] == ring:
+                    ring_runs[-1][1] += 1
+                else:
+                    ring_runs.append([ring, 1])
             freed_bytes += self.rx_sizes.frame_bytes(seq)
             self._rx_payload_done += self.rx_sizes.payload_bytes(seq)
             if trace_on:
@@ -1403,10 +1499,14 @@ class ThroughputSimulator:
             done_ps = now + self.core_clock.cycles_to_ps(cycles_so_far + cycles)
             self.dma_write.descriptor_transfer(done_ps, delivered * DESCRIPTOR_BYTES)
             self._assist_touch(self.config.assist_accesses_per_dma)
-            interrupt = (
-                self.board_rx.commit_seq % self.config.interrupt_coalesce_frames
-            ) < committed
-            self.driver.complete_receives(delivered, interrupt)
+            if rss_on:
+                for ring_index, run in ring_runs:
+                    self.rss_host.complete_rx(ring_index, run, done_ps)
+            else:
+                interrupt = (
+                    self.board_rx.commit_seq % self.config.interrupt_coalesce_frames
+                ) < committed
+                self.driver.complete_receives(delivered, interrupt)
             self._rx_done_frames += delivered
             self._rx_space += freed_bytes
             self.sim.schedule(
@@ -1426,7 +1526,7 @@ class ThroughputSimulator:
             >= self.config.recv_bd_low_water
         ):
             return
-        self.driver.replenish_recv_ring()
+        self._replenish_recv()
         if self.driver.recv_bds_available() < RECV_BDS_PER_FETCH:
             return
         self._rx_fetch_inflight += RECV_BDS_PER_FETCH
@@ -1616,6 +1716,13 @@ class ThroughputSimulator:
             "fault_counters": (
                 self.faults.snapshot() if self.faults is not None else None
             ),
+            # Also opens the multi-queue measurement window (per-ring
+            # stat windows + core baselines).
+            "rss": (
+                self.rss_host.window_reset()
+                if self.rss_host is not None
+                else None
+            ),
             "now_ps": self.sim.now_ps,
         }
 
@@ -1697,4 +1804,9 @@ class ThroughputSimulator:
             p99_rx_commit_latency_s=self.rx_latency_histogram.percentile(0.99) * 1e-6,
             rx_holes=self._rx_hole_frames - snap["rx_holes"],  # type: ignore[operator]
             fault_counters=fault_counters,
+            rss=(
+                self.rss_host.report(snap["rss"], measure_ps)  # type: ignore[arg-type]
+                if self.rss_host is not None
+                else None
+            ),
         )
