@@ -104,6 +104,37 @@ def _run_fabric_switched(fast: bool = False):
     )
 
 
+def _run_fabric_qos(fast: bool = False):
+    from repro.fabric import FabricSimulator, FabricSpec, StreamFlowSpec
+    from repro.nic.config import NicConfig
+    from repro.qos import QosSpec
+    from repro.units import mhz
+
+    # Mixed-criticality incast: a guaranteed lane and an overloading
+    # best-effort lane converge on NIC 2's switch port (4-core NICs so
+    # the sources can actually congest the 10G output port).  Exercises
+    # classification, the DRR scheduler, RED drops, and PFC pause.
+    qos = dataclasses.replace(
+        QosSpec.mixed_criticality(scheduler="drr", pause=True), seed=13
+    )
+    spec = FabricSpec(
+        nics=3,
+        switch=True,
+        seed=13,
+        qos=qos,
+        stream_flows=(
+            StreamFlowSpec(src=0, dst=2, offered_fraction=0.25,
+                           name="gold", qos_class="guaranteed"),
+            StreamFlowSpec(src=1, dst=2, offered_fraction=1.0,
+                           name="bulk", qos_class="best-effort"),
+        ),
+    )
+    config = NicConfig(cores=4, core_frequency_hz=mhz(133))
+    return FabricSimulator(config, spec, estimator="exact", fast=fast).run(
+        WARMUP_S, MEASURE_S
+    )
+
+
 def golden_specs() -> Dict[str, Callable]:
     """Name → runner for every canonical run in the corpus.
 
@@ -118,6 +149,7 @@ def golden_specs() -> Dict[str, Callable]:
         "throughput-faulted": _run_faulted,
         "fabric-rpc": _run_fabric,
         "fabric-rpc-switched": _run_fabric_switched,
+        "fabric-qos-switched": _run_fabric_qos,
     }
 
 

@@ -7,7 +7,9 @@ once, the ordering boards' commit pointers must advance monotonically
 and only across marked-or-skipped slots, locks must grant in FIFO
 reservation order, the distributed event queue must conserve
 ``enqueues - dequeues == depth``, and the fabric wire must conserve
-``injected == forwarded + dropped``.
+``injected == forwarded + dropped + queued`` (``queued`` is only
+non-zero while a QoS-configured switch holds frames in per-class
+queues; the legacy wire resolves every frame at transmit time).
 
 This module provides the *monitoring* half of ``repro.check``:
 
@@ -136,6 +138,25 @@ class NullInvariantMonitor:
                             out_end_ps: int, prev_free_ps: int) -> None:
         pass
 
+    # -- per-class (QoS) switch ports -----------------------------------
+    def qos_injected(self, wire: Any, port: int, cls: int) -> None:
+        pass
+
+    def qos_enqueued(self, wire: Any, port: int, cls: int, depth: int) -> None:
+        pass
+
+    def qos_forwarded(self, wire: Any, port: int, cls: int, depth: int) -> None:
+        pass
+
+    def qos_dropped(self, wire: Any, port: int, cls: int, kind: str) -> None:
+        pass
+
+    def qos_pause(self, wire: Any, port: int, cls: int, paused: bool) -> None:
+        pass
+
+    def qos_port_idle(self, wire: Any, port: int, backlog: int) -> None:
+        pass
+
     # -- reporting ------------------------------------------------------
     def report(self) -> Dict[str, int]:
         return {}
@@ -193,9 +214,16 @@ class InvariantMonitor(NullInvariantMonitor):
         self._register_holders: Dict[Tuple[int, Any], int] = {}
         self._sdram_bus_free: Dict[int, int] = {}
         # Fabric wires, keyed by identity.
-        self._wire_counts: Dict[int, List[int]] = {}      # [injected, forwarded, dropped]
+        # [injected, forwarded, dropped, queued] — queued is the shadow
+        # of frames parked in per-class QoS switch queues (always 0 on
+        # the legacy wire, whose ports resolve frames at transmit time).
+        self._wire_counts: Dict[int, List[int]] = {}
         self._wire_delivery: Dict[Tuple[int, str, int], int] = {}
         self._wire_port_free: Dict[Tuple[int, int], int] = {}
+        # Per-(wire, port, class) QoS shadows:
+        # [enqueued, forwarded, tail drops, red drops] and pause state.
+        self._qos_counts: Dict[Tuple[int, int, int], List[int]] = {}
+        self._qos_paused: Dict[Tuple[int, int, int], bool] = {}
         # Multi-queue host rings: (host id, ring, direction) ->
         # [posted, completed] descriptor counts.
         self._ring_counts: Dict[Tuple[int, int, str], List[int]] = {}
@@ -563,16 +591,21 @@ class InvariantMonitor(NullInvariantMonitor):
         counts = self._wire_counts.get(id(wire))
         if counts is None:
             self._pin(wire)
-            counts = [0, 0, 0]
+            counts = [0, 0, 0, 0]
             self._wire_counts[id(wire)] = counts
         return counts
 
     def _check_wire_conservation(self, wire: Any, counts: List[int]) -> None:
-        injected, forwarded, dropped = counts
-        if injected != forwarded + dropped:
+        injected, forwarded, dropped, queued = counts
+        if queued < 0:
             self._fail("wire.conservation",
-                       "injected != forwarded + dropped",
-                       injected=injected, forwarded=forwarded, dropped=dropped)
+                       "more frames left QoS queues than entered",
+                       queued=queued)
+        if injected != forwarded + dropped + queued:
+            self._fail("wire.conservation",
+                       "injected != forwarded + dropped + queued",
+                       injected=injected, forwarded=forwarded,
+                       dropped=dropped, queued=queued)
         if wire.forwarded != forwarded or wire.drops != dropped:
             self._fail("wire.conservation",
                        "wire counters disagree with observed hooks",
@@ -620,6 +653,83 @@ class InvariantMonitor(NullInvariantMonitor):
             self._fail("wire.port", "port free point disagrees with shadow",
                        port=port, prev_free=prev_free_ps, shadow=shadow_free)
         self._wire_port_free[shadow_key] = out_end_ps
+
+    # ------------------------------------------------------------------
+    # Per-class (QoS) switch ports
+    # ------------------------------------------------------------------
+    # A QoS-configured switch resolves frames asynchronously: injection,
+    # classification/admission, and the scheduler's serialization slot
+    # are separate events.  The wire-level ``queued`` shadow covers the
+    # whole unresolved window (switch-bound in flight *or* parked in a
+    # class queue), so the global conservation identity holds at every
+    # hook, and per-(port, class) shadows pin the queue-depth identity
+    # ``depth == enqueued - forwarded`` on every move.
+    def _qos(self, wire: Any, port: int, cls: int) -> List[int]:
+        key = (id(wire), port, cls)
+        counts = self._qos_counts.get(key)
+        if counts is None:
+            self._pin(wire)
+            # [injected, enqueued, forwarded, tail drops, red drops]
+            counts = [0, 0, 0, 0, 0]
+            self._qos_counts[key] = counts
+        return counts
+
+    def _check_qos_class(self, port: int, cls: int, counts: List[int],
+                         depth: int) -> None:
+        injected, enqueued, forwarded, tail, red = counts
+        if depth != enqueued - forwarded:
+            self._fail("qos.conservation",
+                       "class queue depth != enqueued - forwarded",
+                       port=port, cls=cls, depth=depth,
+                       enqueued=enqueued, forwarded=forwarded)
+        if enqueued + tail + red > injected:
+            self._fail("qos.conservation",
+                       "class resolved more frames than arrived",
+                       port=port, cls=cls, injected=injected,
+                       enqueued=enqueued, tail=tail, red=red)
+
+    def qos_injected(self, wire: Any, port: int, cls: int) -> None:
+        self._count("qos.inject")
+        self._wire(wire)[3] += 1
+        self._qos(wire, port, cls)[0] += 1
+
+    def qos_enqueued(self, wire: Any, port: int, cls: int, depth: int) -> None:
+        self._count("qos.enqueue")
+        counts = self._qos(wire, port, cls)
+        counts[1] += 1
+        self._check_qos_class(port, cls, counts, depth)
+
+    def qos_forwarded(self, wire: Any, port: int, cls: int, depth: int) -> None:
+        self._count("qos.forward")
+        self._wire(wire)[3] -= 1
+        counts = self._qos(wire, port, cls)
+        counts[2] += 1
+        self._check_qos_class(port, cls, counts, depth)
+
+    def qos_dropped(self, wire: Any, port: int, cls: int, kind: str) -> None:
+        self._count("qos.drop")
+        self._wire(wire)[3] -= 1
+        counts = self._qos(wire, port, cls)
+        counts[3 if kind == "tail" else 4] += 1
+        self._check_qos_class(port, cls, counts,
+                              counts[1] - counts[2])
+
+    def qos_pause(self, wire: Any, port: int, cls: int, paused: bool) -> None:
+        self._count("qos.pause")
+        key = (id(wire), port, cls)
+        previous = self._qos_paused.get(key, False)
+        if previous == paused:
+            self._fail("qos.pause",
+                       "pause state did not alternate (double XOFF/XON)",
+                       port=port, cls=cls, paused=paused)
+        self._qos_paused[key] = paused
+
+    def qos_port_idle(self, wire: Any, port: int, backlog: int) -> None:
+        self._count("qos.work_conserving")
+        if backlog != 0:
+            self._fail("qos.work_conserving",
+                       "scheduler went idle against a non-empty backlog",
+                       port=port, backlog=backlog)
 
     # ------------------------------------------------------------------
     # Reporting

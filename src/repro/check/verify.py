@@ -236,6 +236,8 @@ def _verify_fabric(fabric: Any, checker: _Checker) -> None:
             f"delivered {flow.delivered} + lost {flow.lost} vs "
             f"posted {flow.posted}",
         )
+    if wire.qos is not None:
+        _verify_qos(wire, checker)
     for index, endpoint in enumerate(fabric.endpoints):
         sub = _Checker(f"{checker.label}nic{index}.")
         _verify_throughput(endpoint, sub)
@@ -243,6 +245,41 @@ def _verify_fabric(fabric: Any, checker: _Checker) -> None:
             {f"nic{index}.{k}": v for k, v in sub.checked.items()}
         )
         checker.failures.extend(sub.failures)
+
+
+def _verify_qos(wire: Any, checker: _Checker) -> None:
+    """Per-(port, class) end-state identities of the QoS switch ports.
+
+    ``enqueued == forwarded + still-queued`` (no frame vanishes from a
+    class queue), pause/resume events pair up with the live pause flag,
+    and a class still paused at end of run must hold more than its XON
+    watermark — a paused-below-XON state would mean a missed resume,
+    the deadlock the PFC layer must never produce.
+    """
+    qos = wire.qos
+    for port in wire._qos_ports:
+        for cls, tc in enumerate(qos.classes):
+            label = f"qos.port{port.index}.{tc.name}"
+            depth = len(port.queues[cls])
+            checker.equal(
+                f"{label}.conservation",
+                port.enqueued[cls],
+                port.forwarded[cls] + depth,
+                "enqueued == forwarded + queued",
+            )
+            checker.equal(
+                f"{label}.pause_pairing",
+                port.pause_events[cls] - port.resume_events[cls],
+                1 if port.paused[cls] else 0,
+                "pauses - resumes == currently-paused",
+            )
+            if tc.pause_xoff_frames:
+                checker.check(
+                    f"{label}.no_pause_deadlock",
+                    not port.paused[cls] or depth > tc.pause_xon_frames,
+                    f"paused with depth {depth} <= XON "
+                    f"{tc.pause_xon_frames} (missed resume)",
+                )
 
 
 def verify_conservation(

@@ -6,6 +6,7 @@ Subcommands::
     repro sweep    cores x frequency design-space sweep
     repro faults   throughput under injected faults (run or rate sweep)
     repro fabric   multi-NIC fabric: RPC/stream flows, latency percentiles
+    repro qos      mixed-criticality QoS ablation: classes, schedulers, AQM
     repro report   regenerate the paper's whole evaluation
     repro check    conformance: oracles, golden corpus, fuzz, replay
     repro bench    benchmark observatory: run benches, emit/compare BENCH JSON
@@ -220,6 +221,61 @@ def _add_fabric_parser(subparsers) -> None:
                         help="sweep mode: write per-point rows as CSV")
 
 
+def _add_qos_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "qos",
+        help="mixed-criticality QoS ablation: per-class queueing, "
+             "pluggable schedulers, RED AQM, PFC pause (docs/qos.md)",
+    )
+    # -- NIC configuration ------------------------------------------------
+    parser.add_argument("--cores", type=int, default=4,
+                        help="cores per NIC (default 4: each source can "
+                             "saturate the 10G switch port, so the "
+                             "best-effort lane can actually overload it)")
+    parser.add_argument("--mhz", type=float, default=133)
+    # -- QoS configuration ------------------------------------------------
+    parser.add_argument("--scheduler", choices=["strict", "drr", "wrr"],
+                        default="strict",
+                        help="per-port drain discipline (default: strict)")
+    parser.add_argument("--p999-bound-us", type=float, default=150.0,
+                        help="guaranteed class's provisioned p999 latency "
+                             "budget; the ablation asserts it")
+    parser.add_argument(
+        "--red", action=argparse.BooleanOptionalAction, default=True,
+        help="RED AQM on the best-effort queue (seeded, replayable drops)")
+    parser.add_argument(
+        "--pause", action=argparse.BooleanOptionalAction, default=False,
+        help="PFC-style XOFF/XON watermarks on the best-effort queue "
+             "(pauses the transmitting stream pacers)")
+    # -- traffic ----------------------------------------------------------
+    parser.add_argument("--guaranteed-load", type=float, default=0.25,
+                        help="guaranteed lane's fixed offered fraction")
+    parser.add_argument("--loads", type=float, nargs="+",
+                        default=[0.3, 0.7, 1.0], metavar="FRACTION",
+                        help="best-effort offered-load arms (1.0 + the "
+                             "guaranteed lane overloads the shared port)")
+    # -- windows / determinism --------------------------------------------
+    parser.add_argument("--millis", type=float, default=0.5,
+                        help="measurement window in simulated milliseconds")
+    parser.add_argument("--warmup-millis", type=float, default=0.2)
+    parser.add_argument("--seed", type=int, default=0,
+                        help="keys the RED drop decisions (same seed => "
+                             "byte-identical runs)")
+    parser.add_argument(
+        "--fast", action=argparse.BooleanOptionalAction, default=False,
+        help="batched event-kernel fast path; results are byte-identical "
+             "to the reference path (--no-fast, the default)")
+    parser.add_argument("--estimator", choices=["streaming", "exact"],
+                        default="exact",
+                        help="latency percentile estimator (default exact: "
+                             "the ablation's JSON is byte-compared in CI)")
+    # -- output -----------------------------------------------------------
+    parser.add_argument("--json", type=str, default="", metavar="PATH",
+                        dest="json_out", nargs="?", const="-",
+                        help="emit all arms as JSON ('-' or no value = "
+                             "stdout)")
+
+
 def _add_rss_parser(subparsers) -> None:
     parser = subparsers.add_parser(
         "rss",
@@ -390,6 +446,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sweep_parser(subparsers)
     _add_faults_parser(subparsers)
     _add_fabric_parser(subparsers)
+    _add_qos_parser(subparsers)
     _add_rss_parser(subparsers)
     _add_report_parser(subparsers)
     _add_check_parser(subparsers)
@@ -919,6 +976,121 @@ def _fabric_sweep(args, config, spec) -> int:
     return 0
 
 
+def _cmd_qos(args) -> int:
+    """The mixed-criticality QoS isolation ablation (ISSUE 9 tentpole).
+
+    A 3-NIC incast: NIC 0 streams the *guaranteed* class at a fixed
+    provisioned load and NIC 1 streams the *best-effort* class at each
+    swept load, both converging on NIC 2's switch output port.  Beyond
+    saturation the per-class queueing must keep the guaranteed tail
+    inside its provisioned p999 bound while every loss (RED or tail)
+    lands on best-effort — the Papaefstathiou-style guarantee this
+    subsystem exists to demonstrate.  Runs in-process (reference or
+    ``--fast`` batched kernel; byte-identical), deterministically for
+    a given ``--seed``.
+    """
+    from repro.analysis import format_table
+    from repro.fabric import FabricSimulator, FabricSpec, StreamFlowSpec
+    from repro.nic import NicConfig
+    from repro.qos import QosSpec
+
+    qos = QosSpec.mixed_criticality(
+        scheduler=args.scheduler,
+        guaranteed_p999_bound_us=args.p999_bound_us,
+        red=args.red,
+        pause=args.pause,
+        seed=args.seed,
+    )
+    base = FabricSpec(
+        nics=3,
+        switch=True,
+        seed=args.seed,
+        qos=qos,
+        stream_flows=(
+            StreamFlowSpec(src=0, dst=2, offered_fraction=args.guaranteed_load,
+                           name="gold", qos_class="guaranteed"),
+            StreamFlowSpec(src=1, dst=2, offered_fraction=1.0,
+                           name="bulk", qos_class="best-effort"),
+        ),
+    )
+    config = NicConfig(cores=args.cores, core_frequency_hz=mhz(args.mhz))
+    arms = []
+    for load in args.loads:
+        spec = base.with_load(float(load), flows=["bulk"])
+        simulator = FabricSimulator(
+            config, spec, estimator=args.estimator, fast=args.fast
+        )
+        result = simulator.run(
+            warmup_s=args.warmup_millis * 1e-3, measure_s=args.millis * 1e-3
+        )
+        arms.append((float(load), result))
+
+    bound_ok = True
+    rows = []
+    for load, result in arms:
+        classes = result.qos["classes"]
+        gold = classes["guaranteed"]
+        bulk = classes["best-effort"]
+        gold_p999 = gold["oneway"]["p999_us"]
+        within = gold_p999 <= args.p999_bound_us
+        bound_ok = bound_ok and within
+        # Isolation: losses must land on best-effort only.
+        gold_clean = gold["tail_drops"] == 0 and gold["red_drops"] == 0
+        bound_ok = bound_ok and gold_clean
+        rows.append([
+            f"{load:g}",
+            f"{gold['goodput_gbps']:.2f}",
+            f"{gold_p999:.1f}",
+            "ok" if within and gold_clean else "VIOLATED",
+            f"{bulk['goodput_gbps']:.2f}",
+            f"{bulk['oneway']['p999_us']:.1f}",
+            str(bulk["tail_drops"]),
+            str(bulk["red_drops"]),
+            f"{bulk['pause_events']}/{bulk['resume_events']}",
+        ])
+
+    if args.json_out:
+        import json
+
+        payload = {
+            "scheduler": args.scheduler,
+            "seed": args.seed,
+            "p999_bound_us": args.p999_bound_us,
+            "bound_ok": bound_ok,
+            "arms": [
+                {"best_effort_load": load, "result": result.to_dict()}
+                for load, result in arms
+            ],
+        }
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        if args.json_out == "-":
+            print(text)
+        else:
+            with open(args.json_out, "w") as handle:
+                handle.write(text + "\n")
+            print(f"results written to {args.json_out}", file=sys.stderr)
+    else:
+        knobs = []
+        if args.red:
+            knobs.append("RED")
+        if args.pause:
+            knobs.append("PFC pause")
+        print(format_table(
+            ["BE load", "gold Gb/s", "gold p999 us",
+             f"bound {args.p999_bound_us:g}us",
+             "BE Gb/s", "BE p999 us", "BE tail", "BE red", "BE xoff/xon"],
+            rows,
+            title=f"mixed-criticality isolation, {args.scheduler} scheduler"
+                  + (f" + {' + '.join(knobs)}" if knobs else "")
+                  + f", guaranteed load {args.guaranteed_load:g}, "
+                    f"seed {args.seed}",
+        ))
+    if not bound_ok:
+        print("qos: guaranteed-class isolation VIOLATED", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_rss(args) -> int:
     """The paper-vs-modern host-interface ablation (ISSUE 8 tentpole).
 
@@ -1294,6 +1466,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "faults": _cmd_faults,
     "fabric": _cmd_fabric,
+    "qos": _cmd_qos,
     "rss": _cmd_rss,
     "report": _cmd_report,
     "check": _cmd_check,

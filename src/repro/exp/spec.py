@@ -51,11 +51,27 @@ def describe(value: Any) -> Any:
     * floats are rendered via ``repr`` so the hash is exact, not
       subject to formatting;
     * mappings / sequences recurse.
+
+    A dataclass may name fields in a ``DESCRIBE_OMIT_DEFAULTS`` class
+    attribute: those fields are *omitted* from the description while
+    they hold their declared default.  This is how a frozen spec grows
+    a new optional knob (``FabricSpec.qos``, flow ``qos_class`` tags)
+    without flipping the hash — and therefore the cache key and golden
+    digest — of every spec that does not use it, the same contract
+    :meth:`RunSpec.key_inputs` applies to its own optional fields.
     """
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        omit_defaults = getattr(type(value), "DESCRIBE_OMIT_DEFAULTS", ())
         out: Dict[str, Any] = {"__type__": type(value).__name__}
         for f in dataclasses.fields(value):
-            out[f.name] = describe(getattr(value, f.name))
+            field_value = getattr(value, f.name)
+            if (
+                f.name in omit_defaults
+                and f.default is not dataclasses.MISSING
+                and field_value == f.default
+            ):
+                continue
+            out[f.name] = describe(field_value)
         return out
     if isinstance(value, enum.Enum):
         return {"__enum__": type(value).__name__, "value": describe(value.value)}

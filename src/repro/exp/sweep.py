@@ -205,6 +205,44 @@ class Sweep:
         return cls(name, specs)
 
     @classmethod
+    def qos_grid(
+        cls,
+        name: str,
+        base_fabric: FabricSpec,
+        loads: Sequence[float],
+        overload_flows: Sequence[str],
+        base_config: Optional[NicConfig] = None,
+        warmup_s: float = 0.2e-3,
+        measure_s: float = 0.5e-3,
+    ) -> "Sweep":
+        """Mixed-criticality isolation sweep: overload one lane only.
+
+        ``base_fabric`` must carry a :class:`~repro.qos.QosSpec`.  Each
+        point re-paces only the streams named in ``overload_flows``
+        (:meth:`FabricSpec.with_load` with its ``flows`` restriction) —
+        typically the best-effort lane — while every other flow holds
+        its provisioned load.  The interesting output is whether the
+        guaranteed class's tail latency moves as the best-effort load
+        crosses saturation (it must not; ``repro qos`` tabulates it).
+        """
+        if base_fabric.qos is None:
+            raise ValueError("qos_grid needs a fabric spec with a qos config")
+        base = base_config if base_config is not None else NicConfig()
+        specs = [
+            RunSpec(
+                config=base,
+                warmup_s=warmup_s,
+                measure_s=measure_s,
+                label=f"overload={load:g}",
+                fabric_spec=base_fabric.with_load(
+                    float(load), flows=overload_flows
+                ),
+            )
+            for load in loads
+        ]
+        return cls(name, specs)
+
+    @classmethod
     def rss_grid(
         cls,
         name: str,
@@ -290,6 +328,20 @@ class Sweep:
         return row
 
     @staticmethod
+    def _qos_columns(result) -> Dict[str, object]:
+        """Per-class columns for sweeps containing QoS fabric points."""
+        row: Dict[str, object] = {}
+        report = getattr(result, "qos", None) or {"classes": {}}
+        for class_name, entry in report["classes"].items():
+            prefix = f"qos_{class_name}"
+            row[f"{prefix}_goodput_gbps"] = entry["goodput_gbps"]
+            row[f"{prefix}_p999_us"] = entry["oneway"]["p999_us"]
+            row[f"{prefix}_tail_drops"] = entry["tail_drops"]
+            row[f"{prefix}_red_drops"] = entry["red_drops"]
+            row[f"{prefix}_pauses"] = entry["pause_events"]
+        return row
+
+    @staticmethod
     def rows(outcome: SweepOutcome) -> List[Dict[str, object]]:
         """Flatten an outcome into records for JSON/CSV export."""
         rows: List[Dict[str, object]] = []
@@ -297,6 +349,12 @@ class Sweep:
         # RSS columns only materialize for sweeps carrying an RssSpec
         # somewhere, so legacy exports keep their exact schema.
         rss_sweep = any(spec.rss is not None for spec in outcome.specs)
+        # Same contract for QoS columns: only sweeps with a QoS fabric
+        # point somewhere grow the per-class columns.
+        qos_sweep = any(
+            spec.fabric_spec is not None and spec.fabric_spec.qos is not None
+            for spec in outcome.specs
+        )
         for spec, result, key, cached in zip(
             outcome.specs, outcome.results, outcome.keys, outcome.cached_flags
         ):
@@ -330,6 +388,8 @@ class Sweep:
                 }
                 if rss_sweep:
                     row.update(Sweep._rss_columns(spec, result))
+                if qos_sweep:
+                    row.update(Sweep._qos_columns(result))
                 rows.append(row)
                 continue
             row: Dict[str, object] = {

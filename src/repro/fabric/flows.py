@@ -50,6 +50,11 @@ class FabricFrame:
     created_ps: int               # posted at the source host
     rtt_start_ps: int = 0         # original request post time (RPC)
     retransmits: int = 0
+    #: DSCP-style traffic-class tag stamped by the posting flow when
+    #: the fabric carries a :class:`~repro.qos.QosSpec` ("" = untagged;
+    #: the legacy wire never reads these).
+    qos_class: str = ""
+    dscp: int = 0
     frame_bytes: int = field(init=False)
 
     def __post_init__(self) -> None:
@@ -175,6 +180,10 @@ class FlowRuntime:
         self.oneway_histogram = fabric.stats.histogram(
             f"flow.{name}.oneway_us", LATENCY_BUCKETS_US
         )
+        # (class name, dscp) stamped on every posted frame; assigned by
+        # the fabric's QosRuntime after construction, None when the
+        # fabric has no QoS config.
+        self._qos_tag = None
 
     # -- window support -------------------------------------------------
     def window_snapshot(self) -> Dict[str, int]:
@@ -222,6 +231,9 @@ class FlowRuntime:
 
     # -- posting helper -------------------------------------------------
     def _post(self, frame: FabricFrame) -> None:
+        tag = self._qos_tag
+        if tag is not None:
+            frame.qos_class, frame.dscp = tag
         self.posted += 1
         self.fabric.endpoints[frame.src].post_tx(frame)
 
@@ -352,6 +364,12 @@ class StreamFlowRuntime(FlowRuntime):
         )
         self._seq = 0
         self._emit_ps = 0.0
+        # PFC-style backpressure state: while paused the pacer defers
+        # its batch instead of posting (open-loop pacing is the only
+        # thing XOFF can stop; closed-loop RPC self-limits).
+        self._paused = False
+        self._deferred = False
+        self.pause_count = 0
         # Fast path: the open-loop pacer is a textbook self-rescheduling
         # chain, so it runs on a heap-free ticket-faithful timer when
         # the fabric's batched mode is on (byte-identical ordering; see
@@ -364,7 +382,36 @@ class StreamFlowRuntime(FlowRuntime):
     def start(self) -> None:
         self._post_batch()
 
+    # -- PFC-style pause/backpressure -----------------------------------
+    def qos_pause(self, now_ps: int) -> None:
+        """Switch XOFF reached this stream's class: stop emitting."""
+        if not self._paused:
+            self._paused = True
+            self.pause_count += 1
+
+    def qos_resume(self, now_ps: int) -> None:
+        """Switch XON: resume pacing.  The emission clock is clamped
+        forward to *now* so the pacer does not burst to catch up on the
+        paused interval (paused load is shed, not deferred-and-bursted
+        — the PFC behavior the isolation ablation depends on)."""
+        if not self._paused:
+            return
+        self._paused = False
+        if self._deferred:
+            self._deferred = False
+            if self._emit_ps < now_ps:
+                self._emit_ps = float(now_ps)
+            when = round(self._emit_ps)
+            if self._timer is not None:
+                self._timer.arm(when)
+            else:
+                self.fabric.sim.schedule_at(when, self._post_batch)
+
     def _post_batch(self) -> None:
+        if self._paused:
+            # Batch deferred until XON; qos_resume re-arms the chain.
+            self._deferred = True
+            return
         timing = self.fabric.timing
         fraction = self.spec.offered_fraction
         for _ in range(self.spec.post_batch):

@@ -37,6 +37,7 @@ from repro.net.ethernet import EthernetTiming
 from repro.nic.config import NicConfig
 from repro.nic.throughput import ThroughputResult
 from repro.obs import NULL_TRACER, PrefixedTracer
+from repro.qos.runtime import QosRuntime
 from repro.sim.kernel import Simulator
 from repro.sim.stats import StatRegistry
 from repro.units import ps_to_seconds
@@ -90,6 +91,10 @@ class FabricResult:
     switch_drops: int
     mac_drops: int
     fault_counters: Dict[str, float] = field(default_factory=dict)
+    #: Per-traffic-class report (scheduler, per-class goodput/latency/
+    #: drop/pause counters) — ``None`` (and absent from :meth:`to_dict`)
+    #: unless the spec carries a QoS config.
+    qos: Optional[Dict[str, object]] = None
 
     @property
     def primary_flow(self) -> FlowResult:
@@ -102,7 +107,7 @@ class FabricResult:
     def to_dict(self) -> Dict[str, object]:
         from repro.exp.spec import describe
 
-        return {
+        out: Dict[str, object] = {
             "spec": describe(self.spec),
             "measure_seconds": self.measure_seconds,
             "flows": {name: f.to_dict() for name, f in self.flows.items()},
@@ -113,6 +118,11 @@ class FabricResult:
             "fault_counters": dict(self.fault_counters),
             "nics": [self._nic_dict(nic) for nic in self.nics],
         }
+        # QoS runs carry the per-class report; legacy JSON stays
+        # byte-identical.
+        if self.qos is not None:
+            out["qos"] = self.qos
+        return out
 
     @staticmethod
     def _nic_dict(nic: ThroughputResult) -> Dict[str, object]:
@@ -198,6 +208,12 @@ class FabricSimulator:
             )
         self.wire = FabricWire(self, spec)
         self.flows: Dict[str, FlowRuntime] = build_runtimes(self)
+        #: Per-class accounting + PFC pause routing (``None`` without a
+        #: QoS config; constructing it also stamps every flow's
+        #: ``_qos_tag`` so posted frames carry their class).
+        self.qos_runtime: Optional[QosRuntime] = (
+            QosRuntime(self) if spec.qos is not None else None
+        )
         self.mac_drops = 0
         self._started = False
 
@@ -206,6 +222,16 @@ class FabricSimulator:
     # ------------------------------------------------------------------
     def frame_delivered(self, frame: FabricFrame, now_ps: int) -> None:
         self.flows[frame.flow].on_delivered(frame, now_ps)
+        if self.qos_runtime is not None:
+            self.qos_runtime.on_delivered(frame, now_ps)
+
+    def qos_pause(self, port: int, cls: int, now_ps: int) -> None:
+        """Wire XOFF: the class queue on ``port`` crossed its watermark."""
+        self.qos_runtime.pause(port, cls, now_ps)
+
+    def qos_resume(self, port: int, cls: int, now_ps: int) -> None:
+        """Wire XON: the class queue drained to its resume watermark."""
+        self.qos_runtime.resume(port, cls, now_ps)
 
     def frame_lost(self, frame: FabricFrame, now_ps: int, reason: str) -> None:
         if reason == "mac_overrun":
@@ -245,12 +271,18 @@ class FabricSimulator:
         nic_snaps = [endpoint._snapshot() for endpoint in self.endpoints]
         flow_snaps = {name: flow.window_snapshot() for name, flow in self.flows.items()}
         wire_snap = self.wire.window_snapshot()
+        qos_snap = (
+            self.qos_runtime.window_snapshot()
+            if self.qos_runtime is not None else None
+        )
         # Measured-window registry semantics: histograms restart so the
         # percentile snapshots (and the metrics sampler) exclude cold
         # warm-up samples.
         self.stats.reset_window(self.sim.now_ps, histograms=True)
         self.sim.run(until_ps=warmup_ps + measure_ps)
-        return self._build_result(nic_snaps, flow_snaps, wire_snap, measure_ps)
+        return self._build_result(
+            nic_snaps, flow_snaps, wire_snap, measure_ps, qos_snap
+        )
 
     # ------------------------------------------------------------------
     def _build_result(
@@ -259,6 +291,7 @@ class FabricSimulator:
         flow_snaps: Dict[str, Dict[str, int]],
         wire_snap: Dict[str, int],
         measure_ps: int,
+        qos_snap: Optional[Dict[str, object]] = None,
     ) -> FabricResult:
         measure_seconds = ps_to_seconds(measure_ps)
         flow_results: Dict[str, FlowResult] = {}
@@ -301,4 +334,9 @@ class FabricSimulator:
                 for endpoint, snap in zip(self.endpoints, nic_snaps)
             ),
             fault_counters=fault_counters,
+            qos=(
+                self.qos_runtime.build_result(qos_snap, measure_ps)
+                if self.qos_runtime is not None and qos_snap is not None
+                else None
+            ),
         )

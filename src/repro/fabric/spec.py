@@ -28,9 +28,10 @@ cannot express:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.net.ethernet import MAX_UDP_PAYLOAD_BYTES, MIN_UDP_PAYLOAD_BYTES
+from repro.qos.spec import QosSpec
 
 
 def _check_payload(value: int, what: str) -> None:
@@ -61,6 +62,13 @@ class RpcFlowSpec:
     think_ps: int = 0
     retry_delay_ps: int = 2_000_000  # 2 us
     name: str = ""
+    #: Traffic-class assignment when the fabric carries a ``qos``
+    #: config ("" = the spec's default class).  Omitted from
+    #: :func:`~repro.exp.spec.describe` at its default so untagged
+    #: flows hash exactly as before the QoS layer existed.
+    qos_class: str = ""
+
+    DESCRIBE_OMIT_DEFAULTS = ("qos_class",)
 
     def __post_init__(self) -> None:
         _check_payload(self.request_payload_bytes, "request payload")
@@ -90,6 +98,10 @@ class StreamFlowSpec:
     imix: bool = False
     post_batch: int = 8
     name: str = ""
+    #: Traffic-class assignment (see :class:`RpcFlowSpec.qos_class`).
+    qos_class: str = ""
+
+    DESCRIBE_OMIT_DEFAULTS = ("qos_class",)
 
     def __post_init__(self) -> None:
         _check_payload(self.udp_payload_bytes, "stream payload")
@@ -125,6 +137,13 @@ class FabricSpec:
     rpc_flows: Tuple[RpcFlowSpec, ...] = ()
     stream_flows: Tuple[StreamFlowSpec, ...] = ()
     seed: int = 0
+    #: Per-class queue management on the switch ports
+    #: (:class:`~repro.qos.QosSpec`); ``None`` keeps the single
+    #: FIFO + tail-drop ports — and every legacy cache key and golden
+    #: digest — byte-identical.
+    qos: Optional[QosSpec] = None
+
+    DESCRIBE_OMIT_DEFAULTS = ("qos",)
 
     def __post_init__(self) -> None:
         if self.nics < 1:
@@ -141,6 +160,28 @@ class FabricSpec:
         for flow in self.stream_flows:
             for endpoint in (flow.src, flow.dst):
                 self._check_endpoint(endpoint, flow)
+        self._check_qos()
+
+    def _check_qos(self) -> None:
+        if self.qos is None:
+            for flow in self.rpc_flows + self.stream_flows:
+                if flow.qos_class:
+                    raise ValueError(
+                        f"flow {flow.name or flow!r} assigns qos_class "
+                        f"{flow.qos_class!r} but the fabric has no qos config"
+                    )
+            return
+        if not self.switch:
+            raise ValueError(
+                "qos schedules switch output ports; set switch=True"
+            )
+        names = set(self.qos.class_names())
+        for flow in self.rpc_flows + self.stream_flows:
+            if flow.qos_class and flow.qos_class not in names:
+                raise ValueError(
+                    f"flow {flow.name or flow!r} assigns unknown qos_class "
+                    f"{flow.qos_class!r} (have {sorted(names)})"
+                )
 
     def _check_endpoint(self, index: int, flow: object) -> None:
         if not 0 <= index < self.nics:
@@ -161,15 +202,37 @@ class FabricSpec:
             raise ValueError(f"flow names must be unique, got {names}")
         return tuple(names)
 
-    def with_load(self, offered_fraction: float) -> "FabricSpec":
-        """This fabric with every stream flow's offered load replaced —
+    def with_load(
+        self,
+        offered_fraction: float,
+        flows: Optional[Sequence[str]] = None,
+    ) -> "FabricSpec":
+        """This fabric with stream flows' offered load replaced —
         the x-axis move of a load-vs-latency sweep
-        (:meth:`repro.exp.sweep.Sweep.fabric_grid`)."""
+        (:meth:`repro.exp.sweep.Sweep.fabric_grid`).  ``flows``
+        restricts the move to the named streams (resolved names, see
+        :meth:`flow_names`), which is how
+        :meth:`~repro.exp.sweep.Sweep.qos_grid` overloads only the
+        best-effort lane while the guaranteed lane holds its load."""
+        selected = None if flows is None else set(flows)
+        if selected is not None:
+            known = {
+                flow.name or f"stream{index}"
+                for index, flow in enumerate(self.stream_flows)
+            }
+            unknown = selected - known
+            if unknown:
+                raise ValueError(
+                    f"with_load names unknown stream flows {sorted(unknown)} "
+                    f"(have {sorted(known)})"
+                )
         return replace(
             self,
             stream_flows=tuple(
                 replace(flow, offered_fraction=float(offered_fraction))
-                for flow in self.stream_flows
+                if selected is None or (flow.name or f"stream{index}") in selected
+                else flow
+                for index, flow in enumerate(self.stream_flows)
             ),
         )
 

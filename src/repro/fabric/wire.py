@@ -17,17 +17,30 @@ identically configured runs are byte-identical):
   *tail-dropped*, counted in :attr:`drops` and (when the destination
   NIC carries a fault injector) the ``switch_tail_drops`` fault
   counter, and reported to its flow as a loss.
+
+With a :class:`~repro.qos.QosSpec` on the spec the switched ports grow
+per-traffic-class queues (:class:`_QosPort`): arrivals are classified
+by the DSCP-style tag their flow stamped on the frame, admitted
+against the *class* queue capacity (tail-drop) and its optional RED
+AQM (keyed, replayable drop decisions — see :mod:`repro.qos.red`),
+and drained one frame per serialization slot by the port's pluggable
+scheduler (strict priority / DRR / WRR, :mod:`repro.qos.sched`).
+Crossing a class's XOFF watermark pauses the transmitting stream
+pacers of that class PFC-style; draining to XON resumes them.  The
+legacy single-FIFO arithmetic is untouched when ``qos is None``.
 """
 
 from __future__ import annotations
 
-from typing import Deque, Dict, List
+from typing import Deque, Dict, List, Optional
 from collections import deque
 
 from repro.assists.mac import WireEvent
 from repro.check.monitor import NULL_MONITOR
 from repro.fabric.flows import FabricFrame
 from repro.fabric.spec import FabricSpec
+from repro.qos.red import red_decide, red_drop_probability
+from repro.qos.sched import Scheduler, make_scheduler
 
 
 class _SwitchPort:
@@ -48,6 +61,55 @@ class _SwitchPort:
         return len(departures)
 
 
+class _QueuedFrame:
+    """One frame parked in a class queue awaiting its serialization slot."""
+
+    __slots__ = ("frame", "frame_bytes", "span_start_ps")
+
+    def __init__(self, frame: FabricFrame, span_start_ps: int) -> None:
+        self.frame = frame
+        self.frame_bytes = frame.frame_bytes
+        self.span_start_ps = span_start_ps
+
+
+class _QosPort:
+    """Per-class queues + scheduler replacing one port's single FIFO.
+
+    Unlike :class:`_SwitchPort` (whose analytic arithmetic resolves a
+    frame's full port transit at transmit time), a QoS port is served
+    event-by-event: the scheduler's pick for a serialization slot
+    depends on which classes are backlogged *at that instant*, so the
+    port runs a service chain — one event per frame at its
+    serialization end — and ``busy`` marks a chain in flight.
+    """
+
+    __slots__ = (
+        "index", "scheduler", "queues", "paused", "busy", "free_ps",
+        "enqueued", "forwarded", "tail_drops", "red_drops",
+        "pause_events", "resume_events", "red_index",
+    )
+
+    def __init__(self, index: int, scheduler: Scheduler, classes: int) -> None:
+        self.index = index
+        self.scheduler = scheduler
+        self.queues: List[Deque[_QueuedFrame]] = [deque() for _ in range(classes)]
+        self.paused: List[bool] = [False] * classes
+        self.busy = False
+        self.free_ps = 0
+        self.enqueued = [0] * classes
+        self.forwarded = [0] * classes
+        self.tail_drops = [0] * classes
+        self.red_drops = [0] * classes
+        self.pause_events = [0] * classes
+        self.resume_events = [0] * classes
+        # Per-class RED decision indices: each (port, class) is an
+        # independent keyed decision stream (repro.qos.red).
+        self.red_index = [0] * classes
+
+    def backlog(self) -> int:
+        return sum(len(queue) for queue in self.queues)
+
+
 class FabricWire:
     """Connects :class:`~repro.fabric.endpoint.NicEndpoint` instances."""
 
@@ -59,6 +121,20 @@ class FabricWire:
         self._ports: List[_SwitchPort] = [_SwitchPort() for _ in range(spec.nics)]
         #: Invariant monitor (null by default; see ``repro.check``).
         self.monitor = NULL_MONITOR
+        #: Per-class queue management (``None`` = legacy single FIFO).
+        self.qos = spec.qos
+        self._qos_ports: List[_QosPort] = []
+        self._class_index: Dict[str, int] = {}
+        if self.qos is not None:
+            classes = len(self.qos.classes)
+            # One independent scheduler instance per output port.
+            self._qos_ports = [
+                _QosPort(index, make_scheduler(self.qos), classes)
+                for index in range(spec.nics)
+            ]
+            self._class_index = {
+                tc.name: index for index, tc in enumerate(self.qos.classes)
+            }
 
     # ------------------------------------------------------------------
     def transmit(self, src: int, frame: FabricFrame, wire: WireEvent) -> None:
@@ -100,6 +176,9 @@ class FabricWire:
 
     # -- store-and-forward switch ---------------------------------------
     def _transmit_switched(self, src: int, frame: FabricFrame, wire: WireEvent) -> None:
+        if self.qos is not None:
+            self._transmit_qos(frame, wire)
+            return
         spec = self.spec
         # Full frame at the switch, then the forwarding decision.
         ready_ps = wire.wire_end_ps + spec.propagation_delay_ps + spec.switch_latency_ps
@@ -135,6 +214,153 @@ class FabricWire:
         # the switch port: first bit at out_start + propagation.
         self._deliver(frame, out_start + spec.propagation_delay_ps, wire.wire_start_ps)
 
+    # -- per-class (QoS) switch ports -----------------------------------
+    def _transmit_qos(self, frame: FabricFrame, wire: WireEvent) -> None:
+        spec = self.spec
+        ready_ps = wire.wire_end_ps + spec.propagation_delay_ps + spec.switch_latency_ps
+        span_start_ps = wire.wire_start_ps
+        if self.monitor.enabled:
+            self.monitor.qos_injected(
+                self, frame.dst, self._class_index[frame.qos_class]
+            )
+
+        # Admission and scheduling depend on queue state *at arrival*,
+        # so the decision runs as its own event (the kernel orders
+        # same-instant arrivals by schedule ticket — deterministic, and
+        # identical on the --fast path).
+        def arrive(frame=frame, ready_ps=ready_ps,
+                   span_start_ps=span_start_ps) -> None:
+            self._qos_arrive(frame, ready_ps, span_start_ps)
+
+        self.fabric.sim.schedule_at(ready_ps, arrive)
+
+    def _qos_arrive(self, frame: FabricFrame, now_ps: int,
+                    span_start_ps: int) -> None:
+        qos = self.qos
+        port = self._qos_ports[frame.dst]
+        cls = self._class_index[frame.qos_class]
+        tc = qos.classes[cls]
+        queue = port.queues[cls]
+        occupancy = len(queue)
+        if occupancy >= tc.queue_frames:
+            self._qos_drop(port, cls, frame, now_ps, "switch_tail_drop")
+            return
+        if tc.red is not None:
+            probability = red_drop_probability(occupancy, tc.red)
+            if probability > 0.0:
+                index = port.red_index[cls]
+                port.red_index[cls] = index + 1
+                if red_decide(qos.seed, port.index, tc.name, index, probability):
+                    self._qos_drop(port, cls, frame, now_ps, "switch_red_drop")
+                    return
+        queue.append(_QueuedFrame(frame, span_start_ps))
+        port.enqueued[cls] += 1
+        if self.monitor.enabled:
+            self.monitor.qos_enqueued(self, port.index, cls, len(queue))
+        # PFC-style XOFF: crossing the watermark pauses this class's
+        # transmitting stream pacers (zero-delay control message —
+        # docs/qos.md documents the simplification).
+        if (tc.pause_xoff_frames and not port.paused[cls]
+                and len(queue) >= tc.pause_xoff_frames):
+            port.paused[cls] = True
+            port.pause_events[cls] += 1
+            if self.monitor.enabled:
+                self.monitor.qos_pause(self, port.index, cls, True)
+            self.fabric.qos_pause(port.index, cls, now_ps)
+        if not port.busy:
+            port.busy = True
+            self._qos_service(port)
+
+    def _qos_drop(self, port: _QosPort, cls: int, frame: FabricFrame,
+                  now_ps: int, reason: str) -> None:
+        self.drops += 1
+        if reason == "switch_tail_drop":
+            port.tail_drops[cls] += 1
+        else:
+            port.red_drops[cls] += 1
+        if self.monitor.enabled:
+            self.monitor.qos_dropped(
+                self, port.index, cls,
+                "tail" if reason == "switch_tail_drop" else "red",
+            )
+            self.monitor.wire_dropped(self, frame.dst)
+        fabric = self.fabric
+        destination = fabric.endpoints[frame.dst]
+        if reason == "switch_tail_drop" and destination.faults is not None:
+            destination.faults.note_switch_drop(now_ps, port=frame.dst)
+        elif fabric.tracer.enabled:
+            fabric.tracer.instant(
+                "fabric", reason, now_ps, dst=frame.dst, flow=frame.flow,
+            )
+        fabric.frame_lost(frame, now_ps, reason)
+
+    def _qos_service(self, port: _QosPort) -> None:
+        """Serve one serialization slot: the scheduler picks a class,
+        the port serializes its head frame, and the chain re-arms at
+        the frame's serialization end.  ``port.busy`` is True exactly
+        while a chain is in flight, so arrivals during service only
+        enqueue."""
+        sim = self.fabric.sim
+        now_ps = sim.now_ps
+        cls = port.scheduler.select(port.queues)
+        if cls is None:
+            if self.monitor.enabled:
+                # Work conservation: a scheduler may only go idle
+                # against an empty backlog.
+                self.monitor.qos_port_idle(self, port.index, port.backlog())
+            port.busy = False
+            return
+        queue = port.queues[cls]
+        entry = queue.popleft()
+        out_start = now_ps if now_ps >= port.free_ps else port.free_ps
+        out_end = out_start + self.fabric.timing.frame_time_ps(entry.frame_bytes)
+        if self.monitor.enabled:
+            self.monitor.qos_forwarded(self, port.index, cls, len(queue))
+            self.monitor.wire_port_departure(
+                self, port.index, out_start, out_end, port.free_ps
+            )
+        port.free_ps = out_end
+        port.forwarded[cls] += 1
+        # PFC-style XON: drained to the low watermark — resume pacers.
+        tc = self.qos.classes[cls]
+        if port.paused[cls] and len(queue) <= tc.pause_xon_frames:
+            port.paused[cls] = False
+            port.resume_events[cls] += 1
+            if self.monitor.enabled:
+                self.monitor.qos_pause(self, port.index, cls, False)
+            self.fabric.qos_resume(port.index, cls, now_ps)
+        self._deliver(
+            entry.frame,
+            out_start + self.spec.propagation_delay_ps,
+            entry.span_start_ps,
+        )
+
+        def serve_next(port=port) -> None:
+            self._qos_service(port)
+
+        sim.schedule_at(out_end, serve_next)
+
     # ------------------------------------------------------------------
     def window_snapshot(self) -> Dict[str, int]:
         return {"forwarded": self.forwarded, "drops": self.drops}
+
+    def qos_window_snapshot(self) -> Optional[Dict[str, List[int]]]:
+        """Cumulative per-class counters summed across ports (``None``
+        without a QoS config); the measured window reports deltas."""
+        if self.qos is None:
+            return None
+        classes = len(self.qos.classes)
+        totals = {
+            key: [0] * classes
+            for key in ("enqueued", "forwarded", "tail_drops", "red_drops",
+                        "pause_events", "resume_events")
+        }
+        for port in self._qos_ports:
+            for cls in range(classes):
+                totals["enqueued"][cls] += port.enqueued[cls]
+                totals["forwarded"][cls] += port.forwarded[cls]
+                totals["tail_drops"][cls] += port.tail_drops[cls]
+                totals["red_drops"][cls] += port.red_drops[cls]
+                totals["pause_events"][cls] += port.pause_events[cls]
+                totals["resume_events"][cls] += port.resume_events[cls]
+        return totals

@@ -67,6 +67,7 @@ QUICK_BENCHES = (
     "bench_check_overhead",
     "bench_fabric_overhead",
     "bench_streaming_hist",
+    "bench_qos_isolation",
 )
 
 

@@ -1,0 +1,41 @@
+"""Per-class queue management for the fabric switch (ROADMAP item 4).
+
+Grounded in "Queue Management in Network Processors" (Papaefstathiou
+et al., PAPERS.md) and the mixed-criticality guaranteed-vs-best-effort
+lanes of Liang et al.'s gigabit controller: the fabric switch grows
+from one finite FIFO per output port into per-traffic-class queues
+drained by a pluggable scheduler, with RED active queue management and
+PFC-style per-class pause/backpressure to the transmitting NIC pacers.
+
+Everything is driven by a frozen, content-hashable :class:`QosSpec`
+riding on :class:`~repro.fabric.spec.FabricSpec` the same way
+``fault_plan``/``rss`` ride on :class:`~repro.exp.spec.RunSpec`:
+absent config keeps every legacy cache key and golden digest
+byte-identical.  See ``docs/qos.md``.
+"""
+
+from repro.qos.red import RedSpec, red_decide, red_drop_probability
+from repro.qos.sched import (
+    SCHEDULERS,
+    DrrScheduler,
+    Scheduler,
+    StrictPriorityScheduler,
+    WrrScheduler,
+    make_scheduler,
+)
+from repro.qos.spec import DRR_QUANTUM_BYTES, QosSpec, TrafficClassSpec
+
+__all__ = [
+    "DRR_QUANTUM_BYTES",
+    "DrrScheduler",
+    "QosSpec",
+    "RedSpec",
+    "SCHEDULERS",
+    "Scheduler",
+    "StrictPriorityScheduler",
+    "TrafficClassSpec",
+    "WrrScheduler",
+    "make_scheduler",
+    "red_decide",
+    "red_drop_probability",
+]

@@ -1,0 +1,126 @@
+"""Live per-class QoS accounting and pause dispatch for a fabric run.
+
+One :class:`QosRuntime` rides inside a
+:class:`~repro.fabric.sim.FabricSimulator` when its spec carries a
+:class:`~repro.qos.spec.QosSpec`.  It resolves every flow's class
+assignment into the (class name, DSCP) tag the flow stamps on posted
+frames, keeps per-class delivery/latency statistics (streaming
+quantile sketches registered as ``qos.<class>.oneway_us``, or exact
+sample lists in the golden-corpus estimator mode), and routes the
+switch's PFC-style XOFF/XON notifications to the stream pacers of the
+paused class targeting the congested port.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.fabric.flows import (
+    LATENCY_SIGNIFICANT_DIGITS,
+    FabricFrame,
+    LatencySummary,
+    StreamFlowRuntime,
+)
+
+
+class QosRuntime:
+    """Per-class statistics + pause routing for one fabric run."""
+
+    def __init__(self, fabric) -> None:
+        qos = fabric.spec.qos
+        assert qos is not None
+        self.fabric = fabric
+        self.qos = qos
+        self.streaming = fabric.estimator == "streaming"
+        count = len(qos.classes)
+        self._index = {tc.name: index for index, tc in enumerate(qos.classes)}
+        self.delivered = [0] * count
+        self.delivered_payload_bytes = [0] * count
+        self.oneway_samples_us: List[List[float]] = [[] for _ in range(count)]
+        self.oneway_streams = [
+            fabric.stats.streaming_histogram(
+                f"qos.{tc.name}.oneway_us", LATENCY_SIGNIFICANT_DIGITS
+            )
+            if self.streaming
+            else None
+            for tc in qos.classes
+        ]
+        # (dst port, class index) -> stream pacers PFC pause can stop.
+        self._pacers: Dict[Tuple[int, int], List[StreamFlowRuntime]] = {}
+        for runtime in fabric.flows.values():
+            class_name = qos.resolve(runtime.spec.qos_class)
+            cls = self._index[class_name]
+            runtime._qos_tag = (class_name, qos.classes[cls].dscp)
+            if isinstance(runtime, StreamFlowRuntime):
+                self._pacers.setdefault(
+                    (runtime.spec.dst, cls), []
+                ).append(runtime)
+
+    # -- fabric callbacks -----------------------------------------------
+    def on_delivered(self, frame: FabricFrame, now_ps: int) -> None:
+        cls = self._index[frame.qos_class]
+        self.delivered[cls] += 1
+        self.delivered_payload_bytes[cls] += frame.udp_payload_bytes
+        oneway_us = (now_ps - frame.created_ps) / 1e6
+        if self.streaming:
+            self.oneway_streams[cls].record(oneway_us)
+        else:
+            self.oneway_samples_us[cls].append(oneway_us)
+
+    def pause(self, port: int, cls: int, now_ps: int) -> None:
+        for runtime in self._pacers.get((port, cls), ()):
+            runtime.qos_pause(now_ps)
+
+    def resume(self, port: int, cls: int, now_ps: int) -> None:
+        for runtime in self._pacers.get((port, cls), ()):
+            runtime.qos_resume(now_ps)
+
+    # -- measurement window ---------------------------------------------
+    def window_snapshot(self) -> Dict[str, object]:
+        return {
+            "delivered": list(self.delivered),
+            "delivered_payload_bytes": list(self.delivered_payload_bytes),
+            "oneway_index": [len(s) for s in self.oneway_samples_us],
+            "wire": self.fabric.wire.qos_window_snapshot(),
+        }
+
+    def _oneway_summary(self, cls: int, since_index: int) -> LatencySummary:
+        if self.streaming:
+            return LatencySummary.from_streaming(self.oneway_streams[cls])
+        return LatencySummary.from_samples_us(
+            self.oneway_samples_us[cls][since_index:]
+        )
+
+    def build_result(
+        self, snapshot: Dict[str, object], measure_ps: int
+    ) -> Dict[str, object]:
+        """Measured-window per-class report (``FabricResult.qos``)."""
+        measure_seconds = measure_ps / 1e12
+        wire_now = self.fabric.wire.qos_window_snapshot()
+        wire_then = snapshot["wire"]
+        classes: Dict[str, Dict[str, object]] = {}
+        for cls, tc in enumerate(self.qos.classes):
+            payload = (
+                self.delivered_payload_bytes[cls]
+                - snapshot["delivered_payload_bytes"][cls]
+            )
+            summary = self._oneway_summary(
+                cls, snapshot["oneway_index"][cls]
+            )
+            entry: Dict[str, object] = {
+                "dscp": tc.dscp,
+                "delivered": self.delivered[cls] - snapshot["delivered"][cls],
+                "delivered_payload_bytes": payload,
+                "goodput_gbps": payload * 8 / measure_seconds / 1e9,
+                "oneway": summary.to_dict(),
+            }
+            for key in ("enqueued", "forwarded", "tail_drops", "red_drops",
+                        "pause_events", "resume_events"):
+                entry[key] = wire_now[key][cls] - wire_then[key][cls]
+            if tc.p999_bound_us:
+                entry["p999_bound_us"] = tc.p999_bound_us
+            classes[tc.name] = entry
+        return {"scheduler": self.qos.scheduler, "classes": classes}
+
+
+__all__ = ["QosRuntime"]

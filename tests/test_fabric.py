@@ -160,6 +160,30 @@ class TestFabricSpec:
         with pytest.raises(ValueError):
             StreamFlowSpec(udp_payload_bytes=100_000)
 
+    def test_needs_at_least_one_nic(self):
+        with pytest.raises(ValueError, match="at least one NIC"):
+            FabricSpec(nics=0, stream_flows=(StreamFlowSpec(src=0, dst=0),))
+
+    def test_negative_delays_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FabricSpec(propagation_delay_ps=-1, rpc_flows=(RpcFlowSpec(),))
+        with pytest.raises(ValueError, match="non-negative"):
+            FabricSpec(switch_latency_ps=-1, rpc_flows=(RpcFlowSpec(),))
+
+    def test_port_queue_must_hold_a_frame(self):
+        with pytest.raises(ValueError, match="at least one frame"):
+            FabricSpec(port_queue_frames=0, rpc_flows=(RpcFlowSpec(),))
+
+    def test_bad_stream_post_batch(self):
+        with pytest.raises(ValueError, match="post_batch"):
+            StreamFlowSpec(post_batch=0)
+
+    def test_negative_rpc_delays(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            RpcFlowSpec(think_ps=-1)
+        with pytest.raises(ValueError, match="non-negative"):
+            RpcFlowSpec(retry_delay_ps=-1)
+
     def test_with_load_replaces_every_stream(self):
         spec = FabricSpec(
             nics=3,
@@ -269,6 +293,51 @@ class TestLoopbackConsistency:
         assert flow.lost == 0
         assert flow.goodput_gbps == pytest.approx(direct_gbps, rel=0.10)
         assert flow.oneway.count == flow.delivered
+
+
+# ----------------------------------------------------------------------
+# Switch port occupancy bookkeeping
+# ----------------------------------------------------------------------
+class TestSwitchPortOccupancy:
+    def test_occupancy_stays_exact_across_drain_and_refill(self):
+        """Regression: the head-popping ``occupancy`` must agree with a
+        naive recount of undeparted frames at every query, including
+        after the deque fully drains and refills (the wraparound where
+        a stale-head bug would over- or under-count)."""
+        from repro.fabric.wire import _SwitchPort
+
+        port = _SwitchPort()
+        shadow = []  # every departure ever appended, never popped
+
+        def occupancy_naive(now_ps):
+            return sum(1 for depart in shadow if depart > now_ps)
+
+        # Interleave appends and queries over three drain/refill cycles.
+        now = 0
+        for cycle in range(3):
+            for i in range(5):
+                depart = now + (i + 1) * 1_000
+                port.departures.append(depart)
+                shadow.append(depart)
+                assert port.occupancy(now) == occupancy_naive(now)
+            # Queries while partially drained...
+            for step in (1_500, 3_500, 4_999):
+                assert port.occupancy(now + step) == occupancy_naive(now + step)
+            # ... and after everything departed (deque empties).
+            now += 10_000
+            assert port.occupancy(now) == occupancy_naive(now) == 0
+            assert not port.departures
+
+    def test_occupancy_is_monotone_queries_safe(self):
+        """Two queries at the same instant agree (popping is idempotent
+        once the head has departed)."""
+        from repro.fabric.wire import _SwitchPort
+
+        port = _SwitchPort()
+        port.departures.extend([10, 20, 30])
+        assert port.occupancy(15) == 2
+        assert port.occupancy(15) == 2
+        assert port.occupancy(30) == 0
 
 
 # ----------------------------------------------------------------------
