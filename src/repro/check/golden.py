@@ -135,6 +135,39 @@ def _run_fabric_qos(fast: bool = False):
     )
 
 
+def _run_fabric_topology(fast: bool = False):
+    from repro.fabric import (
+        FabricSimulator,
+        FabricSpec,
+        StreamFlowSpec,
+        TopologySpec,
+    )
+
+    # Oversubscribed leaf-spine incast: two racks share one spine
+    # (2:1 oversubscription) and three sources converge on host 3, so
+    # the run exercises multi-hop store-and-forward, ECMP route draws,
+    # per-link tail-drop, and the sharded flow table — all pinned to a
+    # byte-stable digest (the topology report rides the result dict).
+    topo = TopologySpec.leaf_spine(
+        racks=2, hosts_per_rack=2, spines=1, ecmp_seed=17
+    )
+    spec = FabricSpec(
+        nics=4,
+        switch=True,
+        seed=17,
+        topology=topo,
+        port_queue_frames=8,
+        stream_flows=(
+            StreamFlowSpec(src=0, dst=3, offered_fraction=0.5, name="in0"),
+            StreamFlowSpec(src=1, dst=3, offered_fraction=0.5, name="in1"),
+            StreamFlowSpec(src=2, dst=3, offered_fraction=0.4, name="in2"),
+        ),
+    )
+    return FabricSimulator(_config(), spec, estimator="exact", fast=fast).run(
+        WARMUP_S, MEASURE_S
+    )
+
+
 def golden_specs() -> Dict[str, Callable]:
     """Name → runner for every canonical run in the corpus.
 
@@ -150,6 +183,7 @@ def golden_specs() -> Dict[str, Callable]:
         "fabric-rpc": _run_fabric,
         "fabric-rpc-switched": _run_fabric_switched,
         "fabric-qos-switched": _run_fabric_qos,
+        "fabric-topology-incast": _run_fabric_topology,
     }
 
 

@@ -157,6 +157,23 @@ class NullInvariantMonitor:
     def qos_port_idle(self, wire: Any, port: int, backlog: int) -> None:
         pass
 
+    # -- composed topologies (multi-switch graph wire) ------------------
+    def topo_route(self, wire: Any, flow: str, src: int, dst: int,
+                   path: Any, hop_bound: int) -> None:
+        pass
+
+    def topo_transit(self, wire: Any, delta: int) -> None:
+        pass
+
+    def topo_link_entered(self, wire: Any, link: str) -> None:
+        pass
+
+    def topo_link_forwarded(self, wire: Any, link: str) -> None:
+        pass
+
+    def topo_link_dropped(self, wire: Any, link: str) -> None:
+        pass
+
     # -- reporting ------------------------------------------------------
     def report(self) -> Dict[str, int]:
         return {}
@@ -224,6 +241,10 @@ class InvariantMonitor(NullInvariantMonitor):
         # [enqueued, forwarded, tail drops, red drops] and pause state.
         self._qos_counts: Dict[Tuple[int, int, int], List[int]] = {}
         self._qos_paused: Dict[Tuple[int, int, int], bool] = {}
+        # Composed-topology shadows: per-(wire, link) [entered,
+        # forwarded, dropped] counters and resolved-route records.
+        self._topo_links: Dict[Tuple[int, str], List[int]] = {}
+        self._topo_routes: Dict[Tuple[int, str, int, int], Any] = {}
         # Multi-queue host rings: (host id, ring, direction) ->
         # [posted, completed] descriptor counts.
         self._ring_counts: Dict[Tuple[int, int, str], List[int]] = {}
@@ -730,6 +751,77 @@ class InvariantMonitor(NullInvariantMonitor):
             self._fail("qos.work_conserving",
                        "scheduler went idle against a non-empty backlog",
                        port=port, backlog=backlog)
+
+    # ------------------------------------------------------------------
+    # Composed topologies (multi-switch graph wire)
+    # ------------------------------------------------------------------
+    # A graph wire resolves frames hop by hop; ``topo_transit`` shadows
+    # the in-flight window between hops in the wire-level ``queued``
+    # slot so the global conservation identity (checked inside
+    # ``wire_forwarded``/``wire_dropped``) holds at every hook.
+    # Per-link shadows pin that no frame leaves an egress link it never
+    # entered, and every resolved route is checked loop-free and within
+    # the topology's shortest-path hop bound.
+    def topo_route(self, wire: Any, flow: str, src: int, dst: int,
+                   path: Any, hop_bound: int) -> None:
+        self._count("topo.route")
+        self._pin(wire)
+        if len(set(path)) != len(path):
+            self._fail("topo.route", "forwarding loop: route repeats a switch",
+                       flow=flow, src=src, dst=dst, path=tuple(path))
+        if len(path) > hop_bound:
+            self._fail("topo.route", "route exceeds the shortest-path hop bound",
+                       flow=flow, src=src, dst=dst, path=tuple(path),
+                       hop_bound=hop_bound)
+        key = (id(wire), flow, src, dst)
+        previous = self._topo_routes.get(key)
+        if previous is not None and previous != tuple(path):
+            self._fail("topo.route", "flow tuple re-resolved to a new route",
+                       flow=flow, src=src, dst=dst,
+                       previous=previous, path=tuple(path))
+        self._topo_routes[key] = tuple(path)
+
+    def topo_transit(self, wire: Any, delta: int) -> None:
+        self._count("topo.transit")
+        counts = self._wire(wire)
+        counts[3] += delta
+        if counts[3] < 0:
+            self._fail("topo.transit",
+                       "more frames left the fabric than entered it",
+                       queued=counts[3])
+
+    def _topo_link(self, wire: Any, link: str) -> List[int]:
+        key = (id(wire), link)
+        counts = self._topo_links.get(key)
+        if counts is None:
+            self._pin(wire)
+            counts = [0, 0, 0]
+            self._topo_links[key] = counts
+        return counts
+
+    def _check_topo_link(self, link: str, counts: List[int]) -> None:
+        entered, forwarded, dropped = counts
+        if forwarded + dropped > entered:
+            self._fail("topo.link",
+                       "link resolved more frames than entered it",
+                       link=link, entered=entered, forwarded=forwarded,
+                       dropped=dropped)
+
+    def topo_link_entered(self, wire: Any, link: str) -> None:
+        self._count("topo.link")
+        self._topo_link(wire, link)[0] += 1
+
+    def topo_link_forwarded(self, wire: Any, link: str) -> None:
+        self._count("topo.link")
+        counts = self._topo_link(wire, link)
+        counts[1] += 1
+        self._check_topo_link(link, counts)
+
+    def topo_link_dropped(self, wire: Any, link: str) -> None:
+        self._count("topo.link")
+        counts = self._topo_link(wire, link)
+        counts[2] += 1
+        self._check_topo_link(link, counts)
 
     # ------------------------------------------------------------------
     # Reporting

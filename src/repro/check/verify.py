@@ -238,6 +238,8 @@ def _verify_fabric(fabric: Any, checker: _Checker) -> None:
         )
     if wire.qos is not None:
         _verify_qos(wire, checker)
+    if getattr(wire, "topology", None) is not None:
+        _verify_topology(wire, checker)
     for index, endpoint in enumerate(fabric.endpoints):
         sub = _Checker(f"{checker.label}nic{index}.")
         _verify_throughput(endpoint, sub)
@@ -257,7 +259,7 @@ def _verify_qos(wire: Any, checker: _Checker) -> None:
     the deadlock the PFC layer must never produce.
     """
     qos = wire.qos
-    for port in wire._qos_ports:
+    for port in wire.qos_ports():
         for cls, tc in enumerate(qos.classes):
             label = f"qos.port{port.index}.{tc.name}"
             depth = len(port.queues[cls])
@@ -280,6 +282,28 @@ def _verify_qos(wire: Any, checker: _Checker) -> None:
                     f"paused with depth {depth} <= XON "
                     f"{tc.pause_xon_frames} (missed resume)",
                 )
+
+
+def _verify_topology(wire: Any, checker: _Checker) -> None:
+    """Per-link end-state identities of a composed topology.
+
+    Every frame that entered a link's output port was forwarded on,
+    dropped, or (QoS ports only) is still parked in a class queue.
+    Analytic tail-drop ports resolve each frame at its hop instant, so
+    they carry no residual state at all.
+    """
+    for key in sorted(wire.link_counts):
+        entered, forwarded, dropped = wire.link_counts[key]
+        if wire.qos is not None:
+            backlog = wire._topo_qos_port(key).backlog()
+        else:
+            backlog = 0
+        checker.equal(
+            f"topo.link.{key}.conservation",
+            entered,
+            forwarded + dropped + backlog,
+            "entered == forwarded + dropped + queued",
+        )
 
 
 def verify_conservation(

@@ -276,6 +276,63 @@ def _add_qos_parser(subparsers) -> None:
                              "stdout)")
 
 
+def _add_topology_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "topology",
+        help="datacenter-fabric ablations: leaf-spine oversubscription "
+             "incast + ECMP spreading (docs/fabric.md)",
+    )
+    # -- NIC configuration ------------------------------------------------
+    parser.add_argument("--cores", type=int, default=2)
+    parser.add_argument("--mhz", type=float, default=133)
+    # -- topology ---------------------------------------------------------
+    parser.add_argument("--racks", type=int, default=2)
+    parser.add_argument("--hosts-per-rack", type=int, default=4,
+                        help="default 4: three elephants + the mice flow "
+                             "share one uplink when --spines 1, so the "
+                             "oversubscription effect is visible")
+    parser.add_argument("--spines", type=int, nargs="+", default=[1, 4],
+                        metavar="N",
+                        help="spine counts to ablate; the ablation asserts "
+                             "that the most oversubscribed arm (fewest "
+                             "spines) shows the worst p999")
+    # -- traffic ----------------------------------------------------------
+    parser.add_argument("--load", type=float, default=0.5,
+                        help="offered fraction of each elephant stream "
+                             "(every host outside the victim's rack incasts "
+                             "one onto the victim)")
+    parser.add_argument("--mice-concurrency", type=int, default=2,
+                        help="closed-loop window of the cross-rack mice "
+                             "RPC flow whose RTT tail the ablation tracks")
+    # -- ECMP spreading check ---------------------------------------------
+    parser.add_argument("--ecmp-flows", type=int, default=512,
+                        help="flow tuples routed (router-level, no "
+                             "simulation) for the spreading check")
+    parser.add_argument("--spread-tolerance", type=float, default=0.25,
+                        help="max relative deviation of any spine's "
+                             "first-hop share from the uniform share")
+    # -- windows / determinism --------------------------------------------
+    parser.add_argument("--millis", type=float, default=0.3,
+                        help="measurement window in simulated milliseconds")
+    parser.add_argument("--warmup-millis", type=float, default=0.1)
+    parser.add_argument("--seed", type=int, default=17,
+                        help="keys the ECMP route draws (same seed => "
+                             "byte-identical runs)")
+    parser.add_argument(
+        "--fast", action=argparse.BooleanOptionalAction, default=False,
+        help="batched event-kernel fast path; results are byte-identical "
+             "to the reference path (--no-fast, the default)")
+    parser.add_argument("--estimator", choices=["streaming", "exact"],
+                        default="exact",
+                        help="latency percentile estimator (default exact: "
+                             "the ablation's JSON is byte-compared in CI)")
+    # -- output -----------------------------------------------------------
+    parser.add_argument("--json", type=str, default="", metavar="PATH",
+                        dest="json_out", nargs="?", const="-",
+                        help="emit all arms as JSON ('-' or no value = "
+                             "stdout)")
+
+
 def _add_rss_parser(subparsers) -> None:
     parser = subparsers.add_parser(
         "rss",
@@ -447,6 +504,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_faults_parser(subparsers)
     _add_fabric_parser(subparsers)
     _add_qos_parser(subparsers)
+    _add_topology_parser(subparsers)
     _add_rss_parser(subparsers)
     _add_report_parser(subparsers)
     _add_check_parser(subparsers)
@@ -1091,6 +1149,184 @@ def _cmd_qos(args) -> int:
     return 0
 
 
+def _cmd_topology(args) -> int:
+    """The composed-topology fabric ablations (ISSUE 10 tentpole).
+
+    Two experiments on one leaf-spine parameterization:
+
+    * **Oversubscription incast** — every host outside the last rack
+      streams an elephant onto that rack's last host while a cross-rack
+      closed-loop mice RPC flow measures its RTT tail, once per spine
+      count.  With one spine the leaf→spine tier is oversubscribed and
+      the mice p999 must inflate relative to the widest arm; the
+      ablation asserts it (and that drops do not *increase* with more
+      spines).
+    * **ECMP spreading** — the router (no simulation) resolves many
+      cross-rack flow tuples on the widest arm and asserts every
+      spine's first-hop share is within ``--spread-tolerance`` of the
+      uniform share.
+
+    Deterministic for a given ``--seed``; ``--fast`` is byte-identical.
+    """
+    from repro.analysis import format_table
+    from repro.fabric import (
+        FabricSimulator,
+        FabricSpec,
+        RpcFlowSpec,
+        StreamFlowSpec,
+        TopologyRouter,
+        TopologySpec,
+    )
+    from repro.nic import NicConfig
+
+    racks, per_rack = args.racks, args.hosts_per_rack
+    nics = racks * per_rack
+    if racks < 2 or per_rack < 1 or nics < 3:
+        print("topology: need >= 2 racks and >= 3 hosts", file=sys.stderr)
+        return 2
+    victim = nics - 1
+    mice_client = 0
+    elephants = tuple(
+        StreamFlowSpec(src=src, dst=victim, offered_fraction=args.load,
+                       name=f"ele{src}")
+        for src in range(nics - per_rack)  # every host outside the victim rack
+        if src != mice_client
+    )
+    config = NicConfig(cores=args.cores, core_frequency_hz=mhz(args.mhz))
+
+    arms = []
+    for spines in sorted(set(args.spines)):
+        topo = TopologySpec.leaf_spine(
+            racks=racks, hosts_per_rack=per_rack, spines=spines,
+            ecmp_seed=args.seed,
+        )
+        spec = FabricSpec(
+            nics=nics,
+            switch=True,
+            seed=args.seed,
+            topology=topo,
+            port_queue_frames=16,
+            rpc_flows=(
+                RpcFlowSpec(client=mice_client, server=victim,
+                            concurrency=args.mice_concurrency, name="mice"),
+            ),
+            stream_flows=elephants,
+        )
+        simulator = FabricSimulator(
+            config, spec, estimator=args.estimator, fast=args.fast
+        )
+        result = simulator.run(
+            warmup_s=args.warmup_millis * 1e-3, measure_s=args.millis * 1e-3
+        )
+        arms.append((spines, result))
+
+    ok = True
+    rows = []
+    p999_by_spines = {}
+    for spines, result in arms:
+        mice = result.flows["mice"]
+        topo_report = result.topology
+        drops = sum(
+            link["dropped"] for link in topo_report["per_link"].values()
+        )
+        p999 = mice.rtt.p999_us
+        p999_by_spines[spines] = (p999, drops)
+        rows.append([
+            str(spines),
+            f"{nics - per_rack - 1}x{args.load:g}",
+            f"{result.aggregate_goodput_gbps:.2f}",
+            f"{p999:.1f}",
+            str(drops),
+            str(topo_report["flow_table"]["flows"]),
+        ])
+    if len(p999_by_spines) > 1:
+        narrow = min(p999_by_spines)   # fewest spines: oversubscribed
+        wide = max(p999_by_spines)
+        if p999_by_spines[narrow][0] < p999_by_spines[wide][0]:
+            print(
+                f"topology: oversubscribed arm (spines={narrow}) shows "
+                f"p999 {p999_by_spines[narrow][0]:.1f}us < widest arm "
+                f"{p999_by_spines[wide][0]:.1f}us", file=sys.stderr,
+            )
+            ok = False
+        if p999_by_spines[narrow][1] < p999_by_spines[wide][1]:
+            print("topology: drops increased with added spines",
+                  file=sys.stderr)
+            ok = False
+
+    # ECMP spreading, router-level, on the widest arm.
+    spines = max(sorted(set(args.spines)))
+    spread_row = None
+    if spines > 1:
+        topo = TopologySpec.leaf_spine(
+            racks=racks, hosts_per_rack=per_rack, spines=spines,
+            ecmp_seed=args.seed,
+        )
+        router = TopologyRouter(topo)
+        counts = {f"spine{index}": 0 for index in range(spines)}
+        for index in range(args.ecmp_flows):
+            path = router.route(f"spread{index}", 0, victim)
+            counts[path[1]] += 1
+        uniform = args.ecmp_flows / spines
+        worst = max(abs(count - uniform) / uniform for count in counts.values())
+        spread_row = (counts, worst)
+        if worst > args.spread_tolerance:
+            print(
+                f"topology: ECMP spread deviates {worst:.3f} from uniform "
+                f"(tolerance {args.spread_tolerance:g})", file=sys.stderr,
+            )
+            ok = False
+
+    if args.json_out:
+        import json
+
+        payload = {
+            "racks": racks,
+            "hosts_per_rack": per_rack,
+            "seed": args.seed,
+            "load": args.load,
+            "ok": ok,
+            "arms": [
+                {"spines": spines, "result": result.to_dict()}
+                for spines, result in arms
+            ],
+        }
+        if spread_row is not None:
+            payload["ecmp_spread"] = {
+                "flows": args.ecmp_flows,
+                "tolerance": args.spread_tolerance,
+                "first_hop_counts": spread_row[0],
+                "worst_relative_deviation": spread_row[1],
+            }
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        if args.json_out == "-":
+            print(text)
+        else:
+            with open(args.json_out, "w") as handle:
+                handle.write(text + "\n")
+            print(f"results written to {args.json_out}", file=sys.stderr)
+    else:
+        print(format_table(
+            ["spines", "elephants", "agg Gb/s", "mice p999 us",
+             "link drops", "flows tracked"],
+            rows,
+            title=f"leaf-spine incast, {racks}x{per_rack} hosts, "
+                  f"victim h{victim}, seed {args.seed}",
+        ))
+        if spread_row is not None:
+            counts, worst = spread_row
+            shares = ", ".join(
+                f"{name}={count}" for name, count in sorted(counts.items())
+            )
+            print(f"ECMP first-hop spread over {args.ecmp_flows} flows: "
+                  f"{shares} (worst deviation {worst:.3f}, tolerance "
+                  f"{args.spread_tolerance:g})")
+    if not ok:
+        print("topology: ablation assertions VIOLATED", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_rss(args) -> int:
     """The paper-vs-modern host-interface ablation (ISSUE 8 tentpole).
 
@@ -1467,6 +1703,7 @@ _COMMANDS = {
     "faults": _cmd_faults,
     "fabric": _cmd_fabric,
     "qos": _cmd_qos,
+    "topology": _cmd_topology,
     "rss": _cmd_rss,
     "report": _cmd_report,
     "check": _cmd_check,

@@ -17,6 +17,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from repro.exp.runner import SweepOutcome, SweepRunner
 from repro.exp.spec import RunSpec, WorkloadSpec
 from repro.fabric.spec import FabricSpec
+from repro.fabric.topology import TopologySpec
 from repro.faults import FaultPlan
 from repro.firmware.ordering import OrderingMode
 from repro.host.rss import RssSpec
@@ -240,6 +241,51 @@ class Sweep:
             )
             for load in loads
         ]
+        return cls(name, specs)
+
+    @classmethod
+    def topology_grid(
+        cls,
+        name: str,
+        base_fabric: FabricSpec,
+        spine_counts: Sequence[int],
+        racks: int = 2,
+        hosts_per_rack: int = 2,
+        base_config: Optional[NicConfig] = None,
+        warmup_s: float = 0.2e-3,
+        measure_s: float = 0.5e-3,
+    ) -> "Sweep":
+        """Oversubscription sweep: same traffic, growing spine tier.
+
+        Each point replaces ``base_fabric``'s topology with a
+        ``racks x hosts_per_rack`` leaf-spine carrying that many spines
+        (ECMP seed and shard count carried over from the base topology
+        when it has one), so the curve isolates how the leaf→spine
+        oversubscription ratio moves tail latency and per-link drops
+        under identical offered traffic.  ``base_fabric.nics`` must be
+        ``racks * hosts_per_rack``; the spec's attachment validation
+        enforces it per point.
+        """
+        base = base_config if base_config is not None else NicConfig()
+        base_topo = base_fabric.topology
+        specs = []
+        for spines in spine_counts:
+            topo = TopologySpec.leaf_spine(
+                racks=racks,
+                hosts_per_rack=hosts_per_rack,
+                spines=spines,
+                ecmp_seed=base_topo.ecmp_seed if base_topo is not None else 0,
+                flow_shards=base_topo.flow_shards if base_topo is not None else 8,
+            )
+            specs.append(
+                RunSpec(
+                    config=base,
+                    warmup_s=warmup_s,
+                    measure_s=measure_s,
+                    label=f"spines={spines}",
+                    fabric_spec=replace(base_fabric, topology=topo),
+                )
+            )
         return cls(name, specs)
 
     @classmethod

@@ -31,8 +31,10 @@ from repro.fabric.flows import (
     LatencySummary,
     exact_percentile,
 )
+from repro.fabric.flowtable import FlowRecord, FlowTable
 from repro.fabric.sim import FabricResult, FabricSimulator, FlowResult
 from repro.fabric.spec import FabricSpec, RpcFlowSpec, StreamFlowSpec
+from repro.fabric.topology import TopologyRouter, TopologySpec, ecmp_hash
 from repro.fabric.wire import FabricWire
 
 __all__ = [
@@ -43,12 +45,17 @@ __all__ = [
     "FabricSimulator",
     "FabricSpec",
     "FabricWire",
+    "FlowRecord",
     "FlowResult",
+    "FlowTable",
     "LATENCY_SIGNIFICANT_DIGITS",
     "LatencySummary",
     "NicEndpoint",
     "RecordedSizeModel",
     "RpcFlowSpec",
     "StreamFlowSpec",
+    "TopologyRouter",
+    "TopologySpec",
+    "ecmp_hash",
     "exact_percentile",
 ]

@@ -29,6 +29,7 @@ from repro.fabric.flows import (
     RpcFlowRuntime,
     build_runtimes,
 )
+from repro.fabric.flowtable import FlowTable
 from repro.fabric.spec import FabricSpec
 from repro.fabric.wire import FabricWire
 from repro.faults import FaultPlan
@@ -95,6 +96,10 @@ class FabricResult:
     #: drop/pause counters) — ``None`` (and absent from :meth:`to_dict`)
     #: unless the spec carries a QoS config.
     qos: Optional[Dict[str, object]] = None
+    #: Composed-topology report (per-link counters, per-switch
+    #: forwarding, sharded flow-table summary) — ``None`` (and absent
+    #: from :meth:`to_dict`) unless the spec carries a topology.
+    topology: Optional[Dict[str, object]] = None
 
     @property
     def primary_flow(self) -> FlowResult:
@@ -122,6 +127,9 @@ class FabricResult:
         # byte-identical.
         if self.qos is not None:
             out["qos"] = self.qos
+        # Same contract for composed topologies.
+        if self.topology is not None:
+            out["topology"] = self.topology
         return out
 
     @staticmethod
@@ -207,6 +215,17 @@ class FabricSimulator:
                 )
             )
         self.wire = FabricWire(self, spec)
+        #: Sharded per-flow-tuple state (``None`` without a topology).
+        #: Shard placement uses the same keyed hash as ECMP routing, so
+        #: a flow's record lives where its path decisions are drawn.
+        self.flow_table: Optional[FlowTable] = (
+            FlowTable(
+                shards=spec.topology.flow_shards,
+                seed=spec.topology.ecmp_seed,
+            )
+            if spec.topology is not None
+            else None
+        )
         self.flows: Dict[str, FlowRuntime] = build_runtimes(self)
         #: Per-class accounting + PFC pause routing (``None`` without a
         #: QoS config; constructing it also stamps every flow's
@@ -222,6 +241,14 @@ class FabricSimulator:
     # ------------------------------------------------------------------
     def frame_delivered(self, frame: FabricFrame, now_ps: int) -> None:
         self.flows[frame.flow].on_delivered(frame, now_ps)
+        if self.flow_table is not None:
+            self.flow_table.record_delivery(
+                frame.flow,
+                frame.src,
+                frame.dst,
+                (now_ps - frame.created_ps) / 1e6,
+                frame.udp_payload_bytes,
+            )
         if self.qos_runtime is not None:
             self.qos_runtime.on_delivered(frame, now_ps)
 
@@ -237,6 +264,8 @@ class FabricSimulator:
         if reason == "mac_overrun":
             self.mac_drops += 1
         self.stats.counter(f"fabric.lost.{reason}").add()
+        if self.flow_table is not None:
+            self.flow_table.record_loss(frame.flow, frame.src, frame.dst)
         self.flows[frame.flow].on_lost(frame, now_ps)
 
     # ------------------------------------------------------------------
@@ -275,13 +304,21 @@ class FabricSimulator:
             self.qos_runtime.window_snapshot()
             if self.qos_runtime is not None else None
         )
+        topo_snap = self.wire.topology_window_snapshot()
+        table_snap = (
+            self.flow_table.window_snapshot()
+            if self.flow_table is not None else None
+        )
         # Measured-window registry semantics: histograms restart so the
         # percentile snapshots (and the metrics sampler) exclude cold
         # warm-up samples.
         self.stats.reset_window(self.sim.now_ps, histograms=True)
+        if self.flow_table is not None:
+            self.flow_table.reset_window(self.sim.now_ps)
         self.sim.run(until_ps=warmup_ps + measure_ps)
         return self._build_result(
-            nic_snaps, flow_snaps, wire_snap, measure_ps, qos_snap
+            nic_snaps, flow_snaps, wire_snap, measure_ps, qos_snap,
+            topo_snap, table_snap,
         )
 
     # ------------------------------------------------------------------
@@ -292,6 +329,8 @@ class FabricSimulator:
         wire_snap: Dict[str, int],
         measure_ps: int,
         qos_snap: Optional[Dict[str, object]] = None,
+        topo_snap: Optional[Dict[str, List[int]]] = None,
+        table_snap: Optional[Dict[str, int]] = None,
     ) -> FabricResult:
         measure_seconds = ps_to_seconds(measure_ps)
         flow_results: Dict[str, FlowResult] = {}
@@ -339,4 +378,40 @@ class FabricSimulator:
                 if self.qos_runtime is not None and qos_snap is not None
                 else None
             ),
+            topology=(
+                self._topology_report(topo_snap or {}, table_snap or {})
+                if self.spec.topology is not None
+                else None
+            ),
         )
+
+    def _topology_report(
+        self,
+        topo_snap: Dict[str, List[int]],
+        table_snap: Dict[str, int],
+    ) -> Dict[str, object]:
+        """Measured-window per-link / per-switch / flow-table report."""
+        topo = self.spec.topology
+        per_link: Dict[str, Dict[str, int]] = {}
+        for key in sorted(self.wire.link_counts):
+            entered, forwarded, dropped = self.wire.link_counts[key]
+            base = topo_snap.get(key, [0, 0, 0])
+            per_link[key] = {
+                "entered": entered - base[0],
+                "forwarded": forwarded - base[1],
+                "dropped": dropped - base[2],
+            }
+        per_switch: Dict[str, int] = {}
+        for key, counts in per_link.items():
+            switch = key.split("->", 1)[0]
+            per_switch[switch] = per_switch.get(switch, 0) + counts["forwarded"]
+        if not table_snap:
+            table_snap = {"delivered": 0, "lost": 0, "payload_bytes": 0}
+        return {
+            "switches": len(topo.switches),
+            "links": 2 * len(topo.switch_links) + len(topo.host_links),
+            "hop_bound": self.wire.router.hop_bound(),
+            "per_link": per_link,
+            "per_switch": {name: per_switch[name] for name in sorted(per_switch)},
+            "flow_table": self.flow_table.summary(table_snap),
+        }

@@ -31,6 +31,7 @@ from dataclasses import dataclass, replace
 from typing import Optional, Sequence, Tuple
 
 from repro.net.ethernet import MAX_UDP_PAYLOAD_BYTES, MIN_UDP_PAYLOAD_BYTES
+from repro.fabric.topology import TopologySpec
 from repro.qos.spec import QosSpec
 
 
@@ -142,8 +143,13 @@ class FabricSpec:
     #: FIFO + tail-drop ports — and every legacy cache key and golden
     #: digest — byte-identical.
     qos: Optional[QosSpec] = None
+    #: Composed multi-switch graph (leaf-spine / fat-tree / explicit
+    #: link list, :class:`~repro.fabric.topology.TopologySpec`);
+    #: ``None`` keeps the single implicit switch — and every legacy
+    #: cache key and golden digest — byte-identical.
+    topology: Optional[TopologySpec] = None
 
-    DESCRIBE_OMIT_DEFAULTS = ("qos",)
+    DESCRIBE_OMIT_DEFAULTS = ("qos", "topology")
 
     def __post_init__(self) -> None:
         if self.nics < 1:
@@ -161,6 +167,28 @@ class FabricSpec:
             for endpoint in (flow.src, flow.dst):
                 self._check_endpoint(endpoint, flow)
         self._check_qos()
+        self._check_topology()
+
+    def _check_topology(self) -> None:
+        if self.topology is None:
+            return
+        if not self.switch:
+            raise ValueError(
+                "a composed topology forwards through switches; set switch=True"
+            )
+        attached = set()
+        for endpoint, switch in self.topology.host_links:
+            if not 0 <= endpoint < self.nics:
+                raise ValueError(
+                    f"topology attaches endpoint {endpoint} outside the "
+                    f"{self.nics}-NIC fabric"
+                )
+            attached.add(endpoint)
+        missing = set(range(self.nics)) - attached
+        if missing:
+            raise ValueError(
+                f"topology leaves endpoints {sorted(missing)} unattached"
+            )
 
     def _check_qos(self) -> None:
         if self.qos is None:

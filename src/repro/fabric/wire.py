@@ -28,6 +28,18 @@ scheduler (strict priority / DRR / WRR, :mod:`repro.qos.sched`).
 Crossing a class's XOFF watermark pauses the transmitting stream
 pacers of that class PFC-style; draining to XON resumes them.  The
 legacy single-FIFO arithmetic is untouched when ``qos is None``.
+
+With a :class:`~repro.fabric.topology.TopologySpec` on the spec the
+single implicit switch generalizes to a **graph** of store-and-forward
+switches: every switch egress link owns its own serialization port
+(the same :class:`_SwitchPort` — or :class:`_QosPort` when a QoS config
+is present, so per-class queueing/RED/PFC compose per hop), frames
+follow the deterministic keyed-blake2b ECMP route of their flow tuple
+(:class:`~repro.fabric.topology.TopologyRouter`), and each hop pays
+store-and-forward in full: the downstream switch sees the frame one
+propagation after its serialization *end* on the upstream port — never
+a reused source ``wire_end_ps`` stamp.  ``topology=None`` keeps both
+legacy paths byte-identical.
 """
 
 from __future__ import annotations
@@ -39,6 +51,7 @@ from repro.assists.mac import WireEvent
 from repro.check.monitor import NULL_MONITOR
 from repro.fabric.flows import FabricFrame
 from repro.fabric.spec import FabricSpec
+from repro.fabric.topology import TopologyRouter
 from repro.qos.red import red_decide, red_drop_probability
 from repro.qos.sched import Scheduler, make_scheduler
 
@@ -70,6 +83,20 @@ class _QueuedFrame:
         self.frame = frame
         self.frame_bytes = frame.frame_bytes
         self.span_start_ps = span_start_ps
+
+
+class _TopoQueuedFrame(_QueuedFrame):
+    """A parked frame that still knows the rest of its route: a QoS
+    port on a composed topology must forward a served frame to its next
+    hop rather than always delivering it."""
+
+    __slots__ = ("ports", "hop")
+
+    def __init__(self, frame: FabricFrame, span_start_ps: int,
+                 ports: tuple, hop: int) -> None:
+        super().__init__(frame, span_start_ps)
+        self.ports = ports
+        self.hop = hop
 
 
 class _QosPort:
@@ -125,13 +152,30 @@ class FabricWire:
         self.qos = spec.qos
         self._qos_ports: List[_QosPort] = []
         self._class_index: Dict[str, int] = {}
+        #: Composed multi-switch graph (``None`` = the legacy single
+        #: implicit switch / direct links).
+        self.topology = spec.topology
+        self.router: Optional[TopologyRouter] = (
+            TopologyRouter(spec.topology) if spec.topology is not None else None
+        )
+        # Per-egress-link ports, created lazily (a 1024-endpoint
+        # leaf-spine declares thousands of access links; only the ones
+        # traffic crosses pay for state).  Keys are the router's
+        # ``"leaf0->spine1"`` / ``"leaf1->h7"`` port names.
+        self._topo_ports: Dict[str, _SwitchPort] = {}
+        self._topo_qos_ports: Dict[str, _QosPort] = {}
+        #: Cumulative per-link [entered, forwarded, dropped] counters
+        #: (topology mode only; the per-link conservation identity).
+        self.link_counts: Dict[str, List[int]] = {}
+        self._port_routes: Dict[tuple, tuple] = {}
         if self.qos is not None:
             classes = len(self.qos.classes)
-            # One independent scheduler instance per output port.
-            self._qos_ports = [
-                _QosPort(index, make_scheduler(self.qos), classes)
-                for index in range(spec.nics)
-            ]
+            if self.topology is None:
+                # One independent scheduler instance per output port.
+                self._qos_ports = [
+                    _QosPort(index, make_scheduler(self.qos), classes)
+                    for index in range(spec.nics)
+                ]
             self._class_index = {
                 tc.name: index for index, tc in enumerate(self.qos.classes)
             }
@@ -143,7 +187,9 @@ class FabricWire:
         schedules the destination's :meth:`rx_arrive`."""
         if self.monitor.enabled:
             self.monitor.wire_injected(self, src, frame.dst)
-        if self.spec.switch:
+        if self.topology is not None:
+            self._transmit_topology(src, frame, wire)
+        elif self.spec.switch:
             self._transmit_switched(src, frame, wire)
         else:
             self._deliver(frame, wire.wire_start_ps + self.spec.propagation_delay_ps,
@@ -340,9 +386,282 @@ class FabricWire:
 
         sim.schedule_at(out_end, serve_next)
 
+    # -- composed topologies (graph of switches) ------------------------
+    def route_ports(self, flow: str, src: int, dst: int) -> tuple:
+        """The egress ports a flow tuple traverses (memoized).  The
+        invariant monitor audits each route once, when first resolved:
+        loop-free, within the topology's shortest-path hop bound, and
+        never re-resolved differently."""
+        key = (flow, src, dst)
+        ports = self._port_routes.get(key)
+        if ports is None:
+            ports = self.router.route_ports(flow, src, dst)
+            if self.monitor.enabled:
+                self.monitor.topo_route(
+                    self, flow, src, dst,
+                    self.router.route(flow, src, dst),
+                    self.router.hop_bound(),
+                )
+            self._port_routes[key] = ports
+        return ports
+
+    def _topo_port(self, key: str) -> _SwitchPort:
+        port = self._topo_ports.get(key)
+        if port is None:
+            port = self._topo_ports[key] = _SwitchPort()
+        return port
+
+    def _topo_qos_port(self, key: str) -> _QosPort:
+        port = self._topo_qos_ports.get(key)
+        if port is None:
+            port = _QosPort(key, make_scheduler(self.qos), len(self.qos.classes))
+            self._topo_qos_ports[key] = port
+        return port
+
+    def _link(self, key: str) -> List[int]:
+        counts = self.link_counts.get(key)
+        if counts is None:
+            counts = self.link_counts[key] = [0, 0, 0]
+        return counts
+
+    def _transmit_topology(self, src: int, frame: FabricFrame,
+                           wire: WireEvent) -> None:
+        ports = self.route_ports(frame.flow, src, frame.dst)
+        # Store-and-forward at the access switch: the full frame is on
+        # the wire at the source MAC's wire_end_ps, and lands one
+        # propagation later.  Every subsequent hop re-derives its own
+        # serialization end — the source stamp is never reused.
+        self._topo_next(frame, ports, 0, wire.wire_end_ps, wire.wire_start_ps)
+
+    def _topo_next(self, frame: FabricFrame, ports: tuple, index: int,
+                   out_end_ps: int, span_start_ps: int) -> None:
+        """Put ``frame`` in flight toward the switch owning
+        ``ports[index]``: its last bit left the upstream serialization
+        point at ``out_end_ps``, so the downstream switch holds the full
+        frame one propagation later (store-and-forward per link)."""
+        if self.monitor.enabled:
+            self.monitor.topo_transit(self, 1)
+        arrive_ps = out_end_ps + self.spec.propagation_delay_ps
+        if self.qos is not None:
+            # Classification/admission sees queue state at the instant
+            # the forwarding decision completes, as on the single-switch
+            # QoS path.
+            when = arrive_ps + self.spec.switch_latency_ps
+
+            def admit(frame=frame, ports=ports, index=index,
+                      span_start_ps=span_start_ps) -> None:
+                self._topo_qos_admit(frame, ports, index, span_start_ps)
+
+            self.fabric.sim.schedule_at(when, admit)
+            return
+
+        def hop(frame=frame, ports=ports, index=index,
+                span_start_ps=span_start_ps) -> None:
+            self._topo_hop(frame, ports, index, span_start_ps)
+
+        self.fabric.sim.schedule_at(arrive_ps, hop)
+
+    def _topo_hop(self, frame: FabricFrame, ports: tuple, index: int,
+                  span_start_ps: int) -> None:
+        """One analytic store-and-forward hop, run at the frame's
+        arrival-end instant: pay the forwarding latency, contend for the
+        egress link's port, then deliver (last hop) or fly onward."""
+        spec = self.spec
+        key = ports[index]
+        ready_ps = self.fabric.sim.now_ps + spec.switch_latency_ps
+        port = self._topo_port(key)
+        counts = self._link(key)
+        counts[0] += 1
+        if self.monitor.enabled:
+            self.monitor.topo_transit(self, -1)
+            self.monitor.topo_link_entered(self, key)
+        if port.occupancy(ready_ps) >= spec.port_queue_frames:
+            counts[2] += 1
+            self.drops += 1
+            if self.monitor.enabled:
+                self.monitor.topo_link_dropped(self, key)
+                self.monitor.wire_dropped(self, frame.dst)
+            fabric = self.fabric
+            destination = fabric.endpoints[frame.dst]
+
+            def drop(frame=frame, ready_ps=ready_ps, key=key) -> None:
+                if destination.faults is not None:
+                    destination.faults.note_switch_drop(ready_ps, port=frame.dst)
+                elif fabric.tracer.enabled:
+                    fabric.tracer.instant(
+                        "fabric", "switch_tail_drop", ready_ps,
+                        dst=frame.dst, flow=frame.flow, link=key,
+                    )
+                fabric.frame_lost(frame, ready_ps, "switch_tail_drop")
+
+            fabric.sim.schedule_at(ready_ps, drop)
+            return
+        out_start = max(ready_ps, port.free_ps)
+        out_end = out_start + self.fabric.timing.frame_time_ps(frame.frame_bytes)
+        if self.monitor.enabled:
+            self.monitor.wire_port_departure(
+                self, key, out_start, out_end, port.free_ps
+            )
+        port.free_ps = out_end
+        port.departures.append(out_end)
+        counts[1] += 1
+        if self.monitor.enabled:
+            self.monitor.topo_link_forwarded(self, key)
+        if index == len(ports) - 1:
+            # Final (access) link: the destination MAC re-serializes
+            # from the first bit leaving the switch port, as on the
+            # single-switch path.
+            self._deliver(
+                frame, out_start + spec.propagation_delay_ps, span_start_ps
+            )
+            return
+        self._topo_next(frame, ports, index + 1, out_end, span_start_ps)
+
+    def _topo_qos_admit(self, frame: FabricFrame, ports: tuple, index: int,
+                        span_start_ps: int) -> None:
+        """Per-hop classification/admission on a QoS graph port —
+        the :meth:`_qos_arrive` logic keyed by egress link, with the
+        keyed RED decision stream named after the link."""
+        now_ps = self.fabric.sim.now_ps
+        qos = self.qos
+        key = ports[index]
+        port = self._topo_qos_port(key)
+        cls = self._class_index[frame.qos_class]
+        tc = qos.classes[cls]
+        counts = self._link(key)
+        counts[0] += 1
+        if self.monitor.enabled:
+            self.monitor.topo_transit(self, -1)
+            self.monitor.topo_link_entered(self, key)
+            self.monitor.qos_injected(self, key, cls)
+        queue = port.queues[cls]
+        occupancy = len(queue)
+        if occupancy >= tc.queue_frames:
+            self._topo_qos_drop(port, cls, frame, now_ps, "switch_tail_drop")
+            return
+        if tc.red is not None:
+            probability = red_drop_probability(occupancy, tc.red)
+            if probability > 0.0:
+                red_index = port.red_index[cls]
+                port.red_index[cls] = red_index + 1
+                if red_decide(qos.seed, port.index, tc.name, red_index,
+                              probability):
+                    self._topo_qos_drop(
+                        port, cls, frame, now_ps, "switch_red_drop"
+                    )
+                    return
+        queue.append(_TopoQueuedFrame(frame, span_start_ps, ports, index))
+        port.enqueued[cls] += 1
+        if self.monitor.enabled:
+            self.monitor.qos_enqueued(self, key, cls, len(queue))
+        if (tc.pause_xoff_frames and not port.paused[cls]
+                and len(queue) >= tc.pause_xoff_frames):
+            port.paused[cls] = True
+            port.pause_events[cls] += 1
+            if self.monitor.enabled:
+                self.monitor.qos_pause(self, key, cls, True)
+            self.fabric.qos_pause(port.index, cls, now_ps)
+        if not port.busy:
+            port.busy = True
+            self._topo_qos_service(port)
+
+    def _topo_qos_drop(self, port: _QosPort, cls: int, frame: FabricFrame,
+                       now_ps: int, reason: str) -> None:
+        key = port.index
+        self._link(key)[2] += 1
+        self.drops += 1
+        if reason == "switch_tail_drop":
+            port.tail_drops[cls] += 1
+        else:
+            port.red_drops[cls] += 1
+        if self.monitor.enabled:
+            self.monitor.topo_link_dropped(self, key)
+            self.monitor.qos_dropped(
+                self, key, cls,
+                "tail" if reason == "switch_tail_drop" else "red",
+            )
+            self.monitor.wire_dropped(self, frame.dst)
+        fabric = self.fabric
+        destination = fabric.endpoints[frame.dst]
+        if reason == "switch_tail_drop" and destination.faults is not None:
+            destination.faults.note_switch_drop(now_ps, port=frame.dst)
+        elif fabric.tracer.enabled:
+            fabric.tracer.instant(
+                "fabric", reason, now_ps, dst=frame.dst, flow=frame.flow,
+                link=key,
+            )
+        fabric.frame_lost(frame, now_ps, reason)
+
+    def _topo_qos_service(self, port: _QosPort) -> None:
+        """One serialization slot on a QoS graph port: identical
+        scheduler/pause arithmetic to :meth:`_qos_service`, but a served
+        frame continues along its route instead of always delivering."""
+        sim = self.fabric.sim
+        now_ps = sim.now_ps
+        cls = port.scheduler.select(port.queues)
+        if cls is None:
+            if self.monitor.enabled:
+                self.monitor.qos_port_idle(self, port.index, port.backlog())
+            port.busy = False
+            return
+        queue = port.queues[cls]
+        entry = queue.popleft()
+        out_start = now_ps if now_ps >= port.free_ps else port.free_ps
+        out_end = out_start + self.fabric.timing.frame_time_ps(entry.frame_bytes)
+        if self.monitor.enabled:
+            self.monitor.qos_forwarded(self, port.index, cls, len(queue))
+            self.monitor.wire_port_departure(
+                self, port.index, out_start, out_end, port.free_ps
+            )
+        port.free_ps = out_end
+        port.forwarded[cls] += 1
+        self._link(port.index)[1] += 1
+        if self.monitor.enabled:
+            self.monitor.topo_link_forwarded(self, port.index)
+        tc = self.qos.classes[cls]
+        if port.paused[cls] and len(queue) <= tc.pause_xon_frames:
+            port.paused[cls] = False
+            port.resume_events[cls] += 1
+            if self.monitor.enabled:
+                self.monitor.qos_pause(self, port.index, cls, False)
+            self.fabric.qos_resume(port.index, cls, now_ps)
+        if entry.hop == len(entry.ports) - 1:
+            self._deliver(
+                entry.frame,
+                out_start + self.spec.propagation_delay_ps,
+                entry.span_start_ps,
+            )
+        else:
+            self._topo_next(
+                entry.frame, entry.ports, entry.hop + 1, out_end,
+                entry.span_start_ps,
+            )
+
+        def serve_next(port=port) -> None:
+            self._topo_qos_service(port)
+
+        sim.schedule_at(out_end, serve_next)
+
     # ------------------------------------------------------------------
     def window_snapshot(self) -> Dict[str, int]:
         return {"forwarded": self.forwarded, "drops": self.drops}
+
+    def qos_ports(self) -> List[_QosPort]:
+        """Every live QoS port: the per-destination ports of the single
+        implicit switch, or the per-egress-link ports of a composed
+        topology (in deterministic link-name order)."""
+        if self.topology is None:
+            return self._qos_ports
+        return [self._topo_qos_ports[key]
+                for key in sorted(self._topo_qos_ports)]
+
+    def topology_window_snapshot(self) -> Optional[Dict[str, List[int]]]:
+        """Cumulative per-link [entered, forwarded, dropped] counters
+        (``None`` without a topology); the measured window reports
+        deltas."""
+        if self.topology is None:
+            return None
+        return {key: list(counts) for key, counts in self.link_counts.items()}
 
     def qos_window_snapshot(self) -> Optional[Dict[str, List[int]]]:
         """Cumulative per-class counters summed across ports (``None``
@@ -355,7 +674,7 @@ class FabricWire:
             for key in ("enqueued", "forwarded", "tail_drops", "red_drops",
                         "pause_events", "resume_events")
         }
-        for port in self._qos_ports:
+        for port in self.qos_ports():
             for cls in range(classes):
                 totals["enqueued"][cls] += port.enqueued[cls]
                 totals["forwarded"][cls] += port.forwarded[cls]

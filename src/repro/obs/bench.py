@@ -68,6 +68,7 @@ QUICK_BENCHES = (
     "bench_fabric_overhead",
     "bench_streaming_hist",
     "bench_qos_isolation",
+    "bench_topology_scale",
 )
 
 

@@ -45,16 +45,26 @@ class QosRuntime:
             else None
             for tc in qos.classes
         ]
-        # (dst port, class index) -> stream pacers PFC pause can stop.
-        self._pacers: Dict[Tuple[int, int], List[StreamFlowRuntime]] = {}
+        # (port key, class index) -> stream pacers PFC pause can stop.
+        # The legacy single switch keys ports by destination endpoint;
+        # a composed topology keys them by link name, and a flow must
+        # react to XOFF from *any* link on its (deterministic, ECMP-
+        # resolved) route — congestion at a spine uplink pauses the
+        # sender just like congestion at the access link.
+        self._pacers: Dict[Tuple[object, int], List[StreamFlowRuntime]] = {}
         for runtime in fabric.flows.values():
             class_name = qos.resolve(runtime.spec.qos_class)
             cls = self._index[class_name]
             runtime._qos_tag = (class_name, qos.classes[cls].dscp)
             if isinstance(runtime, StreamFlowRuntime):
-                self._pacers.setdefault(
-                    (runtime.spec.dst, cls), []
-                ).append(runtime)
+                if fabric.spec.topology is not None:
+                    keys = fabric.wire.route_ports(
+                        runtime.name, runtime.spec.src, runtime.spec.dst
+                    )
+                else:
+                    keys = (runtime.spec.dst,)
+                for key in keys:
+                    self._pacers.setdefault((key, cls), []).append(runtime)
 
     # -- fabric callbacks -----------------------------------------------
     def on_delivered(self, frame: FabricFrame, now_ps: int) -> None:

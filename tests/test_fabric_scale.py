@@ -1,0 +1,77 @@
+"""Scale tests: the composed fabric at datacenter size (ISSUE 10).
+
+The ``slow``-marked test drives a 4-rack, 1024-endpoint leaf-spine
+through 100k stateful flows and holds the run to explicit wall-time
+and peak-RSS budgets — the sharded flow table and lazy per-link port
+state exist precisely so this fits in bounded memory.  Tier-1 keeps a
+small smoke variant so the code path never rots between CI tiers.
+"""
+
+import resource
+import time
+
+import pytest
+
+from repro.fabric.scale import ScaleFabric
+from repro.fabric.topology import TopologySpec
+
+#: Budgets for the full-scale run.  Wall is ~7 s on a dev container;
+#: 90 s leaves headroom for slow CI runners without hiding a
+#: complexity regression (an O(endpoints * flows) slip blows through
+#: it immediately).  RSS likewise: ~130 MB observed, 1.5 GB budget.
+WALL_BUDGET_S = 90.0
+PEAK_RSS_BUDGET_BYTES = 1536 * 1024 * 1024
+
+
+def _peak_rss_bytes() -> int:
+    # ru_maxrss is KiB on Linux.
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+
+def _check_report(report, flows):
+    assert report["posted"] == flows
+    assert report["posted"] == report["delivered"] + report["lost"]
+    assert report["flows"] == flows
+    # Sharding actually spread the records.
+    sizes = report["shard_sizes"]
+    assert sum(sizes) == flows
+    if flows >= 1000:
+        assert all(size > 0 for size in sizes)
+    for link, (entered, forwarded, dropped) in report["link_counts"].items():
+        assert entered == forwarded + dropped, (link, entered)
+
+
+def test_scale_smoke_128_endpoints():
+    """Tier-1 variant: same harness, 128 endpoints / 2k flows."""
+    topo = TopologySpec.leaf_spine(racks=4, hosts_per_rack=32, spines=2)
+    report = ScaleFabric(topo).run(flows=2000)
+    assert report["endpoints"] == 128
+    _check_report(report, 2000)
+
+
+@pytest.mark.slow
+def test_scale_1024_endpoints_100k_flows_within_budget():
+    topo = TopologySpec.leaf_spine(racks=4, hosts_per_rack=256, spines=4)
+    fabric = ScaleFabric(topo)
+    start = time.monotonic()
+    report = fabric.run(flows=100_000)
+    wall = time.monotonic() - start
+    assert report["endpoints"] == 1024
+    assert report["switches"] == 8
+    _check_report(report, 100_000)
+    # Traffic crossed the whole fabric: every leaf uplink direction saw
+    # frames (8 leaf<->spine pairs x 2 directions = 32 inter-switch
+    # links, plus access links).
+    inter_switch = [k for k in report["link_counts"] if "->h" not in k]
+    assert len(inter_switch) == 32
+    assert wall < WALL_BUDGET_S, f"scale run took {wall:.1f}s"
+    peak = _peak_rss_bytes()
+    assert peak < PEAK_RSS_BUDGET_BYTES, f"peak RSS {peak / 2**20:.0f} MiB"
+
+
+@pytest.mark.slow
+def test_scale_run_is_deterministic():
+    topo = TopologySpec.leaf_spine(racks=4, hosts_per_rack=64, spines=4)
+    first = ScaleFabric(topo).run(flows=20_000)
+    second = ScaleFabric(topo).run(flows=20_000)
+    assert first == second

@@ -1,0 +1,189 @@
+"""Property-based tests (hypothesis) for composed topologies (ISSUE 10).
+
+* ECMP routing is a pure function of (seed, flow tuple) — independent
+  of query interleaving and of router instance;
+* equal-cost spreading: first-hop spine choices over many flows stay
+  within a (generous) chi-squared bound of uniform;
+* per-link conservation holds on generated leaf-spine graphs under
+  generated flow populations (``entered == forwarded + dropped`` at
+  end of run, ``posted == delivered + lost`` globally);
+* sharded :class:`FlowTable` ingest merges to exactly the unsharded
+  distribution (the PR 6 merge-equivalence pattern).
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.fabric.flowtable import FlowTable
+from repro.fabric.scale import ScaleFabric
+from repro.fabric.topology import TopologyRouter, TopologySpec, ecmp_hash
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+def _leaf_spines():
+    return st.builds(
+        TopologySpec.leaf_spine,
+        racks=st.integers(min_value=2, max_value=4),
+        hosts_per_rack=st.integers(min_value=1, max_value=4),
+        spines=st.integers(min_value=1, max_value=4),
+        ecmp_seed=st.integers(min_value=0, max_value=2**32),
+    )
+
+
+def _flow_tuples(topology):
+    hosts = len(topology.endpoints())
+    return st.lists(
+        st.tuples(
+            st.text(
+                alphabet="abcdef0123456789", min_size=1, max_size=8
+            ),
+            st.integers(min_value=0, max_value=hosts - 1),
+            st.integers(min_value=0, max_value=hosts - 1),
+        ),
+        min_size=1,
+        max_size=32,
+    )
+
+
+# ----------------------------------------------------------------------
+# Determinism / interleaving independence
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_ecmp_route_is_interleaving_independent(data):
+    topology = data.draw(_leaf_spines())
+    tuples = data.draw(_flow_tuples(topology))
+    permutation = data.draw(st.permutations(tuples))
+
+    forward = TopologyRouter(topology)
+    routes = {t: forward.route(*t) for t in tuples}
+    # A fresh router queried in a different order resolves identically,
+    # including repeated queries (memoization is invisible).
+    shuffled = TopologyRouter(topology)
+    for t in permutation:
+        assert shuffled.route(*t) == routes[t]
+    for t in tuples:
+        assert shuffled.route(*t) == routes[t]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32),
+    flow=st.text(alphabet="xyz0123456789", min_size=1, max_size=12),
+    src=st.integers(min_value=0, max_value=1023),
+    dst=st.integers(min_value=0, max_value=1023),
+)
+def test_ecmp_hash_is_pure(seed, flow, src, dst):
+    assert ecmp_hash(seed, flow, src, dst) == ecmp_hash(seed, flow, src, dst)
+    assert 0 <= ecmp_hash(seed, flow, src, dst) < 2**64
+
+
+# ----------------------------------------------------------------------
+# Equal-cost spreading
+# ----------------------------------------------------------------------
+@settings(max_examples=20, deadline=None)
+@given(
+    spines=st.integers(min_value=2, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**32),
+)
+def test_ecmp_spreads_within_chi_squared_bound(spines, seed):
+    topology = TopologySpec.leaf_spine(
+        racks=2, hosts_per_rack=1, spines=spines, ecmp_seed=seed
+    )
+    router = TopologyRouter(topology)
+    flows = 256 * spines
+    counts = [0] * spines
+    for index in range(flows):
+        path = router.route(f"flow{index}", 0, 1)
+        assert len(path) == 3
+        counts[int(path[1][len("spine"):])] += 1
+    assert sum(counts) == flows
+    expected = flows / spines
+    chi2 = sum((count - expected) ** 2 / expected for count in counts)
+    # df <= 7; P(chi2 > 60) ~ 1e-10 — a keyed-hash regression, not noise.
+    assert chi2 < 60.0, (counts, chi2)
+
+
+# ----------------------------------------------------------------------
+# Per-link conservation on generated graphs
+# ----------------------------------------------------------------------
+@settings(max_examples=15, deadline=None)
+@given(
+    racks=st.integers(min_value=2, max_value=3),
+    hosts_per_rack=st.integers(min_value=2, max_value=4),
+    spines=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=2**16),
+    flows=st.integers(min_value=1, max_value=400),
+    queue=st.integers(min_value=1, max_value=16),
+)
+def test_per_link_conservation_on_generated_graphs(
+    racks, hosts_per_rack, spines, seed, flows, queue
+):
+    topology = TopologySpec.leaf_spine(
+        racks=racks, hosts_per_rack=hosts_per_rack, spines=spines,
+        ecmp_seed=seed,
+    )
+    fabric = ScaleFabric(topology, port_queue_frames=queue)
+    report = fabric.run(flows=flows)
+    assert report["posted"] == flows
+    assert report["posted"] == report["delivered"] + report["lost"]
+    for link, (entered, forwarded, dropped) in report["link_counts"].items():
+        assert entered == forwarded + dropped, (link, entered)
+    # Flow table saw every flow exactly once (single-frame flows).
+    assert report["flows"] == flows
+
+
+# ----------------------------------------------------------------------
+# FlowTable shard-merge equivalence
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(
+    shards=st.integers(min_value=2, max_value=16),
+    seed=st.integers(min_value=0, max_value=2**16),
+    samples=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=40),        # flow id
+            st.floats(min_value=0.01, max_value=10_000.0,  # one-way us
+                      allow_nan=False, allow_infinity=False),
+            st.booleans(),                                 # lost?
+        ),
+        min_size=1,
+        max_size=200,
+    ),
+)
+def test_sharded_ingest_merges_to_unsharded_distribution(
+    shards, seed, samples
+):
+    sharded = FlowTable(shards=shards, seed=seed)
+    unsharded = FlowTable(shards=1, seed=seed)
+    for flow_id, oneway_us, lost in samples:
+        flow, src, dst = f"f{flow_id}", flow_id % 7, flow_id % 5
+        if lost:
+            sharded.record_loss(flow, src, dst)
+            unsharded.record_loss(flow, src, dst)
+        else:
+            sharded.record_delivery(flow, src, dst, oneway_us, 64)
+            unsharded.record_delivery(flow, src, dst, oneway_us, 64)
+    assert len(sharded) == len(unsharded)
+    assert sharded.delivered == unsharded.delivered
+    assert sharded.lost == unsharded.lost
+    # Bucket-exact: the merged sketch is identical to single-shard
+    # ingest of the same samples — every bucket, count, and extremum.
+    # Only the running float `sum` may differ in its last ulps (merge
+    # adds per-shard partial sums in a different order), same caveat as
+    # the PR 6 StreamingHistogram merge tests.
+    merged = sharded.merged_oneway().to_dict()
+    single = unsharded.merged_oneway().to_dict()
+    merged_sum, single_sum = merged.pop("sum"), single.pop("sum")
+    assert merged == single
+    assert merged_sum == pytest.approx(single_sum)
+    # Per-record counters agree too.
+    for flow_id, _, _ in samples:
+        flow, src, dst = f"f{flow_id}", flow_id % 7, flow_id % 5
+        a, b = sharded.get(flow, src, dst), unsharded.get(flow, src, dst)
+        assert (a.delivered, a.lost, a.payload_bytes) == (
+            b.delivered, b.lost, b.payload_bytes
+        )
